@@ -1,0 +1,119 @@
+"""Experiments E4-E7: the four case studies of §7, as benchmarks.
+
+Each benchmark runs Elle over the case-study observation (generated once,
+cached) and asserts the paper's anomaly signature, so the timing harness
+doubles as the regeneration of the §7.1-§7.4 findings.  Run
+``python benchmarks/bench_case_studies.py`` for the summary table
+(paper-reported vs measured anomaly classes).
+"""
+
+import pytest
+
+from repro import check
+from repro.db import (
+    DgraphShardMigration,
+    FaunaInternal,
+    Isolation,
+    TiDBRetry,
+    YugaByteStaleRead,
+)
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+
+_HISTORIES = {}
+
+
+def case(name):
+    if name in _HISTORIES:
+        return _HISTORIES[name]
+    configs = {
+        "tidb": RunConfig(
+            txns=1000, concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=3, faults=lambda rng: TiDBRetry(rng),
+        ),
+        "yugabyte": RunConfig(
+            txns=1000, concurrency=10,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=3,
+            faults=lambda rng: YugaByteStaleRead(rng, probability=0.3, staleness=4),
+        ),
+        "fauna": RunConfig(
+            txns=1000, concurrency=8,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(
+                active_keys=3, max_writes_per_key=30, read_fraction=0.4
+            ),
+            seed=3,
+            faults=lambda rng: FaunaInternal(rng, probability=0.3, staleness=2),
+        ),
+        "dgraph": RunConfig(
+            txns=1200, concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(
+                workload="rw-register", active_keys=3,
+                max_writes_per_key=40, read_fraction=0.6,
+            ),
+            seed=5,
+            faults=lambda rng: DgraphShardMigration(rng, probability=0.15),
+        ),
+    }
+    _HISTORIES[name] = run_workload(configs[name])
+    return _HISTORIES[name]
+
+
+def check_case(name):
+    history = case(name)
+    if name == "dgraph":
+        return check(
+            history,
+            workload="rw-register",
+            consistency_model="snapshot-isolation",
+            sources=("initial-state", "write-follows-read", "realtime"),
+        )
+    model = "serializable" if name in ("yugabyte", "fauna") else "snapshot-isolation"
+    return check(history, consistency_model=model)
+
+
+#: name -> (anomaly types the paper reports, anomaly types that must NOT occur)
+EXPECTED = {
+    "tidb": ({"G-single", "incompatible-order"}, {"G0"}),
+    "yugabyte": ({"G2-item"}, {"G0", "G1a", "G1b", "G1c", "G-single"}),
+    "fauna": ({"internal"}, {"G0", "G1a"}),
+    "dgraph": ({"cyclic-versions", "G-single"}, {"G0"}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def bench_case_study(benchmark, name):
+    case(name)  # generate outside the timed region
+    benchmark.group = "case-studies"
+    result = benchmark.pedantic(check_case, args=(name,), rounds=1, iterations=1)
+    expected, forbidden = EXPECTED[name]
+    assert expected <= set(result.anomaly_types), (
+        name, result.anomaly_types
+    )
+    assert not (forbidden & set(result.anomaly_types)), (
+        name, result.anomaly_types
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    from repro.viz import render_table
+
+    paper = {
+        "tidb": "G-single, lost updates, aborted reads",
+        "yugabyte": "G2-item (multi-anti-dependency only)",
+        "fauna": "internal inconsistency (-> inferred G2)",
+        "dgraph": "internal, cyclic versions, read skew",
+    }
+    rows = []
+    for name in sorted(EXPECTED):
+        result = check_case(name)
+        rows.append([name, paper[name], ", ".join(result.anomaly_types)])
+    print(render_table(["case", "paper reports", "we observe"], rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

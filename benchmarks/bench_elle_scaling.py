@@ -1,0 +1,50 @@
+"""Experiment E8: the §7.5 scale claim.
+
+"Elle was able to check histories of hundreds of thousands of transactions
+in tens of seconds" — on the authors' hardware and JVM.  This benchmark
+runs the check at 10k/25k/50k transactions (20k–100k operations) once each;
+extrapolate linearly for the paper's scale, or run
+``python benchmarks/bench_elle_scaling.py`` for a full 100k-transaction
+measurement with a table.
+"""
+
+import pytest
+
+from repro import check
+from repro.scenarios import figure4_history
+
+SIZES = [10_000, 25_000, 50_000]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_elle_large_histories(benchmark, size):
+    history = figure4_history(size, 20)
+    benchmark.group = "elle-scaling"
+    benchmark.extra_info["txns"] = size
+    benchmark.extra_info["ops"] = history.op_count
+    result = benchmark.pedantic(
+        lambda: check(history, consistency_model="strict-serializable"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.valid
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    import time
+
+    from repro.viz import render_table
+
+    rows = []
+    for size in (10_000, 50_000, 100_000):
+        history = figure4_history(size, 20)
+        start = time.perf_counter()
+        result = check(history, consistency_model="strict-serializable")
+        elapsed = time.perf_counter() - start
+        assert result.valid
+        rows.append([size, history.op_count, f"{elapsed:.2f}"])
+    print(render_table(["transactions", "operations", "elle (s)"], rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""Figure 4, Elle side (experiment E3): runtime vs history length and
+concurrency.
+
+The paper's claim: Elle is "primarily linear in the length of a history"
+and "effectively constant with respect to concurrency".  The benchmark grid
+sweeps both axes; compare group means to see the shape.  Absolute numbers
+are a pure-Python simulator's, not the paper's 24-core Xeon JVM — the shape
+is the reproduction target.
+"""
+
+import pytest
+
+from repro import check
+from repro.scenarios import figure4_history
+
+LENGTHS = [250, 500, 1000, 2000]
+CONCURRENCIES = [1, 5, 10, 20, 40, 100]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_elle_vs_length(benchmark, length):
+    """Runtime vs history length at fixed concurrency 10."""
+    history = figure4_history(length, 10)
+    benchmark.group = "fig4-elle-length"
+    benchmark.extra_info["txns"] = length
+    result = benchmark(
+        lambda: check(history, consistency_model="strict-serializable")
+    )
+    assert result.valid
+
+
+@pytest.mark.parametrize("concurrency", CONCURRENCIES)
+def bench_elle_vs_concurrency(benchmark, concurrency):
+    """Runtime vs concurrency at fixed length 1000: near-flat per the paper."""
+    history = figure4_history(1000, concurrency)
+    benchmark.group = "fig4-elle-concurrency"
+    benchmark.extra_info["concurrency"] = concurrency
+    result = benchmark(
+        lambda: check(history, consistency_model="strict-serializable")
+    )
+    assert result.valid

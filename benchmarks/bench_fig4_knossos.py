@@ -1,0 +1,48 @@
+"""Figure 4, Knossos side (experiment E3): the NP-complete baseline.
+
+The paper: "Knossos' runtime rises dramatically with concurrency: given c
+concurrent transactions, the number of permutations to evaluate is c! ...
+With 40+ concurrent processes, even histories of 5000 transactions were
+(generally) uncheckable in reasonable time frames."  Runs are capped
+(the paper used 100 s; we default far lower to keep the harness quick) and
+a capped run reports the cap as its runtime, exactly as Figure 4 plots it.
+"""
+
+import pytest
+
+from repro.baselines import check_strict_serializable
+from repro.scenarios import figure4_history
+
+CAP_S = 2.0
+LENGTHS = [50, 100, 200]
+CONCURRENCIES = [1, 5, 10, 20]
+
+
+def run_capped(history):
+    verdict = check_strict_serializable(history, timeout_s=CAP_S)
+    # A capped run "costs" the cap: Figure 4 plots DNFs at the ceiling.
+    return verdict
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def bench_knossos_vs_length(benchmark, length):
+    history = figure4_history(length, 5)
+    benchmark.group = "fig4-knossos-length"
+    benchmark.extra_info["txns"] = length
+    verdict = benchmark.pedantic(
+        run_capped, args=(history,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["timed_out"] = verdict.timed_out
+    assert verdict.valid is not False  # serializable or capped, never refuted
+
+
+@pytest.mark.parametrize("concurrency", CONCURRENCIES)
+def bench_knossos_vs_concurrency(benchmark, concurrency):
+    history = figure4_history(100, concurrency)
+    benchmark.group = "fig4-knossos-concurrency"
+    benchmark.extra_info["concurrency"] = concurrency
+    verdict = benchmark.pedantic(
+        run_capped, args=(history,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["timed_out"] = verdict.timed_out
+    assert verdict.valid is not False

@@ -1,0 +1,11 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.scenarios import figure4_history
+
+
+@pytest.fixture(scope="session")
+def fig4_history():
+    """Factory fixture: ``fig4_history(length, concurrency)`` with caching."""
+    return figure4_history

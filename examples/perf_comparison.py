@@ -1,0 +1,86 @@
+"""Elle versus Knossos: a miniature of the paper's Figure 4 (§7.5).
+
+Run with::
+
+    python examples/perf_comparison.py [--full]
+
+Generates serializable histories of increasing length and concurrency,
+then times Elle's linear-time inference against the Knossos-style
+NP-complete search (capped, like the paper's 100-second cap).  The shape to
+look for: Elle grows linearly with history length and barely notices
+concurrency; Knossos blows up with concurrency and starts hitting the cap.
+"""
+
+import sys
+import time
+
+from repro import check
+from repro.baselines import check_strict_serializable
+from repro.db import Isolation
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.viz import ascii_plot, render_table
+
+CAP_S = 2.0
+
+
+def history_for(length: int, concurrency: int):
+    return run_workload(
+        RunConfig(
+            txns=length,
+            concurrency=concurrency,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(
+                active_keys=10, max_writes_per_key=100, max_txn_len=5
+            ),
+            seed=42,
+        )
+    )
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    lengths = [100, 300, 1000, 3000] if full else [100, 300, 1000]
+    concurrencies = [1, 5, 10, 20, 40] if full else [1, 5, 20]
+
+    rows = []
+    elle_series = {}
+    knossos_series = {}
+    for concurrency in concurrencies:
+        for length in lengths:
+            history = history_for(length, concurrency)
+            start = time.perf_counter()
+            result = check(history, consistency_model="strict-serializable")
+            elle_s = time.perf_counter() - start
+            assert result.valid
+
+            verdict = check_strict_serializable(history, timeout_s=CAP_S)
+            knossos_s = (
+                verdict.elapsed_s if not verdict.timed_out else float(CAP_S)
+            )
+            knossos_text = (
+                f"{knossos_s:.3f}" if not verdict.timed_out else f">{CAP_S:.0f} (cap)"
+            )
+            rows.append(
+                [length, concurrency, f"{elle_s:.3f}", knossos_text]
+            )
+            elle_series.setdefault(f"elle c={concurrency}", []).append(
+                (length, elle_s)
+            )
+            knossos_series.setdefault(f"knossos c={concurrency}", []).append(
+                (length, knossos_s)
+            )
+
+    print(render_table(
+        ["ops", "concurrency", "elle (s)", "knossos (s)"], rows
+    ))
+    print()
+    print(ascii_plot(
+        {**elle_series, **knossos_series},
+        x_label="history length (transactions)",
+        y_label="runtime (s)",
+        title=f"Runtime vs history length (knossos capped at {CAP_S:.0f}s)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Long forks from replication lag: parallel snapshot isolation, observed.
+
+Run with::
+
+    python examples/replication_lag.py
+
+Spins up the replicated PSI substrate — commits totally ordered globally,
+but visible at remote sites only after a lag — and sweeps the lag.  At lag
+zero the system is snapshot isolation and Elle finds only write skew; with
+lag, readers at different sites genuinely observe each other's writes in
+opposite orders, and the anomaly counts climb.  Elle tags the forks as G2
+(the paper's §9 caveat), so ``parallel-snapshot-isolation`` itself survives
+every verdict — exactly what PSI promises.
+"""
+
+from repro import check
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.viz import render_table
+
+
+def main() -> None:
+    rows = []
+    for lag in (0, 2, 4, 8):
+        config = RunConfig(
+            txns=1000,
+            concurrency=10,
+            sites=2,
+            replication_lag=lag,
+            workload=WorkloadConfig(active_keys=4, max_writes_per_key=30),
+            seed=11,
+        )
+        history = run_workload(config)
+        result = check(
+            history,
+            consistency_model="parallel-snapshot-isolation",
+            realtime_edges=False,
+            process_edges=False,
+        )
+        rows.append([
+            lag,
+            len(history),
+            len(result.anomalies),
+            "yes" if result.valid else "NO",
+            ", ".join(result.anomaly_types) or "(none)",
+        ])
+    print(render_table(
+        ["lag", "txns", "anomalies", "PSI valid?", "types"], rows
+    ))
+    print()
+    print("Every row stays valid under PSI: long forks are G2 cycles, and")
+    print("G2 alone does not falsify parallel snapshot isolation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Baseline checkers: the NP-complete searches Elle is measured against."""
+
+from .knossos import (
+    SearchResult,
+    check_history,
+    check_serializable,
+    check_strict_serializable,
+)
+
+__all__ = [
+    "SearchResult",
+    "check_history",
+    "check_serializable",
+    "check_strict_serializable",
+]

@@ -1,0 +1,241 @@
+"""A Knossos-style serializability checker: the paper's baseline (§7.5).
+
+Knossos [Kingsbury 2013] checks linearizability by searching for an order
+of operations consistent with both observed results and real-time bounds —
+the Wing & Gong / Lowe tree search.  Since strict serializability is
+linearizability over a transactional map, the same search decides whether a
+transactional history is (strictly) serializable.
+
+The search is NP-complete: with ``c`` mutually concurrent transactions the
+branching factor is ``c`` and the worst case explores ``c!`` interleavings.
+Figure 4 of the paper is exactly this blow-up, measured against Elle's
+linear-time inference; this module reproduces the Knossos side.
+
+Algorithm: walk the history's invoke/complete events in order, maintaining
+the set of *pending* (invoked, not yet applied) transactions and the current
+database state.  At each node either advance the event pointer — forbidden
+past the completion of an unapplied ``ok`` transaction — or apply any
+pending transaction whose reads match the state.  Aborted transactions
+never apply; indeterminate ones may apply at any point or never.  Visited
+``(event index, pending set, state)`` triples are memoized.  Reaching the
+final event is a witness; exhausting the space is a refutation.
+
+With ``real_time=False`` the event sequence collapses (every transaction
+becomes mutually concurrent), deciding plain serializability — also the
+brute-force oracle used by the property-based soundness tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.objects import model_for
+from ..errors import WorkloadError
+from ..history import History, Transaction
+from ..history.ops import READ, OpType
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search.
+
+    ``valid`` is True (witness found), False (space exhausted: no
+    serialization exists), or None (timed out / state cap hit — unknown,
+    matching the paper's capped Knossos runs).
+    """
+
+    valid: Optional[bool]
+    linearization: Optional[List[int]] = None
+    states_explored: int = 0
+    elapsed_s: float = 0.0
+    timed_out: bool = False
+
+
+def _apply_txn(
+    state: Dict, txn: Transaction, nil_reads: bool = False
+) -> Optional[Dict]:
+    """Execute ``txn`` against ``state``; None if a read contradicts it.
+
+    State maps key -> version; micro-op semantics come from the object
+    models, so one searcher covers every workload.  ``nil_reads`` gives
+    register semantics to ``None`` read results on committed transactions:
+    a read of nil asserts the key was never written.  (For indeterminate
+    transactions a ``None`` read value means *unknown* and constrains
+    nothing, in any workload.)
+    """
+    new_state = None  # copy-on-write
+    current = state
+    for mop in txn.mops:
+        if mop.fn == READ:
+            expected = current.get(mop.key)
+            observed = mop.value
+            if observed is None:
+                if nil_reads and txn.committed:
+                    if expected is not None:
+                        return None
+                continue  # unknown result constrains nothing
+            if isinstance(observed, (list, tuple)):
+                observed = tuple(observed)
+                if expected is None:
+                    expected = ()
+            elif isinstance(observed, (set, frozenset)):
+                observed = frozenset(observed)
+                if expected is None:
+                    expected = frozenset()
+            if observed != expected:
+                return None
+        else:
+            model = model_for(mop.fn)
+            if new_state is None:
+                new_state = dict(state)
+                current = new_state
+            base = current.get(mop.key)
+            if base is None:
+                base = model.initial
+            current[mop.key] = model.apply(base, mop.value)
+    return new_state if new_state is not None else state
+
+
+def _events(history: History, real_time: bool) -> List[Tuple[str, Transaction]]:
+    """The event list driving the search.
+
+    Real-time mode interleaves invocations and completions as observed.
+    Otherwise all invocations precede all completions: every transaction is
+    treated as concurrent with every other (plain serializability).
+    """
+    txns = [t for t in history.transactions if not t.aborted]
+    if real_time:
+        events: List[Tuple[int, str, Transaction]] = []
+        for t in txns:
+            events.append((t.invoke_index, "invoke", t))
+            if t.complete_index is not None:
+                events.append((t.complete_index, "complete", t))
+        events.sort(key=lambda e: e[0])
+        return [(kind, t) for _i, kind, t in events]
+    invokes = [("invoke", t) for t in txns]
+    completes = [("complete", t) for t in txns if t.complete_index is not None]
+    return invokes + completes
+
+
+def _state_key(state: Dict) -> FrozenSet:
+    return frozenset(state.items())
+
+
+def check_history(
+    history: History,
+    real_time: bool = True,
+    timeout_s: Optional[float] = 10.0,
+    max_states: Optional[int] = None,
+) -> SearchResult:
+    """Search for a (strictly, if ``real_time``) serializable execution."""
+    events = _events(history, real_time)
+    start = time.perf_counter()
+    if not events:
+        return SearchResult(valid=True, linearization=[])
+
+    # Register workloads encode "read nil" as None on committed reads.
+    from ..history.ops import WRITE
+
+    nil_reads = any(
+        m.fn == WRITE for t in history.transactions for m in t.mops
+    )
+
+    # Node: (event_index, pending frozenset of txn ids, state dict).
+    # Frames carry an explicit move iterator so the DFS needs no recursion;
+    # ``applied`` tracks the transaction order along the current path.
+    txn_by_id = {t.id: t for t in history.transactions}
+    initial: Tuple[int, FrozenSet[int], Dict] = (0, frozenset(), {})
+    visited = {(0, frozenset(), frozenset())}
+    explored = 0
+    applied: List[int] = []
+    ADVANCE = "advance"
+
+    def moves(node):
+        event_i, pending, state = node
+        if event_i < len(events):
+            kind, txn = events[event_i]
+            if kind == "invoke":
+                yield (ADVANCE, (event_i + 1, pending | {txn.id}, state))
+            elif txn.id not in pending:
+                yield (ADVANCE, (event_i + 1, pending, state))
+            elif txn.indeterminate:
+                # Unknown outcome: its effect may land later, or never.
+                yield (ADVANCE, (event_i + 1, pending, state))
+            # else: completion of an unapplied ok txn - cannot advance.
+        for txn_id in sorted(pending):
+            txn = txn_by_id[txn_id]
+            new_state = _apply_txn(state, txn, nil_reads)
+            if new_state is not None:
+                yield (txn_id, (event_i, pending - {txn_id}, new_state))
+
+    stack = [(moves(initial), None)]  # (move iterator, label that got us here)
+    while stack:
+        explored += 1
+        capped = (max_states is not None and explored > max_states) or (
+            explored % 512 == 0
+            and timeout_s is not None
+            and time.perf_counter() - start > timeout_s
+        )
+        if capped:
+            return SearchResult(
+                valid=None,
+                states_explored=explored,
+                elapsed_s=time.perf_counter() - start,
+                timed_out=True,
+            )
+
+        move_iter, _label = stack[-1]
+        step = next(move_iter, None)
+        if step is None:
+            _iter, label = stack.pop()
+            if isinstance(label, int):
+                applied.pop()
+            continue
+        label, child = step
+        event_i, pending, state = child
+        if isinstance(label, int):
+            applied.append(label)
+        if event_i == len(events):
+            return SearchResult(
+                valid=True,
+                linearization=list(applied),
+                states_explored=explored,
+                elapsed_s=time.perf_counter() - start,
+            )
+        key = (event_i, pending, _state_key(state))
+        if key in visited:
+            if isinstance(label, int):
+                applied.pop()
+            continue
+        visited.add(key)
+        stack.append((moves(child), label))
+
+    return SearchResult(
+        valid=False,
+        states_explored=explored,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def check_serializable(
+    history: History,
+    timeout_s: Optional[float] = 10.0,
+    max_states: Optional[int] = None,
+) -> SearchResult:
+    """Plain serializability (no real-time constraints)."""
+    return check_history(
+        history, real_time=False, timeout_s=timeout_s, max_states=max_states
+    )
+
+
+def check_strict_serializable(
+    history: History,
+    timeout_s: Optional[float] = 10.0,
+    max_states: Optional[int] = None,
+) -> SearchResult:
+    """Strict serializability (real-time constrained), Knossos-style."""
+    return check_history(
+        history, real_time=True, timeout_s=timeout_s, max_states=max_states
+    )

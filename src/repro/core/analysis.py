@@ -1,0 +1,83 @@
+"""The result of dependency inference: graph, anomalies, and evidence.
+
+An :class:`Analysis` bundles the inferred direct serialization graph with
+the non-cycle anomalies found along the way, plus *evidence*: for every edge
+bit, the observation that justifies it.  Evidence is what turns a cycle into
+a human-readable counterexample (Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..graph import LabeledDiGraph
+from ..history import History, Transaction
+from .anomalies import Anomaly
+from .deps import PROCESS, REALTIME, RW, WR, WW
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """Why an edge exists.
+
+    ``kind`` is the dependency bit.  The remaining fields depend on the
+    kind; for value edges ``key`` names the object and ``value`` the element
+    or register value whose observation justified the edge.  ``via`` is the
+    transaction whose read witnessed the relationship (for ww edges inferred
+    from a third party's read).
+    """
+
+    kind: int
+    key: Any = None
+    value: Any = None
+    prev_value: Any = None
+    via: Optional[int] = None
+    process: Optional[int] = None
+
+
+EdgeKey = Tuple[int, int, int]  # (from_txn, to_txn, dependency_bit)
+
+
+@dataclass
+class Analysis:
+    """Everything inferred from one observation.
+
+    ``graph`` is the inferred direct serialization graph over transaction
+    ids.  ``anomalies`` holds the *non-cycle* anomalies found during
+    inference; cycle anomalies are found later by
+    :mod:`repro.core.cycle_search` on this graph.  ``evidence`` maps
+    ``(from, to, bit)`` to the :class:`Evidence` justifying that bit.
+    """
+
+    history: History
+    workload: str
+    graph: LabeledDiGraph = field(default_factory=LabeledDiGraph)
+    anomalies: List[Anomaly] = field(default_factory=list)
+    evidence: Dict[EdgeKey, Evidence] = field(default_factory=dict)
+
+    def txn(self, txn_id: int) -> Transaction:
+        return self.history[txn_id]
+
+    def add_edge(self, u: int, v: int, evidence: Evidence) -> None:
+        """Record a dependency edge with its justification.
+
+        Self-edges are dropped: serialization graphs relate distinct
+        transactions (the paper keeps Adya's definitions but assumes
+        ``Ti != Tj``).
+        """
+        if u == v:
+            return
+        self.graph.add_edge(u, v, evidence.kind)
+        self.evidence.setdefault((u, v, evidence.kind), evidence)
+
+    def edge_evidence(self, u: int, v: int, bit: int) -> Optional[Evidence]:
+        return self.evidence.get((u, v, bit))
+
+    def merge(self, other: "Analysis") -> "Analysis":
+        """Fold another analysis (same history) into this one."""
+        self.graph.union(other.graph)
+        self.anomalies.extend(other.anomalies)
+        for key, value in other.evidence.items():
+            self.evidence.setdefault(key, value)
+        return self

@@ -1,0 +1,195 @@
+"""The top-level checker: observation in, verdict and counterexamples out.
+
+:func:`check` runs the workload-appropriate analyzer, searches the inferred
+serialization graph for cycle anomalies, attaches Figure-2-style
+explanations to each cycle, and interprets the findings against a requested
+consistency model.
+
+Typical use::
+
+    from repro import check
+    result = check(history, workload="list-append",
+                   consistency_model="serializable")
+    if not result.valid:
+        print(result.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..history import History
+from .analysis import Analysis
+from .anomalies import Anomaly, CycleAnomaly, sort_anomalies
+from .consistency import (
+    SERIALIZABLE,
+    anomalies_forbidden_by,
+    impossible_models,
+    strongest_satisfiable,
+    weakest_violated,
+    _validate as _validate_model,
+)
+from .counter_set import analyze_counter, analyze_grow_set
+from .cycle_search import find_cycle_anomalies
+from .explain import render_cycle
+from .list_append import analyze_list_append
+from .rw_register import analyze_rw_register
+
+#: Registered analyzers: workload name -> analyze function.
+ANALYZERS: Dict[str, Callable[..., Analysis]] = {
+    "list-append": analyze_list_append,
+    "rw-register": analyze_rw_register,
+    "grow-set": analyze_grow_set,
+    "counter": analyze_counter,
+}
+
+
+def register_analyzer(workload: str, fn: Callable[..., Analysis]) -> None:
+    """Register an analyzer for a workload name (used by rw-register etc.)."""
+    ANALYZERS[workload] = fn
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The checker's verdict on one observation.
+
+    ``valid`` answers: is the observation consistent with the requested
+    model?  ``anomalies`` holds every witnessed anomaly (cycles carry full
+    textual explanations).  ``impossible`` is every model the anomalies rule
+    out; ``not_`` the weakest of those (the most informative claims); and
+    ``but_possibly`` the strongest models the observation still permits.
+    """
+
+    valid: bool
+    consistency_model: str
+    anomalies: Tuple[Anomaly, ...]
+    anomaly_types: Tuple[str, ...]
+    impossible: FrozenSet[str]
+    not_: FrozenSet[str]
+    but_possibly: FrozenSet[str]
+    analysis: Analysis = field(repr=False)
+
+    def anomalies_of(self, name: str) -> List[Anomaly]:
+        return [a for a in self.anomalies if a.name == name]
+
+    def anomaly_counts(self) -> Dict[str, int]:
+        """Occurrences per anomaly type, in taxonomy order."""
+        counts: Dict[str, int] = {}
+        for anomaly in self.anomalies:
+            counts[anomaly.name] = counts.get(anomaly.name, 0) + 1
+        return counts
+
+    def dot(self) -> str:
+        """The full inferred serialization graph as Graphviz DOT text.
+
+        Figure 3 at scale: every transaction, every dependency edge, labeled
+        with its kinds.  Feed to ``dot -Tsvg`` for the picture.
+        """
+        from ..graph import graph_to_dot
+        from .deps import DEP_NAMES
+
+        return graph_to_dot(
+            self.analysis.graph,
+            DEP_NAMES,
+            node_label=lambda t: f"T{t}",
+            name="idsg",
+        )
+
+    def report(self) -> str:
+        """A human-readable summary with every counterexample."""
+        lines = []
+        verdict = "VALID" if self.valid else "INVALID"
+        lines.append(
+            f"{verdict} under {self.consistency_model} "
+            f"({len(self.anomalies)} anomalies)"
+        )
+        if self.anomaly_types:
+            lines.append(f"Anomaly types: {', '.join(self.anomaly_types)}")
+        if self.not_:
+            lines.append(f"Not: {', '.join(sorted(self.not_))}")
+        if self.but_possibly and self.impossible:
+            lines.append(
+                f"But possibly: {', '.join(sorted(self.but_possibly))}"
+            )
+        for anomaly in self.anomalies:
+            lines.append("")
+            lines.append(str(anomaly))
+        return "\n".join(lines)
+
+
+def analyze(
+    history: History,
+    workload: str = "list-append",
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    **options,
+) -> Analysis:
+    """Run dependency inference only (no cycle search, no verdict)."""
+    try:
+        analyzer = ANALYZERS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; known: {sorted(ANALYZERS)}"
+        ) from None
+    return analyzer(
+        history,
+        process_edges=process_edges,
+        realtime_edges=realtime_edges,
+        **options,
+    )
+
+
+def check(
+    history: History,
+    workload: str = "list-append",
+    consistency_model: str = SERIALIZABLE,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    **options,
+) -> CheckResult:
+    """Check an observation against a consistency model.
+
+    ``workload`` selects the analyzer (``list-append``, ``rw-register``,
+    ``grow-set``, ``counter``).  ``process_edges`` / ``realtime_edges``
+    control the §5.1 order inference; disable ``realtime_edges`` when the
+    database makes no real-time claims.  Extra keyword options pass through
+    to the analyzer (e.g. ``sources`` for rw-register).
+    """
+    _validate_model(consistency_model)
+    analysis = analyze(
+        history,
+        workload=workload,
+        process_edges=process_edges,
+        realtime_edges=realtime_edges,
+        **options,
+    )
+
+    cycles = find_cycle_anomalies(analysis.graph)
+    explained = [
+        CycleAnomaly(
+            name=c.name,
+            txns=c.txns,
+            message=c.message + "\n" + render_cycle(analysis, c),
+            steps=c.steps,
+        )
+        for c in cycles
+    ]
+    all_anomalies = sort_anomalies(list(analysis.anomalies) + explained)
+    types = tuple(sorted({a.name for a in all_anomalies}))
+
+    impossible = impossible_models(types)
+    forbidden = anomalies_forbidden_by(consistency_model)
+    valid = consistency_model not in impossible and not (
+        set(types) & forbidden
+    )
+    return CheckResult(
+        valid=valid,
+        consistency_model=consistency_model,
+        anomalies=tuple(all_anomalies),
+        anomaly_types=types,
+        impossible=impossible,
+        not_=weakest_violated(types),
+        but_possibly=strongest_satisfiable(types),
+        analysis=analysis,
+    )

@@ -1,0 +1,204 @@
+"""Consistency models and what each anomaly rules out.
+
+Elle's output is phrased in terms of isolation levels: given the anomalies
+witnessed, which models are now impossible?  We encode a directed graph of
+models where an edge ``stronger -> weaker`` means *stronger implies weaker*
+(every history satisfying the stronger model satisfies the weaker).  If an
+anomaly makes a model impossible, every model that implies it is impossible
+too — reverse reachability up the lattice.
+
+The lattice is adapted from Adya's hierarchy [Adya 1999] and Elle's
+``consistency-model`` namespace; it covers the models the paper discusses.
+Session (``-process``) cycle variants kill only strong-session models, and
+real-time (``-realtime``) variants only strict/strong models: a database can
+be perfectly serializable while failing strict serializability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from . import anomalies as A
+
+# ---------------------------------------------------------------------------
+# Models
+
+READ_UNCOMMITTED = "read-uncommitted"
+READ_COMMITTED = "read-committed"
+MONOTONIC_ATOMIC_VIEW = "monotonic-atomic-view"
+MONOTONIC_VIEW = "monotonic-view"
+CONSISTENT_VIEW = "consistent-view"
+CURSOR_STABILITY = "cursor-stability"
+REPEATABLE_READ = "repeatable-read"
+PARALLEL_SNAPSHOT_ISOLATION = "parallel-snapshot-isolation"
+SNAPSHOT_ISOLATION = "snapshot-isolation"
+STRONG_SESSION_SNAPSHOT_ISOLATION = "strong-session-snapshot-isolation"
+STRONG_SNAPSHOT_ISOLATION = "strong-snapshot-isolation"
+SERIALIZABLE = "serializable"
+STRONG_SESSION_SERIALIZABLE = "strong-session-serializable"
+STRICT_SERIALIZABLE = "strict-serializable"
+
+#: ``stronger -> [weaker, ...]``: satisfying the key model implies satisfying
+#: every listed model.
+IMPLIES: Dict[str, Tuple[str, ...]] = {
+    STRICT_SERIALIZABLE: (
+        STRONG_SESSION_SERIALIZABLE,
+        STRONG_SNAPSHOT_ISOLATION,
+    ),
+    STRONG_SESSION_SERIALIZABLE: (
+        SERIALIZABLE,
+        STRONG_SESSION_SNAPSHOT_ISOLATION,
+    ),
+    SERIALIZABLE: (REPEATABLE_READ, SNAPSHOT_ISOLATION),
+    STRONG_SNAPSHOT_ISOLATION: (STRONG_SESSION_SNAPSHOT_ISOLATION,),
+    STRONG_SESSION_SNAPSHOT_ISOLATION: (SNAPSHOT_ISOLATION,),
+    SNAPSHOT_ISOLATION: (
+        CONSISTENT_VIEW,
+        CURSOR_STABILITY,
+        PARALLEL_SNAPSHOT_ISOLATION,
+        MONOTONIC_ATOMIC_VIEW,
+    ),
+    REPEATABLE_READ: (CONSISTENT_VIEW, CURSOR_STABILITY),
+    PARALLEL_SNAPSHOT_ISOLATION: (MONOTONIC_ATOMIC_VIEW,),
+    CONSISTENT_VIEW: (MONOTONIC_VIEW,),
+    MONOTONIC_VIEW: (READ_COMMITTED,),
+    CURSOR_STABILITY: (READ_COMMITTED,),
+    MONOTONIC_ATOMIC_VIEW: (READ_COMMITTED,),
+    READ_COMMITTED: (READ_UNCOMMITTED,),
+    READ_UNCOMMITTED: (),
+}
+
+ALL_MODELS: FrozenSet[str] = frozenset(IMPLIES)
+
+#: ``anomaly -> weakest models it makes impossible``.  Reverse reachability
+#: through IMPLIES extends each to every stronger model.
+ANOMALY_RULES_OUT: Dict[str, Tuple[str, ...]] = {
+    # Phenomena no isolation level permits: they indicate corruption or
+    # duplicated effects, not merely weak isolation.
+    A.GARBAGE_READ: (READ_UNCOMMITTED,),
+    A.DUPLICATE_ELEMENTS: (READ_UNCOMMITTED,),
+    # Write cycles.
+    A.G0: (READ_UNCOMMITTED,),
+    A.G0_PROCESS: (STRONG_SESSION_SERIALIZABLE, STRONG_SESSION_SNAPSHOT_ISOLATION),
+    A.G0_REALTIME: (STRICT_SERIALIZABLE, STRONG_SNAPSHOT_ISOLATION),
+    # Read-committed violations.
+    A.G1A: (READ_COMMITTED,),
+    A.G1B: (READ_COMMITTED,),
+    A.G1C: (READ_COMMITTED,),
+    A.DIRTY_UPDATE: (READ_COMMITTED,),
+    # Incompatible reads imply at least one aborted read (§4.3.1).
+    A.INCOMPATIBLE_ORDER: (READ_COMMITTED,),
+    A.G1C_PROCESS: (STRONG_SESSION_SERIALIZABLE, STRONG_SESSION_SNAPSHOT_ISOLATION),
+    A.G1C_REALTIME: (STRICT_SERIALIZABLE, STRONG_SNAPSHOT_ISOLATION),
+    # A transaction disagreeing with itself breaks atomic visibility.
+    A.INTERNAL: (MONOTONIC_ATOMIC_VIEW,),
+    # Lost updates: proscribed by cursor stability, SI, and PSI.
+    A.LOST_UPDATE: (CURSOR_STABILITY, PARALLEL_SNAPSHOT_ISOLATION),
+    # Single anti-dependency cycles (read skew).
+    A.G_SINGLE: (CONSISTENT_VIEW,),
+    A.G_SINGLE_PROCESS: (
+        STRONG_SESSION_SERIALIZABLE,
+        STRONG_SESSION_SNAPSHOT_ISOLATION,
+    ),
+    A.G_SINGLE_REALTIME: (STRICT_SERIALIZABLE, STRONG_SNAPSHOT_ISOLATION),
+    # Multiple anti-dependency cycles (e.g. write skew): legal under SI.
+    A.G2_ITEM: (REPEATABLE_READ,),
+    A.G2_ITEM_PROCESS: (STRONG_SESSION_SERIALIZABLE,),
+    A.G2_ITEM_REALTIME: (STRICT_SERIALIZABLE,),
+    # Start-ordered serialization graph cycles (database-exposed
+    # timestamps, §5.1): Adya's G-SI family.  A cycle of write/read and
+    # time-precedes edges — or with a single anti-dependency — falsifies
+    # snapshot isolation itself.  Write skew with >= 2 anti-dependencies
+    # remains legal under SI even in the start-ordered graph, so G2-item-ts
+    # is reported as a diagnostic without ruling models out.
+    A.G0_TS: (SNAPSHOT_ISOLATION,),
+    A.G1C_TS: (SNAPSHOT_ISOLATION,),
+    A.G_SINGLE_TS: (SNAPSHOT_ISOLATION,),
+    A.G2_ITEM_TS: (),
+    # Cyclic inferred version orders contradict the database's own claims
+    # (e.g. per-key linearizability) but map to no Adya isolation level.
+    A.CYCLIC_VERSIONS: (),
+}
+
+
+def _ancestors() -> Dict[str, FrozenSet[str]]:
+    """For each model, the set of models that imply it (including itself)."""
+    parents: Dict[str, Set[str]] = {m: set() for m in IMPLIES}
+    for stronger, weaker_models in IMPLIES.items():
+        for weaker in weaker_models:
+            parents[weaker].add(stronger)
+    result = {}
+    for model in IMPLIES:
+        reached = {model}
+        frontier = [model]
+        while frontier:
+            node = frontier.pop()
+            for parent in parents[node]:
+                if parent not in reached:
+                    reached.add(parent)
+                    frontier.append(parent)
+        result[model] = frozenset(reached)
+    return result
+
+_ANCESTORS = _ancestors()
+
+
+def implies(stronger: str, weaker: str) -> bool:
+    """Whether ``stronger`` implies ``weaker`` in the lattice (reflexive)."""
+    _validate(stronger)
+    _validate(weaker)
+    return stronger in _ANCESTORS[weaker]
+
+
+def _validate(model: str) -> None:
+    if model not in ALL_MODELS:
+        raise ValueError(
+            f"unknown consistency model {model!r}; "
+            f"known: {sorted(ALL_MODELS)}"
+        )
+
+
+def impossible_models(anomaly_names: Iterable[str]) -> FrozenSet[str]:
+    """Every model ruled out by the given anomaly types."""
+    out: Set[str] = set()
+    for name in anomaly_names:
+        for weakest in ANOMALY_RULES_OUT.get(name, ()):
+            out |= _ANCESTORS[weakest]
+    return frozenset(out)
+
+
+def weakest_violated(anomaly_names: Iterable[str]) -> FrozenSet[str]:
+    """The minimal (weakest) violated models — Elle's ``:not`` field.
+
+    These are the most informative claims: everything above them falls by
+    implication.
+    """
+    violated = impossible_models(anomaly_names)
+    return frozenset(
+        m
+        for m in violated
+        if not any(
+            other != m and implies(m, other) for other in violated
+        )
+    )
+
+
+def strongest_satisfiable(anomaly_names: Iterable[str]) -> FrozenSet[str]:
+    """Maximal models *not* ruled out — the ceiling this history still permits."""
+    violated = impossible_models(anomaly_names)
+    alive = ALL_MODELS - violated
+    return frozenset(
+        m
+        for m in alive
+        if not any(other != m and implies(other, m) for other in alive)
+    )
+
+
+def anomalies_forbidden_by(model: str) -> FrozenSet[str]:
+    """Anomaly types whose presence falsifies ``model``."""
+    _validate(model)
+    return frozenset(
+        name
+        for name, weakest_models in ANOMALY_RULES_OUT.items()
+        if any(model in _ANCESTORS[w] for w in weakest_models)
+    )

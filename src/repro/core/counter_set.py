@@ -1,0 +1,213 @@
+"""Grow-set and counter analyzers: weaker datatypes, weaker inference (§3).
+
+**Grow-sets** sit between registers and lists: unique adds give
+recoverability, and the subset relation gives a partial version order, but
+sets are order-free, so write-write dependencies between adds stay
+ambiguous.  What survives:
+
+* ``wr`` — an observed element orders its adder before the reader.
+* ``rw`` — a read *missing* an element anti-depends on its adder: every
+  version after the add contains the element (sets only grow), so the read
+  version precedes the add in every interpretation where the add committed.
+* G1a / garbage detection via recoverability, plus internal consistency.
+
+This is exactly the §3 worked example: from ``T0: read(x, {0})`` and
+``T3: read(x, {0,1,2})`` Elle infers ``T1 <wr T3``, ``T2 <wr T3``,
+``T0 <rw T1``, ``T0 <rw T2`` — but no ww edge between T1 and T2.
+
+**Counters** are nearly opaque: increments are unrecoverable (two ``+1``
+writes are indistinguishable), so no value edge can name a specific writer.
+The counter analyzer checks internal consistency and *plausibility* — a
+committed read must be expressible as a sum of concurrently-possible
+increments; it relies on process/real-time edges for cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import WorkloadError
+from ..history import History, Transaction
+from ..history.ops import ADD, INCREMENT, READ
+from .analysis import Analysis, Evidence
+from .anomalies import G1A, GARBAGE_READ, Anomaly
+from .deps import RW, WR
+from .internal import check_internal_counter, check_internal_grow_set
+from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .validate import validate_workload
+
+
+def build_add_index(
+    txns: Sequence[Transaction],
+) -> Dict[Tuple[Any, Any], Transaction]:
+    """Map ``(key, element)`` to the transaction that added it (unique adds)."""
+    index: Dict[Tuple[Any, Any], Transaction] = {}
+    for txn in txns:
+        for mop in txn.mops:
+            if mop.fn != ADD:
+                continue
+            slot = (mop.key, mop.value)
+            other = index.get(slot)
+            if other is not None and other.id != txn.id:
+                raise WorkloadError(
+                    f"element {mop.value!r} added to key {mop.key!r} by both "
+                    f"T{other.id} and T{txn.id}; grow-set histories require "
+                    "globally unique adds"
+                )
+            index[slot] = txn
+    return index
+
+
+def analyze_grow_set(
+    history: History,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    timestamp_edges: bool = False,
+) -> Analysis:
+    """Grow-set analysis: wr/rw edges from element visibility."""
+    analysis = Analysis(history=history, workload="grow-set")
+    txns = history.transactions
+    validate_workload(txns, "grow-set")
+
+    analysis.anomalies.extend(
+        a for txn in txns if txn.committed
+        for a in check_internal_grow_set(txn)
+    )
+
+    index = build_add_index(txns)
+    adds_by_key: Dict[Any, List[Tuple[Any, Transaction]]] = {}
+    for (key, element), txn in index.items():
+        adds_by_key.setdefault(key, []).append((element, txn))
+
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn != READ or mop.value is None:
+                continue
+            observed = frozenset(mop.value)
+            for element in sorted(observed, key=repr):
+                adder = index.get((mop.key, element))
+                if adder is None:
+                    analysis.anomalies.append(
+                        Anomaly(
+                            name=GARBAGE_READ,
+                            txns=(txn.id,),
+                            message=(
+                                f"T{txn.id} read element {element!r} of key "
+                                f"{mop.key!r}, which no observed transaction "
+                                "added"
+                            ),
+                            data={"key": mop.key, "element": element},
+                        )
+                    )
+                    continue
+                if adder.aborted:
+                    analysis.anomalies.append(
+                        Anomaly(
+                            name=G1A,
+                            txns=(txn.id, adder.id),
+                            message=(
+                                f"T{txn.id} read element {element!r} of key "
+                                f"{mop.key!r}, added by aborted transaction "
+                                f"T{adder.id}"
+                            ),
+                            data={"key": mop.key, "element": element},
+                        )
+                    )
+                analysis.add_edge(
+                    adder.id,
+                    txn.id,
+                    Evidence(kind=WR, key=mop.key, value=element),
+                )
+            # Anti-dependencies: elements this read did not see.
+            for element, adder in adds_by_key.get(mop.key, ()):
+                if element not in observed:
+                    analysis.add_edge(
+                        txn.id,
+                        adder.id,
+                        Evidence(kind=RW, key=mop.key, value=element),
+                    )
+
+    if process_edges:
+        add_process_edges(analysis)
+    if realtime_edges:
+        add_realtime_edges(analysis)
+    if timestamp_edges:
+        add_timestamp_edges(analysis)
+    return analysis
+
+
+def analyze_counter(
+    history: History,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    timestamp_edges: bool = False,
+) -> Analysis:
+    """Counter analysis: internal consistency and value plausibility.
+
+    A committed read of key ``k`` returning ``v`` must satisfy
+    ``lo <= v <= hi`` where ``lo`` sums definitely-committed negative
+    increments plus nothing else, and ``hi`` sums every possibly-committed
+    positive increment (ok + indeterminate).  Violations are reported as
+    ``garbage-read`` — the counter held a value no interpretation produces.
+    """
+    analysis = Analysis(history=history, workload="counter")
+    txns = history.transactions
+    validate_workload(txns, "counter")
+
+    analysis.anomalies.extend(
+        a for txn in txns if txn.committed
+        for a in check_internal_counter(txn)
+    )
+
+    lo: Dict[Any, int] = {}
+    hi: Dict[Any, int] = {}
+    for txn in txns:
+        for mop in txn.mops:
+            if mop.fn != INCREMENT:
+                continue
+            delta = mop.value
+            committed_surely = txn.committed
+            possibly = not txn.aborted
+            if delta >= 0:
+                if possibly:
+                    hi[mop.key] = hi.get(mop.key, 0) + delta
+                if committed_surely:
+                    lo.setdefault(mop.key, 0)
+            else:
+                if committed_surely:
+                    lo[mop.key] = lo.get(mop.key, 0) + delta
+                if possibly:
+                    hi.setdefault(mop.key, 0)
+
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn != READ or mop.value is None:
+                continue
+            lo_k = min(lo.get(mop.key, 0), 0)
+            hi_k = max(hi.get(mop.key, 0), 0)
+            if not (lo_k <= mop.value <= hi_k):
+                analysis.anomalies.append(
+                    Anomaly(
+                        name=GARBAGE_READ,
+                        txns=(txn.id,),
+                        message=(
+                            f"T{txn.id} read counter {mop.key!r} = "
+                            f"{mop.value!r}, outside the feasible range "
+                            f"[{lo_k}, {hi_k}] of observed increments"
+                        ),
+                        data={"key": mop.key, "value": mop.value,
+                              "lo": lo_k, "hi": hi_k},
+                    )
+                )
+
+    if process_edges:
+        add_process_edges(analysis)
+    if realtime_edges:
+        add_realtime_edges(analysis)
+    if timestamp_edges:
+        add_timestamp_edges(analysis)
+    return analysis

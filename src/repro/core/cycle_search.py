@@ -1,0 +1,217 @@
+"""Searching the inferred serialization graph for cycle anomalies (§6).
+
+Each anomaly class corresponds to a restriction on the dependency kinds a
+cycle may traverse:
+
+* **G0** — write-write edges only.
+* **G1c** — write-write and write-read edges.
+* **G-single** — exactly one read-write (anti-dependency) edge; found by
+  following one rw edge and completing the cycle through ww/wr edges.
+* **G2-item** — one or more read-write edges.
+
+Each class also has ``-process`` and ``-realtime`` variants in which session
+or real-time edges participate.  Those cycles rule out only session/strict
+strengthenings of isolation levels (a database may be perfectly serializable
+yet not *strictly* serializable).  Real-time variants admit process edges
+too: strict serializability subsumes session guarantees.
+
+Classification is by *best interpretation*: for every traversed edge we pick
+the most severe dependency kind available (ww before wr before rw before
+process before realtime), so a cycle whose edges all carry ww bits is
+reported as G0 even if some edges also carry rw bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph import (
+    LabeledDiGraph,
+    cyclic_components,
+    find_cycle_with_first_edge,
+    shortest_cycle_in_component,
+)
+from .anomalies import (
+    G0,
+    G0_PROCESS,
+    G0_REALTIME,
+    G0_TS,
+    G1C,
+    G1C_PROCESS,
+    G1C_REALTIME,
+    G1C_TS,
+    G2_ITEM,
+    G2_ITEM_PROCESS,
+    G2_ITEM_REALTIME,
+    G2_ITEM_TS,
+    G_SINGLE,
+    G_SINGLE_PROCESS,
+    G_SINGLE_REALTIME,
+    G_SINGLE_TS,
+    CycleAnomaly,
+)
+from .deps import PROCESS, REALTIME, RW, TIMESTAMP, WR, WW
+
+#: Priority order for classifying an edge's contribution to a cycle.
+_BIT_PRIORITY = (WW, WR, RW, PROCESS, REALTIME, TIMESTAMP)
+
+
+@dataclass(frozen=True)
+class _Spec:
+    """One search pass.
+
+    Plain passes (``first is None``) BFS for any cycle under ``mask``.
+    First-edge passes follow exactly one ``first`` edge and complete the
+    cycle using ``rest`` edges: with ``rest`` excluding rw this is the
+    G-single search, with ``rest`` including rw it finds >= 1-rw (G2)
+    cycles.  ``mask`` (= ``first | rest`` for first-edge passes) drives SCC
+    discovery and classification.
+    """
+
+    mask: int
+    first: Optional[int] = None
+    rest: Optional[int] = None
+
+
+#: Search passes, ordered from most to least severe claims.  Wider masks
+#: re-discover narrower cycles; deduplication keeps one witness per cycle.
+_SPECS: Tuple[_Spec, ...] = (
+    # Value-only cycles: G0, G1c, G-single, G2-item.
+    _Spec(mask=WW),
+    _Spec(mask=WW | WR),
+    _Spec(mask=WW | WR | RW, first=RW, rest=WW | WR),
+    _Spec(mask=WW | WR | RW, first=RW, rest=WW | WR | RW),
+    # Session (process) variants.
+    _Spec(mask=WW | PROCESS),
+    _Spec(mask=WW | WR | PROCESS),
+    _Spec(mask=WW | WR | RW | PROCESS, first=RW, rest=WW | WR | PROCESS),
+    _Spec(mask=WW | WR | RW | PROCESS, first=RW, rest=WW | WR | RW | PROCESS),
+    # Real-time variants (subsume process: strict implies strong session).
+    _Spec(mask=WW | PROCESS | REALTIME),
+    _Spec(mask=WW | WR | PROCESS | REALTIME),
+    _Spec(
+        mask=WW | WR | RW | PROCESS | REALTIME,
+        first=RW,
+        rest=WW | WR | PROCESS | REALTIME,
+    ),
+    _Spec(
+        mask=WW | WR | RW | PROCESS | REALTIME,
+        first=RW,
+        rest=WW | WR | RW | PROCESS | REALTIME,
+    ),
+    # Timestamp variants: cycles in the start-ordered serialization graph
+    # (database-exposed snapshot/commit timestamps, §5.1 / Adya's G-SI).
+    _Spec(mask=WW | TIMESTAMP),
+    _Spec(mask=WW | WR | TIMESTAMP),
+    _Spec(
+        mask=WW | WR | RW | TIMESTAMP,
+        first=RW,
+        rest=WW | WR | TIMESTAMP,
+    ),
+    _Spec(
+        mask=WW | WR | RW | TIMESTAMP,
+        first=RW,
+        rest=WW | WR | RW | TIMESTAMP,
+    ),
+)
+
+_BASE_NAMES = {
+    "G0": (G0, G0_PROCESS, G0_REALTIME, G0_TS),
+    "G1c": (G1C, G1C_PROCESS, G1C_REALTIME, G1C_TS),
+    "G-single": (G_SINGLE, G_SINGLE_PROCESS, G_SINGLE_REALTIME, G_SINGLE_TS),
+    "G2-item": (G2_ITEM, G2_ITEM_PROCESS, G2_ITEM_REALTIME, G2_ITEM_TS),
+}
+
+
+def classify_cycle(
+    graph: LabeledDiGraph, cycle: Sequence[int], mask: int
+) -> Tuple[str, Tuple[Tuple[int, int, int], ...]]:
+    """Name a cycle and choose one dependency bit per edge.
+
+    Picks, per edge, the most severe bit available under ``mask``, then
+    names the cycle from the chosen bits.  Returns ``(name, steps)`` where
+    steps are ``(from, to, chosen_bit)``.
+    """
+    steps = []
+    for i in range(len(cycle) - 1):
+        u, v = cycle[i], cycle[i + 1]
+        label = graph.edge_label(u, v) & mask
+        for bit in _BIT_PRIORITY:
+            if label & bit:
+                steps.append((u, v, bit))
+                break
+        else:
+            raise ValueError(f"cycle edge {u}->{v} invisible under mask {mask}")
+
+    bits = [bit for _u, _v, bit in steps]
+    rw_count = sum(1 for b in bits if b == RW)
+    if rw_count == 0:
+        base = "G1c" if any(b == WR for b in bits) else "G0"
+    elif rw_count == 1:
+        base = "G-single"
+    else:
+        base = "G2-item"
+
+    plain, with_process, with_realtime, with_ts = _BASE_NAMES[base]
+    if any(b == TIMESTAMP for b in bits):
+        name = with_ts
+    elif any(b == REALTIME for b in bits):
+        name = with_realtime
+    elif any(b == PROCESS for b in bits):
+        name = with_process
+    else:
+        name = plain
+    return name, tuple(steps)
+
+
+def _canonical(cycle: Sequence[int]) -> Tuple[int, ...]:
+    """Rotation-invariant signature of a cycle's interior nodes."""
+    interior = list(cycle[:-1])
+    pivot = interior.index(min(interior))
+    rotated = interior[pivot:] + interior[:pivot]
+    return tuple(rotated)
+
+
+def _summary(name: str, cycle: Sequence[int]) -> str:
+    path = " -> ".join(f"T{t}" for t in cycle)
+    return f"{name} cycle over {len(cycle) - 1} transaction(s): {path}"
+
+
+def find_cycle_anomalies(graph: LabeledDiGraph) -> List[CycleAnomaly]:
+    """All cycle anomalies, one witness per (cycle, classification).
+
+    Runs every search pass in severity order.  Each pass finds at most one
+    short cycle per strongly connected component; duplicates across passes
+    are dropped by cycle signature.
+    """
+    anomalies: List[CycleAnomaly] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for spec in _SPECS:
+        components = cyclic_components(graph, spec.mask)
+        for component in components:
+            if spec.first is None:
+                cycle = shortest_cycle_in_component(graph, component, spec.mask)
+            else:
+                cycle = find_cycle_with_first_edge(
+                    graph,
+                    spec.first,
+                    spec.rest,
+                    components=[component],
+                )
+            if cycle is None:
+                continue
+            signature = _canonical(cycle)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            name, steps = classify_cycle(graph, cycle, spec.mask)
+            anomalies.append(
+                CycleAnomaly(
+                    name=name,
+                    txns=tuple(cycle),
+                    message=_summary(name, cycle),
+                    steps=steps,
+                )
+            )
+    return anomalies

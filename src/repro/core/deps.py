@@ -1,0 +1,68 @@
+"""Dependency kinds and their bitmask encoding.
+
+The inferred direct serialization graph (IDSG, §4.3.2) carries five kinds of
+edges.  Each kind is one bit; an edge's label ORs together every kind of
+dependency observed between a pair of transactions.
+
+* ``WW`` — write-write: the target installed the next version of some object
+  after the source (recovered from a traceable object's version order).
+* ``WR`` — write-read: the target read a version the source installed.
+* ``RW`` — read-write (anti-dependency): the source read a version whose
+  *next* version the target installed.
+* ``PROCESS`` — session order: the same logical process executed the source
+  before the target (§5.1).
+* ``REALTIME`` — the source completed before the target was invoked (§5.1).
+* ``TIMESTAMP`` — the database's own exposed timestamps place the source's
+  commit at or before the target's snapshot: Adya's *time-precedes* order,
+  the backbone of the start-ordered serialization graph (§5.1).
+"""
+
+from __future__ import annotations
+
+WW = 1
+WR = 2
+RW = 4
+PROCESS = 8
+REALTIME = 16
+TIMESTAMP = 32
+
+#: Value-derived dependencies — the Adya edges.
+VALUE_EDGES = WW | WR | RW
+
+#: Order-derived dependencies, optional strengthenings per §5.1.
+ORDER_EDGES = PROCESS | REALTIME | TIMESTAMP
+
+ALL_DEPS = VALUE_EDGES | ORDER_EDGES
+
+#: Render names, matching the paper's figures (``rt`` as in Figure 3).
+DEP_NAMES = {
+    WW: "ww",
+    WR: "wr",
+    RW: "rw",
+    PROCESS: "process",
+    REALTIME: "rt",
+    TIMESTAMP: "ts",
+}
+
+_NAME_TO_BIT = {name: bit for bit, name in DEP_NAMES.items()}
+
+
+def dep_name(bit: int) -> str:
+    """The canonical name of a single dependency bit."""
+    try:
+        return DEP_NAMES[bit]
+    except KeyError:
+        raise ValueError(f"not a single dependency bit: {bit!r}") from None
+
+
+def dep_bit(name: str) -> int:
+    """The bit for a dependency name (``'ww'`` -> 1 ...)."""
+    try:
+        return _NAME_TO_BIT[name]
+    except KeyError:
+        raise ValueError(f"unknown dependency name {name!r}") from None
+
+
+def label_names(label: int) -> list:
+    """Names for every bit in a combined label, in canonical order."""
+    return [name for bit, name in sorted(DEP_NAMES.items()) if label & bit]

@@ -1,0 +1,318 @@
+"""The list-append analyzer: Elle's most powerful inference (§3, §4.3, §6.1).
+
+Appending unique elements to lists gives *traceability* (each read reveals
+the full version history of its key) and *recoverability* (each element maps
+to exactly one observed write).  Together these let the checker translate
+client observations into an inferred direct serialization graph soundly:
+every edge it emits exists in the DSG of every clean interpretation.
+
+The analysis pipeline:
+
+1. **Internal consistency** — each transaction's reads versus its own ops.
+2. **Write index** — ``(key, element) -> appender``; duplicate appends in
+   the *observation* are a workload bug and raise, because they destroy
+   recoverability.
+3. **Read checks** — per committed read: duplicate elements (a write applied
+   twice by the database), garbage elements (never written by anyone),
+   aborted reads (G1a), dirty updates, and intermediate reads (G1b).
+4. **Version orders** — per key, the longest committed read defines the
+   inferred order; non-prefix reads are ``incompatible-order`` anomalies.
+5. **Dependency edges** — ww along consecutive *installed* versions, wr from
+   a version's writer to its readers, rw from a reader to the writer of the
+   next installed version.
+6. **Optional session/real-time edges** (§5.1).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..history import History, Transaction, final_writes
+from ..history.ops import APPEND, READ
+from .analysis import Analysis, Evidence
+from .anomalies import (
+    DIRTY_UPDATE,
+    DUPLICATE_ELEMENTS,
+    G1A,
+    G1B,
+    GARBAGE_READ,
+    Anomaly,
+)
+from .deps import RW, WR, WW
+from .internal import check_internal_list_append
+from .objects import is_prefix
+from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .validate import validate_workload
+from .version_order import KeyOrder, infer_key_orders
+
+
+def build_append_index(
+    txns: Sequence[Transaction],
+) -> Dict[Tuple[Any, Any], Transaction]:
+    """Map ``(key, element)`` to the transaction that appended it.
+
+    Every transaction participates — including aborted and indeterminate
+    ones, since identifying *aborted* writers is exactly how G1a is caught.
+    Two observed appends of the same element to the same key break
+    recoverability and indicate a broken generator, so they raise
+    :class:`~repro.errors.WorkloadError` rather than report an anomaly.
+    """
+    index: Dict[Tuple[Any, Any], Transaction] = {}
+    for txn in txns:
+        for mop in txn.mops:
+            if mop.fn != APPEND:
+                continue
+            slot = (mop.key, mop.value)
+            other = index.get(slot)
+            if other is not None and other.id != txn.id:
+                raise WorkloadError(
+                    f"element {mop.value!r} appended to key {mop.key!r} by "
+                    f"both T{other.id} and T{txn.id}; list-append histories "
+                    "require globally unique appends"
+                )
+            index[slot] = txn
+    return index
+
+
+def _check_read(
+    reader: Transaction,
+    key: Any,
+    value: Tuple,
+    index: Dict[Tuple[Any, Any], Transaction],
+) -> List[Anomaly]:
+    """Non-cycle anomalies witnessed by a single committed read."""
+    anomalies: List[Anomaly] = []
+
+    # Duplicate elements: some write was applied more than once.
+    seen: Dict[Any, int] = {}
+    for pos, element in enumerate(value):
+        if element in seen:
+            anomalies.append(
+                Anomaly(
+                    name=DUPLICATE_ELEMENTS,
+                    txns=(reader.id,),
+                    message=(
+                        f"T{reader.id} read key {key!r} = {list(value)}, in "
+                        f"which element {element!r} appears at positions "
+                        f"{seen[element]} and {pos}: a write was applied twice"
+                    ),
+                    data={"key": key, "element": element, "value": value},
+                )
+            )
+        else:
+            seen[element] = pos
+
+    # Garbage, aborted reads, dirty updates.
+    first_aborted: Optional[Tuple[int, Any, Transaction]] = None
+    for pos, element in enumerate(value):
+        writer = index.get((key, element))
+        if writer is None:
+            anomalies.append(
+                Anomaly(
+                    name=GARBAGE_READ,
+                    txns=(reader.id,),
+                    message=(
+                        f"T{reader.id} read element {element!r} of key {key!r}, "
+                        "which no observed transaction ever appended"
+                    ),
+                    data={"key": key, "element": element, "value": value},
+                )
+            )
+            continue
+        if writer.aborted:
+            anomalies.append(
+                Anomaly(
+                    name=G1A,
+                    txns=(reader.id, writer.id),
+                    message=(
+                        f"T{reader.id} read element {element!r} of key {key!r}, "
+                        f"which was appended by aborted transaction T{writer.id}"
+                    ),
+                    data={"key": key, "element": element},
+                )
+            )
+            if first_aborted is None:
+                first_aborted = (pos, element, writer)
+        elif first_aborted is not None:
+            # A non-aborted write landed on top of aborted state: the
+            # version containing both leaked information out of an aborted
+            # transaction (dirty update, §4.1.5).
+            apos, aelement, awriter = first_aborted
+            anomalies.append(
+                Anomaly(
+                    name=DIRTY_UPDATE,
+                    txns=(awriter.id, writer.id),
+                    message=(
+                        f"T{writer.id}'s append of {element!r} to key {key!r} "
+                        f"acted on a version containing {aelement!r}, written "
+                        f"by aborted transaction T{awriter.id}"
+                    ),
+                    data={
+                        "key": key,
+                        "aborted_element": aelement,
+                        "element": element,
+                    },
+                )
+            )
+            first_aborted = None  # one report per aborted segment
+
+    # Intermediate read (G1b): the version read was produced by a non-final
+    # append of another transaction.
+    if value:
+        last = value[-1]
+        writer = index.get((key, last))
+        if writer is not None and writer.id != reader.id:
+            finals = final_writes(writer)
+            final = finals.get(key)
+            if final is not None and final.value != last:
+                anomalies.append(
+                    Anomaly(
+                        name=G1B,
+                        txns=(reader.id, writer.id),
+                        message=(
+                            f"T{reader.id} read key {key!r} = {list(value)}, an "
+                            f"intermediate version: T{writer.id} appended "
+                            f"{last!r} before its final append of "
+                            f"{final.value!r}"
+                        ),
+                        data={"key": key, "element": last, "final": final.value},
+                    )
+                )
+    return anomalies
+
+
+def _installed_positions(
+    order: KeyOrder, index: Dict[Tuple[Any, Any], Transaction]
+) -> List[Tuple[int, Transaction]]:
+    """Positions in the inferred trace that are *installed* versions.
+
+    A version is installed when its element is its writer's final append to
+    the key (§4.1.2) — intermediate appends don't appear in the version
+    order ``<<``.  Elements with no recovered writer (garbage) break the
+    chain: nothing beyond them can be ordered soundly.
+    """
+    installed = []
+    for pos, element in enumerate(order.elements):
+        writer = index.get((order.key, element))
+        if writer is None:
+            break  # garbage element: the trace beyond it is unreliable
+        final = final_writes(writer).get(order.key)
+        if final is not None and final.value == element:
+            installed.append((pos, writer))
+    return installed
+
+
+def _add_key_edges(
+    analysis: Analysis,
+    order: KeyOrder,
+    reads: List[Tuple[Transaction, Tuple]],
+    index: Dict[Tuple[Any, Any], Transaction],
+) -> None:
+    """ww, wr, and rw edges for one key's inferred version order."""
+    key = order.key
+    installed = _installed_positions(order, index)
+
+    # ww: consecutive installed versions were written by their writers in
+    # version order.  A transaction installs at most one version per key, so
+    # writers along the chain are distinct.
+    for (ppos, pwriter), (npos, nwriter) in zip(installed, installed[1:]):
+        analysis.add_edge(
+            pwriter.id,
+            nwriter.id,
+            Evidence(
+                kind=WW,
+                key=key,
+                value=order.elements[npos],
+                prev_value=order.elements[ppos],
+                via=order.source_txn,
+            ),
+        )
+
+    installed_positions = [pos for pos, _writer in installed]
+    for reader, value in reads:
+        if not is_prefix(value, order.elements):
+            continue  # incompatible read, already reported; no sound edges
+        # wr: the version read was produced by the writer of its last element.
+        producer = index.get((key, value[-1])) if value else None
+        if producer is not None:
+            analysis.add_edge(
+                producer.id,
+                reader.id,
+                Evidence(kind=WR, key=key, value=value[-1]),
+            )
+
+        # rw: the reader saw the version ending at position len(value)-1;
+        # the writer of the next installed version overwrote it.
+        boundary = len(value) - 1
+        nxt = bisect_right(installed_positions, boundary)
+        if nxt < len(installed):
+            pos, writer = installed[nxt]
+            if producer is not None and writer.id == producer.id:
+                # The "next" installed version belongs to the same
+                # transaction that produced the version read (an
+                # intermediate read, flagged as G1b): no sound
+                # anti-dependency follows.
+                continue
+            analysis.add_edge(
+                reader.id,
+                writer.id,
+                Evidence(
+                    kind=RW,
+                    key=key,
+                    value=order.elements[pos],
+                    prev_value=tuple(value),
+                ),
+            )
+
+
+def analyze_list_append(
+    history: History,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    timestamp_edges: bool = False,
+) -> Analysis:
+    """Full list-append analysis of an observation.
+
+    Returns an :class:`Analysis` whose graph is the inferred direct
+    serialization graph and whose anomaly list carries every non-cycle
+    anomaly.  Cycle anomalies are found from the graph by
+    :mod:`repro.core.cycle_search`.
+    """
+    analysis = Analysis(history=history, workload="list-append")
+    txns = history.transactions
+    validate_workload(txns, "list-append")
+
+    analysis.anomalies.extend(
+        a for txn in txns if txn.committed
+        for a in check_internal_list_append(txn)
+    )
+
+    index = build_append_index(txns)
+
+    reads_by_key: Dict[Any, List[Tuple[Transaction, Tuple]]] = {}
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn == READ and mop.value is not None:
+                value = tuple(mop.value)
+                reads_by_key.setdefault(mop.key, []).append((txn, value))
+                analysis.anomalies.extend(
+                    _check_read(txn, mop.key, value, index)
+                )
+
+    orders, order_anomalies = infer_key_orders(txns)
+    analysis.anomalies.extend(order_anomalies)
+
+    for key, order in orders.items():
+        _add_key_edges(analysis, order, reads_by_key.get(key, []), index)
+
+    if process_edges:
+        add_process_edges(analysis)
+    if realtime_edges:
+        add_realtime_edges(analysis)
+    if timestamp_edges:
+        add_timestamp_edges(analysis)
+    return analysis

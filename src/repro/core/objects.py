@@ -1,0 +1,155 @@
+"""Object models: registers, counters, grow-sets, and append-lists.
+
+These mirror Figure 1 of the paper.  Each object type defines an initial
+version and a write function ``apply(version, argument) -> version``.  The
+database simulator executes transactions against these models, and the
+checker's internal-consistency pass replays a transaction's own micro-ops
+through them.
+
+The list-append object is *traceable* (§4.1.6): its version graph is a tree,
+and any version's trace — the path from the initial version — is simply its
+sequence of prefixes.  That property is what lets the checker recover version
+orders from reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..history.ops import ADD, APPEND, INCREMENT, WRITE
+
+
+class ObjectModel:
+    """Interface: a mutable datatype in the sense of §4.1.1."""
+
+    #: The micro-op function this model's writes use.
+    write_fn: str = ""
+
+    @property
+    def initial(self) -> Any:
+        """The initial version x_init."""
+        raise NotImplementedError
+
+    def apply(self, version: Any, argument: Any) -> Any:
+        """The version produced by writing ``argument`` onto ``version``."""
+        raise NotImplementedError
+
+    def traceable(self) -> bool:
+        """Whether every version has exactly one trace (version graph a tree)."""
+        return False
+
+
+class Register(ObjectModel):
+    """Read-write register: a blind write replaces the value entirely.
+
+    Blind writes "destroy history" (§3): the resulting version carries no
+    information about its predecessor, so registers are not traceable.
+    """
+
+    write_fn = WRITE
+
+    @property
+    def initial(self) -> Any:
+        return None
+
+    def apply(self, version: Any, argument: Any) -> Any:
+        return argument
+
+
+class Counter(ObjectModel):
+    """Increment-only counter starting at zero.
+
+    Any non-trivial counter history is non-recoverable: two increments of 1
+    are indistinguishable, so no particular write can be blamed for a given
+    version (§3).
+    """
+
+    write_fn = INCREMENT
+
+    @property
+    def initial(self) -> int:
+        return 0
+
+    def apply(self, version: int, argument: int) -> int:
+        return version + argument
+
+
+class GrowSet(ObjectModel):
+    """Grow-only set; writes add a unique element.
+
+    Sets are order-free: reads expose *which* writes happened-before but not
+    their mutual order, so write-write dependencies stay ambiguous (§3).
+    """
+
+    write_fn = ADD
+
+    @property
+    def initial(self) -> FrozenSet:
+        return frozenset()
+
+    def apply(self, version: FrozenSet, argument: Any) -> FrozenSet:
+        return version | {argument}
+
+
+class AppendList(ObjectModel):
+    """Append-only list; writes append a unique element.
+
+    The star of the paper: traceable *and* recoverable.  A read of
+    ``[1, 2, 3]`` certifies that the object passed through ``[]``, ``[1]``,
+    ``[1, 2]``, ``[1, 2, 3]`` in exactly that order, and unique elements
+    pin each version to the write (and transaction) that produced it.
+    """
+
+    write_fn = APPEND
+
+    @property
+    def initial(self) -> Tuple:
+        return ()
+
+    def apply(self, version: Tuple, argument: Any) -> Tuple:
+        return tuple(version) + (argument,)
+
+    def traceable(self) -> bool:
+        return True
+
+
+def trace(version: Tuple) -> Iterator[Tuple]:
+    """The trace of a list version: every prefix from x_init up to it."""
+    version = tuple(version)
+    for i in range(len(version) + 1):
+        yield version[:i]
+
+
+def is_prefix(shorter, longer) -> bool:
+    """Whether list version ``shorter`` appears in the trace of ``longer``."""
+    shorter = tuple(shorter)
+    longer = tuple(longer)
+    return len(shorter) <= len(longer) and longer[: len(shorter)] == shorter
+
+
+def longest_common_prefix(a, b) -> Tuple:
+    """The longest shared prefix of two list versions."""
+    a, b = tuple(a), tuple(b)
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return a[:n]
+
+
+#: Model registry keyed by write function name.
+MODELS = {
+    WRITE: Register(),
+    INCREMENT: Counter(),
+    ADD: GrowSet(),
+    APPEND: AppendList(),
+}
+
+
+def model_for(write_fn: str) -> ObjectModel:
+    """The object model whose writes use micro-op function ``write_fn``."""
+    try:
+        return MODELS[write_fn]
+    except KeyError:
+        raise ValueError(f"no object model writes with {write_fn!r}") from None

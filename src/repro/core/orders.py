@@ -1,0 +1,102 @@
+"""Process (session) and real-time transaction orders (§5.1).
+
+These edges come from the concurrency structure of the history rather than
+from values:
+
+* **Process order** — a single-threaded client executed T1 before T2, so any
+  serialization honouring session guarantees must order them.  Chains link
+  successive non-aborted transactions of each process.
+* **Real-time order** — T1 completed before T2 was invoked, so under strict
+  serializability T2 must appear to take effect after T1.  Edges come from
+  the O(n·p) transitive reduction in :mod:`repro.graph.intervals`.
+
+Aborted transactions never participate (they are absent from any
+serialization).  Indeterminate transactions may *receive* edges — their
+invocation time is known — but never *emit* real-time edges, since their
+completion was never observed.  Cycles built through these edges are sound:
+an indeterminate transaction only appears in a value cycle if some read
+proved it committed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph import interval_precedence_edges
+from ..history import History
+from .analysis import Analysis, Evidence
+from .deps import PROCESS, REALTIME, TIMESTAMP
+
+
+def add_process_edges(analysis: Analysis) -> None:
+    """Chain successive non-aborted transactions of each logical process."""
+    by_process = {}
+    for txn in analysis.history.transactions:
+        if txn.aborted:
+            continue
+        by_process.setdefault(txn.process, []).append(txn)
+    for process, txns in by_process.items():
+        txns.sort(key=lambda t: t.invoke_index)
+        for prev, nxt in zip(txns, txns[1:]):
+            analysis.add_edge(
+                prev.id,
+                nxt.id,
+                Evidence(kind=PROCESS, process=process),
+            )
+
+
+def add_realtime_edges(analysis: Analysis) -> None:
+    """Add transitive-reduction edges of the real-time precedence order."""
+    history = analysis.history
+    sentinel = history.max_index + 1
+    intervals: List[Tuple[int, int, int]] = []
+    for txn in history.transactions:
+        if txn.aborted:
+            continue
+        if txn.complete_index is not None:
+            intervals.append((txn.id, txn.invoke_index, txn.complete_index))
+        else:
+            # Indeterminate: completion unobserved.  The interval extends
+            # past every event, so the transaction never precedes anything.
+            sentinel += 1
+            intervals.append((txn.id, txn.invoke_index, sentinel))
+    for pred, succ in interval_precedence_edges(intervals):
+        analysis.add_edge(pred, succ, Evidence(kind=REALTIME))
+
+
+def add_timestamp_edges(analysis: Analysis) -> None:
+    """Add Adya *time-precedes* edges from database-exposed timestamps.
+
+    T1 precedes T2 when ``commit_ts(T1) <= start_ts(T2)`` — T2's snapshot
+    already contains T1's commit, so under snapshot isolation T2 must
+    observe T1.  Only committed transactions with both timestamps emit
+    edges; any transaction with a start timestamp may receive them.
+
+    Timestamps are doubled to map the inclusive comparison onto the strict
+    interval machinery: ``commit -> 2c``, ``start -> 2s + 1`` gives
+    ``2c < 2s + 1  iff  c <= s``.  Transactions whose commit equals their
+    start (read-only) get a one-tick-wide interval, dropping only the
+    equal-timestamp successor case — conservative, hence sound.
+    """
+    intervals: List[Tuple[int, int, int]] = []
+    for txn in analysis.history.transactions:
+        if txn.aborted or txn.start_ts is None:
+            continue
+        invoke = 2 * txn.start_ts + 1
+        if txn.committed and txn.commit_ts is not None:
+            complete = max(2 * txn.commit_ts, invoke + 1)
+        else:
+            # No commit timestamp observed: may receive edges, never emit.
+            complete = None
+        intervals.append((txn.id, invoke, complete))
+    if not intervals:
+        return
+    sentinel = max(i for _t, i, _c in intervals) + 1
+    resolved = []
+    for txn_id, invoke, complete in intervals:
+        if complete is None:
+            sentinel += 2
+            complete = max(sentinel, invoke + 1)
+        resolved.append((txn_id, invoke, complete))
+    for pred, succ in interval_precedence_edges(resolved):
+        analysis.add_edge(pred, succ, Evidence(kind=TIMESTAMP))

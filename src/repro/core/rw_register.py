@@ -1,0 +1,403 @@
+"""The read-write-register analyzer: partial version orders (§5.2, §7.4).
+
+Blind register writes destroy history, so registers admit no total version
+order.  But with unique written values (recoverability) and a handful of
+independent assumptions, a useful *partial* order emerges:
+
+* **initial-state** — ``nil`` is unreachable via writes, so ``nil`` precedes
+  every written value.  (Reading ``nil`` proves a transaction serialized
+  before every write of that key.)
+* **write-follows-read** — within one committed transaction, a write landed
+  on top of whatever the transaction last read or wrote of that key.
+* **process** / **realtime** — if the database claims each key is
+  sequentially consistent / linearizable (as Dgraph did), then a transaction
+  that finished touching a key at version ``v1`` before another began
+  touching it at ``v2`` orders ``v1`` before ``v2``.
+
+Version-order cycles (e.g. Dgraph's ``w(540, 2)`` completing seconds before
+a read of ``540 = nil``) contradict those assumptions; they are reported as
+``cyclic-versions`` and the key's order is discarded, exactly as §7.4
+describes — write-read dependencies for the key survive, since they need no
+version order.
+
+Transaction edges derive from the per-key version DAG:
+
+* ``wr`` — writer of ``v`` -> committed reader of ``v``.
+* ``ww`` — writer of ``v1`` -> writer of ``v2`` for version edge v1 -> v2.
+* ``rw`` — committed reader of ``v1`` -> writer of ``v2`` likewise.
+
+Version edges need not be *immediate* successions: a chain through
+unobserved intermediate versions still orders the endpoint transactions, so
+cycles remain sound (each inferred edge is implied by a path of true DSG
+edges, and transitive rw edges preserve the anti-dependency count).
+
+Writes participate only when provably committed — the writer returned ok, or
+some committed read observed the value.  Lost updates surface when two
+committed read-modify-write transactions hang off the same version.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import WorkloadError
+from ..graph import LabeledDiGraph, cyclic_components, interval_precedence_edges
+from ..history import History, Transaction, final_writes
+from ..history.ops import READ, WRITE
+from .analysis import Analysis, Evidence
+from .anomalies import (
+    CYCLIC_VERSIONS,
+    G1A,
+    G1B,
+    GARBAGE_READ,
+    LOST_UPDATE,
+    Anomaly,
+)
+from .deps import RW, WR, WW
+from .internal import check_internal_register
+from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .validate import validate_workload
+
+#: Version-order inference sources enabled by default.  ``process`` and
+#: ``realtime`` assume the database claims per-key sequential consistency /
+#: linearizability; enable them explicitly (as §7.4 does for Dgraph).
+DEFAULT_SOURCES = ("initial-state", "write-follows-read")
+
+KNOWN_SOURCES = frozenset(
+    {"initial-state", "write-follows-read", "process", "realtime"}
+)
+
+#: Marker for the initial version in version graphs (registers start nil).
+INIT = None
+
+
+def build_write_index(
+    txns: Sequence[Transaction],
+) -> Dict[Tuple[Any, Any], Transaction]:
+    """Map ``(key, value)`` to the transaction that wrote it.
+
+    Unique written values are the workload's recoverability contract;
+    duplicates (or writes of ``None``, which would collide with the initial
+    version) raise :class:`~repro.errors.WorkloadError`.
+    """
+    index: Dict[Tuple[Any, Any], Transaction] = {}
+    for txn in txns:
+        for mop in txn.mops:
+            if mop.fn != WRITE:
+                continue
+            if mop.value is None:
+                raise WorkloadError(
+                    f"T{txn.id} writes None to key {mop.key!r}; None denotes "
+                    "the initial version and may not be written"
+                )
+            slot = (mop.key, mop.value)
+            other = index.get(slot)
+            if other is not None and other.id != txn.id:
+                raise WorkloadError(
+                    f"value {mop.value!r} written to key {mop.key!r} by both "
+                    f"T{other.id} and T{txn.id}; rw-register histories "
+                    "require unique writes per key"
+                )
+            index[slot] = txn
+    return index
+
+
+class _KeyVersions:
+    """The per-key version DAG plus who read and wrote each version."""
+
+    __slots__ = ("key", "graph", "edges", "readers", "cyclic")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.graph = LabeledDiGraph()
+        self.edges: Dict[Tuple[Any, Any], Set[str]] = {}  # (v1,v2) -> tags
+        self.readers: Dict[Any, List[Transaction]] = {}
+        self.cyclic = False
+
+    def add_version_edge(self, v1: Any, v2: Any, source: str) -> None:
+        if v1 == v2:
+            return
+        self.graph.add_edge(v1, v2, 1)
+        self.edges.setdefault((v1, v2), set()).add(source)
+
+    def add_reader(self, value: Any, txn: Transaction) -> None:
+        self.readers.setdefault(value, []).append(txn)
+
+
+def _interaction_values(txn: Transaction, key: Any) -> Optional[Tuple[Any, Any]]:
+    """(first, last) version a committed transaction pinned ``key`` to.
+
+    A read pins the key to the value it returned (``None`` meaning the
+    initial version); a write pins it to the written value.  Returns None if
+    the transaction never touched the key.
+    """
+    values = [
+        mop.value
+        for mop in txn.mops
+        if mop.key == key and mop.fn in (READ, WRITE)
+    ]
+    if not values:
+        return None
+    return values[0], values[-1]
+
+
+def analyze_rw_register(
+    history: History,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    timestamp_edges: bool = False,
+    sources: Sequence[str] = DEFAULT_SOURCES,
+) -> Analysis:
+    """Full rw-register analysis of an observation.
+
+    ``sources`` selects the version-order inference rules (§5.2); see
+    :data:`DEFAULT_SOURCES`.  ``process_edges`` / ``realtime_edges`` control
+    the *transaction*-level session and real-time edges, independent of
+    whether those orders also feed version inference.
+    """
+    unknown = set(sources) - KNOWN_SOURCES
+    if unknown:
+        raise ValueError(
+            f"unknown version-order sources {sorted(unknown)}; "
+            f"known: {sorted(KNOWN_SOURCES)}"
+        )
+    sources = frozenset(sources)
+
+    analysis = Analysis(history=history, workload="rw-register")
+    txns = history.transactions
+    validate_workload(txns, "rw-register")
+
+    analysis.anomalies.extend(
+        a for txn in txns if txn.committed
+        for a in check_internal_register(txn)
+    )
+
+    index = build_write_index(txns)
+
+    # Values proven committed by observation: read by a committed txn.
+    observed: Set[Tuple[Any, Any]] = set()
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn == READ and mop.value is not None:
+                observed.add((mop.key, mop.value))
+
+    def anchored(txn: Transaction, key: Any, value: Any) -> bool:
+        """Is this write provably committed in every interpretation?"""
+        return txn.committed or (key, value) in observed
+
+    keys = {m.key for t in txns for m in t.mops}
+    versions: Dict[Any, _KeyVersions] = {k: _KeyVersions(k) for k in keys}
+
+    # ------------------------------------------------------------------
+    # Read checks: garbage, G1a, G1b; collect readers per version.
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn != READ:
+                continue
+            kv = versions[mop.key]
+            if mop.value is None:
+                kv.add_reader(INIT, txn)
+                continue
+            writer = index.get((mop.key, mop.value))
+            if writer is None:
+                analysis.anomalies.append(
+                    Anomaly(
+                        name=GARBAGE_READ,
+                        txns=(txn.id,),
+                        message=(
+                            f"T{txn.id} read value {mop.value!r} of key "
+                            f"{mop.key!r}, which no observed transaction wrote"
+                        ),
+                        data={"key": mop.key, "value": mop.value},
+                    )
+                )
+                continue
+            kv.add_reader(mop.value, txn)
+            if writer.aborted:
+                analysis.anomalies.append(
+                    Anomaly(
+                        name=G1A,
+                        txns=(txn.id, writer.id),
+                        message=(
+                            f"T{txn.id} read value {mop.value!r} of key "
+                            f"{mop.key!r}, written by aborted transaction "
+                            f"T{writer.id}"
+                        ),
+                        data={"key": mop.key, "value": mop.value},
+                    )
+                )
+            elif writer.id != txn.id:
+                final = final_writes(writer).get(mop.key)
+                if final is not None and final.value != mop.value:
+                    analysis.anomalies.append(
+                        Anomaly(
+                            name=G1B,
+                            txns=(txn.id, writer.id),
+                            message=(
+                                f"T{txn.id} read intermediate value "
+                                f"{mop.value!r} of key {mop.key!r}: "
+                                f"T{writer.id} later wrote {final.value!r}"
+                            ),
+                            data={"key": mop.key, "value": mop.value},
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # Version edges from each enabled source.
+    if "initial-state" in sources:
+        for (key, value), writer in index.items():
+            if anchored(writer, key, value):
+                versions[key].add_version_edge(INIT, value, "initial-state")
+
+    if "write-follows-read" in sources:
+        for txn in txns:
+            if not txn.committed:
+                continue
+            current: Dict[Any, Any] = {}
+            for mop in txn.mops:
+                if mop.fn == READ:
+                    current[mop.key] = mop.value  # None = INIT
+                elif mop.fn == WRITE:
+                    if mop.key in current:
+                        versions[mop.key].add_version_edge(
+                            current[mop.key], mop.value, "write-follows-read"
+                        )
+                    current[mop.key] = mop.value
+
+    def order_source_edges(pairs, tag: str, key: Any) -> None:
+        for t1, t2 in pairs:
+            last = _interaction_values(t1, key)
+            first = _interaction_values(t2, key)
+            if last is None or first is None:
+                continue
+            versions[key].add_version_edge(last[1], first[0], tag)
+
+    if "process" in sources or "realtime" in sources:
+        for key in keys:
+            interacting = [
+                t
+                for t in txns
+                if t.committed
+                and any(m.key == key and m.fn in (READ, WRITE) for m in t.mops)
+            ]
+            if "process" in sources:
+                by_process: Dict[int, List[Transaction]] = {}
+                for t in interacting:
+                    by_process.setdefault(t.process, []).append(t)
+                for ts in by_process.values():
+                    ts.sort(key=lambda t: t.invoke_index)
+                    order_source_edges(zip(ts, ts[1:]), "process", key)
+            if "realtime" in sources:
+                intervals = [
+                    (t, t.invoke_index, t.complete_index)
+                    for t in interacting
+                    if t.complete_index is not None
+                ]
+                order_source_edges(
+                    interval_precedence_edges(intervals), "realtime", key
+                )
+
+    # ------------------------------------------------------------------
+    # Cyclic version orders: report and discard (§7.4).
+    for key, kv in versions.items():
+        components = cyclic_components(kv.graph)
+        if not components:
+            continue
+        kv.cyclic = True
+        for component in components:
+            involved = set()
+            for value in component:
+                writer = index.get((key, value))
+                if writer is not None:
+                    involved.add(writer.id)
+                involved.update(t.id for t in kv.readers.get(value, ()))
+            implicated = sorted(involved)
+            analysis.anomalies.append(
+                Anomaly(
+                    name=CYCLIC_VERSIONS,
+                    txns=tuple(implicated),
+                    message=(
+                        f"inferred version order for key {key!r} is cyclic "
+                        f"over values {sorted(component, key=repr)}; the "
+                        "order is discarded for dependency inference"
+                    ),
+                    data={"key": key, "values": tuple(component)},
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Transaction dependency edges.
+    for key, kv in versions.items():
+        # wr edges need no version order; they survive cyclic keys.
+        for value, readers in kv.readers.items():
+            if value is INIT:
+                continue
+            writer = index.get((key, value))
+            if writer is None:
+                continue
+            for reader in readers:
+                analysis.add_edge(
+                    writer.id,
+                    reader.id,
+                    Evidence(kind=WR, key=key, value=value),
+                )
+        if kv.cyclic:
+            continue
+        for (v1, v2), _sources in kv.edges.items():
+            writer2 = index.get((key, v2))
+            if writer2 is None or not anchored(writer2, key, v2):
+                continue
+            if v1 is not INIT:
+                writer1 = index.get((key, v1))
+                if writer1 is not None and anchored(writer1, key, v1):
+                    analysis.add_edge(
+                        writer1.id,
+                        writer2.id,
+                        Evidence(kind=WW, key=key, value=v2, prev_value=v1),
+                    )
+            for reader in kv.readers.get(v1, ()):
+                analysis.add_edge(
+                    reader.id,
+                    writer2.id,
+                    Evidence(kind=RW, key=key, value=v2, prev_value=v1),
+                )
+
+    # ------------------------------------------------------------------
+    # Lost updates: two committed read-modify-writes off one version.
+    for key, kv in versions.items():
+        rmw_writers: Dict[Any, List[Tuple[Any, Transaction]]] = {}
+        for (v1, v2), sources_seen in kv.edges.items():
+            if "write-follows-read" not in sources_seen:
+                continue
+            writer = index.get((key, v2))
+            if writer is not None and writer.committed:
+                rmw_writers.setdefault(v1, []).append((v2, writer))
+        for v1, writers in rmw_writers.items():
+            distinct = {w.id: (v2, w) for v2, w in writers}
+            if len(distinct) >= 2:
+                ids = tuple(sorted(distinct))
+                values = sorted((v2 for v2, _w in distinct.values()), key=repr)
+                analysis.anomalies.append(
+                    Anomaly(
+                        name=LOST_UPDATE,
+                        txns=ids,
+                        message=(
+                            f"transactions {', '.join(f'T{i}' for i in ids)} "
+                            f"each read version {v1!r} of key {key!r} and "
+                            f"wrote {values}: all but one update was lost"
+                        ),
+                        data={"key": key, "base": v1, "values": tuple(values)},
+                    )
+                )
+
+    if process_edges:
+        add_process_edges(analysis)
+    if realtime_edges:
+        add_realtime_edges(analysis)
+    if timestamp_edges:
+        add_timestamp_edges(analysis)
+    return analysis

@@ -1,0 +1,40 @@
+"""Workload validation: reject observations an analyzer cannot interpret.
+
+Each analyzer understands reads plus exactly one write function.  Feeding a
+register history to the list-append analyzer would silently mis-infer (its
+reads return scalars, not traces), so analyzers validate up front and raise
+:class:`~repro.errors.WorkloadError` with a pointed message instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import WorkloadError
+from ..history import Transaction
+from ..history.ops import READ
+
+#: Workload name -> the write micro-op function its analyzer interprets.
+WORKLOAD_WRITE_FN = {
+    "list-append": "append",
+    "rw-register": "w",
+    "grow-set": "add",
+    "counter": "inc",
+}
+
+
+def validate_workload(txns: Iterable[Transaction], workload: str) -> None:
+    """Raise :class:`WorkloadError` if any micro-op doesn't belong.
+
+    Allowed: reads, and the single write function of ``workload``.
+    """
+    allowed_write = WORKLOAD_WRITE_FN[workload]
+    for txn in txns:
+        for mop in txn.mops:
+            if mop.fn == READ or mop.fn == allowed_write:
+                continue
+            raise WorkloadError(
+                f"T{txn.id} contains [{mop.fn} {mop.key!r} ...], which the "
+                f"{workload!r} analyzer cannot interpret; it understands "
+                f"reads and {allowed_write!r} writes only"
+            )

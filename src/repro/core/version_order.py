@@ -1,0 +1,108 @@
+"""Per-key version orders inferred from traceable reads (§4.3.2).
+
+For a traceable object every read reveals the object's entire version
+history: a read of ``[1, 2, 3]`` certifies the versions ``[]``, ``[1]``,
+``[1, 2]``, ``[1, 2, 3]`` in that order.  Across many reads of one key, all
+observed values must lie on a single trace — each must be a prefix of the
+longest.  The longest committed read therefore yields the inferred version
+order ``<_x``, a prefix of the true ``<<_x`` in every clean interpretation.
+
+Reads that do *not* lie on the common trace are `incompatible-order`
+anomalies — the paper's *inconsistent observations* (§4.2.1), which imply
+aborted reads or worse (at most one of two diverging versions can be in the
+trace of the final installed version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..history.ops import READ, Transaction
+from .anomalies import INCOMPATIBLE_ORDER, Anomaly
+from .objects import is_prefix
+
+
+@dataclass(frozen=True)
+class KeyOrder:
+    """The inferred version order for one key.
+
+    ``elements`` is the element sequence of the longest committed read: the
+    inferred trace.  ``position`` maps each element to its index.  The
+    versions of the key, in order, are exactly the prefixes of ``elements``;
+    version ``i`` is the one ending at element index ``i - 1`` (version 0 is
+    the initial, empty list).
+    """
+
+    key: Any
+    elements: Tuple
+    source_txn: int  # id of the transaction whose read defined the order
+    position: Dict[Any, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.position:
+            object.__setattr__(
+                self,
+                "position",
+                {element: i for i, element in enumerate(self.elements)},
+            )
+
+
+def committed_reads_by_key(
+    txns: Sequence[Transaction],
+) -> Dict[Any, List[Tuple[Transaction, Tuple]]]:
+    """Collect ``key -> [(reader, observed tuple), ...]`` over committed reads.
+
+    Only ``ok`` transactions' reads with known values participate: an
+    indeterminate transaction's reads may never have happened, so they can't
+    define version orders.
+    """
+    reads: Dict[Any, List[Tuple[Transaction, Tuple]]] = {}
+    for txn in txns:
+        if not txn.committed:
+            continue
+        for mop in txn.mops:
+            if mop.fn == READ and mop.value is not None:
+                reads.setdefault(mop.key, []).append((txn, tuple(mop.value)))
+    return reads
+
+
+def infer_key_orders(
+    txns: Sequence[Transaction],
+) -> Tuple[Dict[Any, KeyOrder], List[Anomaly]]:
+    """Infer a :class:`KeyOrder` per key; flag incompatible reads.
+
+    Returns ``(orders, anomalies)``.  Keys read only as empty lists still get
+    an (empty) order — an empty read carries anti-dependency information.
+    Incompatible reads are reported once per offending (key, value) pair and
+    do not contribute edges; the longest read still defines the order, giving
+    the checker the most complete trace available.
+    """
+    orders: Dict[Any, KeyOrder] = {}
+    anomalies: List[Anomaly] = []
+    for key, observations in committed_reads_by_key(txns).items():
+        longest_txn, longest = max(
+            observations, key=lambda pair: len(pair[1])
+        )
+        orders[key] = KeyOrder(key=key, elements=longest, source_txn=longest_txn.id)
+        flagged = set()
+        for txn, value in observations:
+            if is_prefix(value, longest):
+                continue
+            if value in flagged:
+                continue
+            flagged.add(value)
+            anomalies.append(
+                Anomaly(
+                    name=INCOMPATIBLE_ORDER,
+                    txns=(txn.id, longest_txn.id),
+                    message=(
+                        f"T{txn.id} read {list(value)} of key {key!r}, which is "
+                        f"not a prefix of {list(longest)} as read by "
+                        f"T{longest_txn.id}; these versions cannot lie on one "
+                        "version order"
+                    ),
+                    data={"key": key, "value": value, "longest": longest},
+                )
+            )
+    return orders, anomalies

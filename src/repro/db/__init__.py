@@ -1,0 +1,36 @@
+"""An in-memory MVCC database simulator with fault injection."""
+
+from .faults import (
+    INJECTORS,
+    DgraphShardMigration,
+    FaunaInternal,
+    TiDBRetry,
+    Windowed,
+    YugaByteStaleRead,
+)
+from .mvcc import (
+    ConflictAbort,
+    DBTransaction,
+    FaultInjector,
+    Isolation,
+    MVCCDatabase,
+)
+from .replicated import ReplicatedDatabase, ReplicatedTransaction
+from .store import VersionedStore
+
+__all__ = [
+    "ConflictAbort",
+    "DBTransaction",
+    "DgraphShardMigration",
+    "FaultInjector",
+    "FaunaInternal",
+    "INJECTORS",
+    "Isolation",
+    "MVCCDatabase",
+    "ReplicatedDatabase",
+    "ReplicatedTransaction",
+    "TiDBRetry",
+    "VersionedStore",
+    "Windowed",
+    "YugaByteStaleRead",
+]

@@ -1,0 +1,210 @@
+"""Fault injectors reproducing the paper's four case studies (§7.1–7.4).
+
+Each injector models the *published root cause* of a real bug, so the
+observations it produces carry the same anomaly signature Elle found in the
+wild.  The table of what-maps-to-what lives in DESIGN.md.
+
+All randomness flows through an injected ``random.Random`` so runs are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from .mvcc import DBTransaction, FaultInjector, MVCCDatabase
+
+
+class TiDBRetry(FaultInjector):
+    """§7.1 — TiDB 2.1.7–3.0.0-beta.1's automatic transaction retry.
+
+    When one transaction conflicted with another, TiDB "simply re-applied
+    the transaction's writes again, ignoring the conflict".  Usually the
+    replay landed on the then-current state (the documented retry): the
+    transaction's stale snapshot reads survive while its writes follow the
+    conflicting commit — read skew, G-single.  A second, undocumented
+    mechanism could clobber concurrent commits outright — lost updates,
+    observed by Elle as inconsistent reads (``incompatible-order``).
+
+    ``blind_probability`` is the chance a retry takes the clobbering path.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float = 1.0,
+        blind_probability: float = 0.25,
+    ) -> None:
+        self.rng = rng
+        self.probability = probability
+        self.blind_probability = blind_probability
+
+    def on_conflict(self, txn: DBTransaction, db: MVCCDatabase) -> str:
+        if self.rng.random() >= self.probability:
+            return "abort"
+        if self.rng.random() < self.blind_probability:
+            return "retry-blind"
+        return "retry-latest"
+
+
+class YugaByteStaleRead(FaultInjector):
+    """§7.2 — YugaByte DB 1.3.1's post-leader-election read timestamps.
+
+    After a master failover, tablet servers attached stale read timestamps
+    to RPCs, which serializable transactions wrongly honoured: transactions
+    read "from inappropriate logical times" while commit-time validation
+    was effectively skipped.  Modeled as assigning a stale snapshot to a
+    fraction of transactions and skipping their read validation.
+
+    Expected signature: G2-item cycles with multiple anti-dependency edges
+    (two transactions mutually failing to observe each other's appends),
+    and no G0/G1 — matching the paper's report.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float = 0.1,
+        staleness: int = 5,
+    ) -> None:
+        self.rng = rng
+        self.probability = probability
+        self.staleness = staleness
+
+    def on_begin(self, txn: DBTransaction, db: MVCCDatabase) -> None:
+        if self.rng.random() < self.probability:
+            txn.start_seq = max(0, txn.start_seq - self.staleness)
+            txn.skip_validation = True
+
+
+class FaunaInternal(FaultInjector):
+    """§7.3 — FaunaDB 2.6.0's index reads missing tentative writes.
+
+    Coordinators failed to apply a transaction's own tentative writes to
+    its view of an index, so a transaction could append 6 to key 0 and then
+    read ``nil``.  Modeled as an index view that misses tentative writes: a
+    fraction of reads return the raw underlying version without the
+    transaction's own buffered writes, optionally from a slightly stale
+    snapshot (``staleness`` commits back).
+
+    Expected signature: ``internal`` anomalies dominating, with G2 cycles
+    inferred from the stale index views — as the paper describes for
+    fault-free, low-contention clusters.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float = 0.2,
+        staleness: int = 0,
+    ) -> None:
+        self.rng = rng
+        self.probability = probability
+        self.staleness = staleness
+
+    def on_read(
+        self,
+        txn: DBTransaction,
+        key: Any,
+        value: Any,
+        raw: Any,
+        db: MVCCDatabase,
+    ) -> Any:
+        if txn.write_args.get(key) and self.rng.random() < self.probability:
+            return raw
+        if self.staleness and self.rng.random() < self.probability:
+            stale_seq = max(0, txn.start_seq - self.staleness)
+            return db.store.read_at(key, stale_seq)
+        return value
+
+
+class DgraphShardMigration(FaultInjector):
+    """§7.4 — Dgraph 1.1.1 reading from freshly migrated, empty shards.
+
+    Transactions could read from shards that had just migrated and held no
+    data yet, returning ``nil`` for keys that were written long before —
+    breaking per-key linearizability and even read-your-writes.  Modeled as
+    returning the initial version for a fraction of reads.
+
+    Expected signature: ``internal`` anomalies (reads missing own writes),
+    ``cyclic-versions`` once real-time version inference is enabled, and
+    read-skew (G-single) cycles over registers.
+    """
+
+    def __init__(self, rng: random.Random, probability: float = 0.1) -> None:
+        self.rng = rng
+        self.probability = probability
+
+    def on_read(
+        self,
+        txn: DBTransaction,
+        key: Any,
+        value: Any,
+        raw: Any,
+        db: MVCCDatabase,
+    ) -> Any:
+        if self.rng.random() < self.probability:
+            return db.model.initial
+        return value
+
+
+class Windowed(FaultInjector):
+    """Activate another injector only during periodic fault windows.
+
+    Real Jepsen tests inject faults in bursts — partition, heal, repeat —
+    and bugs like YugaByte's fired only during master failovers.  This
+    wrapper gates an inner injector on the database's commit count:
+    within each ``period`` commits, the fault is live for the first
+    ``duty * period`` of them.
+
+    Stateless hooks delegate only while a window is open, so anomalies
+    cluster in time just as they do in real fault-injection runs.
+    """
+
+    def __init__(
+        self,
+        inner: FaultInjector,
+        period: int = 200,
+        duty: float = 0.25,
+    ) -> None:
+        if period < 1:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {duty}")
+        self.inner = inner
+        self.period = period
+        self.duty = duty
+
+    def active(self, db: MVCCDatabase) -> bool:
+        return (db.commits % self.period) < self.duty * self.period
+
+    def on_begin(self, txn: DBTransaction, db: MVCCDatabase) -> None:
+        if self.active(db):
+            self.inner.on_begin(txn, db)
+
+    def on_read(
+        self,
+        txn: DBTransaction,
+        key: Any,
+        value: Any,
+        raw: Any,
+        db: MVCCDatabase,
+    ) -> Any:
+        if self.active(db):
+            return self.inner.on_read(txn, key, value, raw, db)
+        return value
+
+    def on_conflict(self, txn: DBTransaction, db: MVCCDatabase) -> str:
+        if self.active(db):
+            return self.inner.on_conflict(txn, db)
+        return "abort"
+
+
+#: Injector registry for CLI-ish configuration.
+INJECTORS = {
+    "tidb-retry": TiDBRetry,
+    "yugabyte-stale-read": YugaByteStaleRead,
+    "fauna-internal": FaunaInternal,
+    "dgraph-shard-migration": DgraphShardMigration,
+}

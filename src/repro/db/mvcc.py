@@ -1,0 +1,323 @@
+"""An in-memory transactional database with tunable isolation.
+
+This is the substrate the paper's evaluation runs against: §7.5 generates
+histories by "simulating clients interacting with an in-memory
+serializable-snapshot-isolated database".  Four protocols are provided, each
+an honest miniature of a real implementation class:
+
+* ``serializable`` — optimistic concurrency control: snapshot reads, and at
+  commit both first-committer-wins on the write set and validation that
+  every key read is still current.  Equivalent to executing at the commit
+  point: serializable.
+* ``snapshot-isolation`` — snapshot reads plus first-committer-wins only.
+  Lost updates are impossible, write skew (G2) is not.
+* ``read-committed`` — each read sees the latest committed version at that
+  moment; writes apply atomically at commit on the latest state with no
+  conflict checks.  Read skew (G-single) and fractured reads abound.
+* ``read-uncommitted`` — the pathological floor: writes mutate a single
+  shared state the moment they execute, aborts roll nothing back.  Produces
+  G0, G1a, G1b, G1c, and dirty updates.
+
+Write micro-ops buffer their *arguments*; the state transition applies
+server-side at commit (like SQL ``CONCAT``), so a transaction's effect
+lands on whatever version is current when it commits.
+
+Fault injectors (see :mod:`repro.db.faults`) hook transaction begin, read,
+conflict handling, and validation to reproduce the case-study bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.objects import ObjectModel
+from ..history.ops import MicroOp, READ
+from .store import VersionedStore
+
+
+class Isolation(enum.Enum):
+    """Supported isolation protocols."""
+
+    SERIALIZABLE = "serializable"
+    SNAPSHOT_ISOLATION = "snapshot-isolation"
+    READ_COMMITTED = "read-committed"
+    READ_UNCOMMITTED = "read-uncommitted"
+
+
+class ConflictAbort(Exception):
+    """The database aborted a transaction (conflict or deadlock)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class WouldBlock(Exception):
+    """The operation must wait for a lock; retry after other progress.
+
+    Raised only under read-committed, whose writes take per-key locks (like
+    row locks under SQL ``UPDATE``).  The caller should re-issue the same
+    micro-op later; lock waits that would deadlock raise
+    :class:`ConflictAbort` instead."""
+
+    def __init__(self, key: Any) -> None:
+        super().__init__(f"write lock on {key!r} is held")
+        self.key = key
+
+
+class DBTransaction:
+    """Server-side transaction state."""
+
+    __slots__ = (
+        "id",
+        "start_seq",
+        "advertised_start_seq",
+        "write_args",
+        "read_versions",
+        "skip_validation",
+        "finished",
+    )
+
+    def __init__(self, txn_id: int, start_seq: int) -> None:
+        self.id = txn_id
+        self.start_seq = start_seq
+        # The snapshot timestamp the database *reports* to clients (§5.1).
+        # Fault injectors may silently move start_seq while leaving this
+        # untouched — exactly YugaByte's stale-read-timestamp bug shape.
+        self.advertised_start_seq = start_seq
+        # key -> list of write arguments, in execution order.
+        self.write_args: Dict[Any, List[Any]] = {}
+        # key -> commit seq of the version this txn read (for validation).
+        self.read_versions: Dict[Any, int] = {}
+        self.skip_validation = False
+        self.finished = False
+
+
+class FaultInjector:
+    """Hook points for reproducing real-world bugs.  Default: no faults."""
+
+    def on_begin(self, txn: DBTransaction, db: "MVCCDatabase") -> None:
+        """Adjust a fresh transaction (e.g. assign a stale snapshot)."""
+
+    def on_read(
+        self,
+        txn: DBTransaction,
+        key: Any,
+        value: Any,
+        raw: Any,
+        db: "MVCCDatabase",
+    ) -> Any:
+        """Transform a read result.  ``value`` includes the transaction's own
+        buffered writes; ``raw`` is the underlying version without them."""
+        return value
+
+    def on_conflict(self, txn: DBTransaction, db: "MVCCDatabase") -> str:
+        """React to a write-write conflict.
+
+        * ``"abort"`` — correct first-committer-wins behavior.
+        * ``"retry-latest"`` — re-apply buffered writes on the latest state
+          and commit, ignoring the conflict (TiDB's documented retry: stale
+          reads survive, writes land after the conflicting commit).
+        * ``"retry-blind"`` — replay writes over the transaction's snapshot,
+          clobbering concurrent commits (the lost-update flavor).
+        """
+        return "abort"
+
+
+class MVCCDatabase:
+    """The simulated database.  One instance serves every client."""
+
+    def __init__(
+        self,
+        model: ObjectModel,
+        isolation: Isolation = Isolation.SERIALIZABLE,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.model = model
+        self.isolation = isolation
+        self.faults = faults or FaultInjector()
+        self.store = VersionedStore(model)
+        # Shared mutable state for read-uncommitted mode.
+        self._dirty: Dict[Any, Any] = {}
+        # Per-key write locks for read-committed mode.
+        self._locks: Dict[Any, int] = {}          # key -> holder txn id
+        self._lock_owners: Dict[int, set] = {}    # txn id -> held keys
+        self._waiting_on: Dict[int, int] = {}     # txn id -> holder txn id
+        self._next_txn_id = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+
+    def begin(self) -> DBTransaction:
+        txn = DBTransaction(self._next_txn_id, self.store.current_seq)
+        self._next_txn_id += 1
+        self.faults.on_begin(txn, self)
+        return txn
+
+    def execute(self, txn: DBTransaction, mop: MicroOp) -> MicroOp:
+        """Run one micro-op; returns the completed micro-op (reads filled)."""
+        if txn.finished:
+            raise ValueError(f"transaction {txn.id} already finished")
+        if mop.fn == READ:
+            value = self._read(txn, mop.key)
+            return MicroOp(READ, mop.key, value)
+        self._write(txn, mop.key, mop.value)
+        return mop
+
+    def commit(self, txn: DBTransaction) -> Optional[int]:
+        """Commit; raises :class:`ConflictAbort` if the protocol rejects it.
+
+        Returns the commit timestamp (the commit sequence number for
+        writers, the current watermark for read-only transactions), or
+        ``None`` under read-uncommitted, which has no commit points.
+        """
+        if txn.finished:
+            raise ValueError(f"transaction {txn.id} already finished")
+        txn.finished = True
+        if self.isolation is Isolation.READ_UNCOMMITTED:
+            self.commits += 1  # effects are already live
+            return None
+
+        conflicted = self._write_write_conflict(txn)
+        if self.isolation is Isolation.READ_COMMITTED:
+            conflicted = False  # no conflict detection at all
+        if conflicted:
+            action = self.faults.on_conflict(txn, self)
+            if action == "abort":
+                self.aborts += 1
+                raise ConflictAbort(
+                    "first-committer-wins: write-write conflict"
+                )
+            if action == "retry-latest":
+                self._install_on_latest(txn)
+                self.commits += 1
+                return self.store.current_seq
+            if action == "retry-blind":
+                self._install_from_snapshot(txn)
+                self.commits += 1
+                return self.store.current_seq
+            raise ValueError(f"unknown conflict action {action!r}")
+
+        if (
+            self.isolation is Isolation.SERIALIZABLE
+            and txn.write_args  # read-only txns serialize at their snapshot
+            and not txn.skip_validation
+            and not self._reads_still_current(txn)
+        ):
+            self.aborts += 1
+            raise ConflictAbort("read validation failed: stale read set")
+
+        self._install_on_latest(txn)
+        self._release_locks(txn)
+        self.commits += 1
+        return self.store.current_seq
+
+    def abort(self, txn: DBTransaction) -> None:
+        """Client-side abort.  Under read-uncommitted nothing rolls back."""
+        if not txn.finished:
+            txn.finished = True
+            self._release_locks(txn)
+            self.aborts += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def _read(self, txn: DBTransaction, key: Any) -> Any:
+        if self.isolation is Isolation.READ_UNCOMMITTED:
+            raw = self._dirty.get(key, self.model.initial)
+            return self.faults.on_read(txn, key, raw, raw, self)
+
+        if self.isolation is Isolation.READ_COMMITTED:
+            raw = self.store.read_latest(key)
+        else:  # snapshot isolation / serializable
+            raw = self.store.read_at(key, txn.start_seq)
+            txn.read_versions.setdefault(
+                key, self.store.version_seq(key, txn.start_seq)
+            )
+        value = self._overlay_own_writes(txn, key, raw)
+        return self.faults.on_read(txn, key, value, raw, self)
+
+    def _overlay_own_writes(self, txn: DBTransaction, key: Any, base: Any) -> Any:
+        value = base
+        for arg in txn.write_args.get(key, ()):
+            value = self.model.apply(value, arg)
+        return value
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def _write(self, txn: DBTransaction, key: Any, arg: Any) -> None:
+        if self.isolation is Isolation.READ_UNCOMMITTED:
+            current = self._dirty.get(key, self.model.initial)
+            self._dirty[key] = self.model.apply(current, arg)
+            return
+        if self.isolation is Isolation.READ_COMMITTED:
+            self._acquire_lock(txn, key)
+        txn.write_args.setdefault(key, []).append(arg)
+
+    # ------------------------------------------------------------------
+    # Locking (read-committed only)
+
+    def _acquire_lock(self, txn: DBTransaction, key: Any) -> None:
+        holder = self._locks.get(key)
+        if holder is None or holder == txn.id:
+            self._locks[key] = txn.id
+            self._lock_owners.setdefault(txn.id, set()).add(key)
+            self._waiting_on.pop(txn.id, None)
+            return
+        # Wound on deadlock: walk the waits-for chain from the holder.
+        self._waiting_on[txn.id] = holder
+        node = holder
+        while node is not None:
+            if node == txn.id:
+                self._waiting_on.pop(txn.id, None)
+                txn.finished = True
+                self._release_locks(txn)
+                self.aborts += 1
+                raise ConflictAbort("deadlock detected in lock wait chain")
+            node = self._waiting_on.get(node)
+        raise WouldBlock(key)
+
+    def _release_locks(self, txn: DBTransaction) -> None:
+        for key in self._lock_owners.pop(txn.id, ()):
+            if self._locks.get(key) == txn.id:
+                del self._locks[key]
+        self._waiting_on.pop(txn.id, None)
+
+    def _write_write_conflict(self, txn: DBTransaction) -> bool:
+        return any(
+            self.store.written_since(key, txn.start_seq)
+            for key in txn.write_args
+        )
+
+    def _reads_still_current(self, txn: DBTransaction) -> bool:
+        return all(
+            self.store.latest_version_seq(key) == seq
+            for key, seq in txn.read_versions.items()
+        )
+
+    def _install_on_latest(self, txn: DBTransaction) -> None:
+        """Apply buffered write args atomically on the latest versions."""
+        if not txn.write_args:
+            return
+        seq = self.store.next_seq()
+        for key, args in txn.write_args.items():
+            value = self.store.read_latest(key)
+            for arg in args:
+                value = self.model.apply(value, arg)
+            self.store.install(key, value, seq)
+
+    def _install_from_snapshot(self, txn: DBTransaction) -> None:
+        """TiDB-style blind retry: replay writes over the *snapshot* state,
+        silently discarding everything committed since (lost updates)."""
+        if not txn.write_args:
+            return
+        seq = self.store.next_seq()
+        for key, args in txn.write_args.items():
+            value = self.store.read_at(key, txn.start_seq)
+            for arg in args:
+                value = self.model.apply(value, arg)
+            self.store.install(key, value, seq)

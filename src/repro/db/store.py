@@ -1,0 +1,91 @@
+"""A multiversion key-value store.
+
+Every committed write produces a new immutable version stamped with a
+monotonically increasing commit sequence number.  Snapshot reads ask for the
+latest version at or below a sequence number; that is all MVCC isolation
+levels need from storage.
+
+Versions are whole object states (tuples for lists, frozensets for sets,
+plain values for registers/counters) so reads are O(log versions) and no
+reconstruction is needed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.objects import ObjectModel
+
+
+class VersionedStore:
+    """Per-key version chains with commit-sequence snapshots."""
+
+    __slots__ = ("_model", "_seqs", "_values", "_seq")
+
+    def __init__(self, model: ObjectModel) -> None:
+        self._model = model
+        self._seqs: Dict[Any, List[int]] = {}
+        self._values: Dict[Any, List[Any]] = {}
+        self._seq = 0
+
+    @property
+    def model(self) -> ObjectModel:
+        return self._model
+
+    @property
+    def current_seq(self) -> int:
+        """The sequence number of the most recent commit."""
+        return self._seq
+
+    def next_seq(self) -> int:
+        """Allocate the next commit sequence number."""
+        self._seq += 1
+        return self._seq
+
+    def read_latest(self, key: Any) -> Any:
+        """The most recently committed value of ``key`` (or the initial)."""
+        values = self._values.get(key)
+        if not values:
+            return self._model.initial
+        return values[-1]
+
+    def read_at(self, key: Any, seq: int) -> Any:
+        """The committed value of ``key`` as of sequence number ``seq``."""
+        seqs = self._seqs.get(key)
+        if not seqs:
+            return self._model.initial
+        i = bisect_right(seqs, seq)
+        if i == 0:
+            return self._model.initial
+        return self._values[key][i - 1]
+
+    def version_seq(self, key: Any, seq: int) -> int:
+        """The commit seq of the version visible at ``seq`` (0 = initial)."""
+        seqs = self._seqs.get(key)
+        if not seqs:
+            return 0
+        i = bisect_right(seqs, seq)
+        return seqs[i - 1] if i else 0
+
+    def latest_version_seq(self, key: Any) -> int:
+        """The commit seq of ``key``'s newest version (0 = never written)."""
+        seqs = self._seqs.get(key)
+        return seqs[-1] if seqs else 0
+
+    def install(self, key: Any, value: Any, seq: int) -> None:
+        """Install ``value`` as ``key``'s version at commit seq ``seq``."""
+        seqs = self._seqs.setdefault(key, [])
+        if seqs and seq <= seqs[-1]:
+            raise ValueError(
+                f"commit seq {seq} for key {key!r} not after {seqs[-1]}"
+            )
+        seqs.append(seq)
+        self._values.setdefault(key, []).append(value)
+
+    def written_since(self, key: Any, seq: int) -> bool:
+        """Whether any version of ``key`` committed after ``seq``."""
+        return self.latest_version_seq(key) > seq
+
+    def keys(self):
+        return self._seqs.keys()

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class HistoryError(ReproError):
+    """An observed history is structurally malformed.
+
+    Raised for problems that make analysis meaningless — completions without
+    invocations, operations on the wrong process, unknown micro-op functions.
+    Database *misbehavior* (garbage reads, duplicates ...) is never an
+    exception; those are reported as anomalies.
+    """
+
+
+class WorkloadError(ReproError):
+    """A history mixes micro-ops that a given analyzer cannot interpret."""
+
+
+class GeneratorError(ReproError):
+    """The workload generator was configured inconsistently."""

@@ -1,0 +1,12 @@
+"""Random transactional workloads and simulated concurrent clients."""
+
+from .runner import RunConfig, run_workload
+from .workload import WORKLOAD_WRITE_FNS, TransactionGenerator, WorkloadConfig
+
+__all__ = [
+    "RunConfig",
+    "TransactionGenerator",
+    "WORKLOAD_WRITE_FNS",
+    "WorkloadConfig",
+    "run_workload",
+]

@@ -1,0 +1,193 @@
+"""Simulated concurrent clients producing observed histories (§7).
+
+The runner drives ``concurrency`` single-threaded logical processes against
+one :class:`~repro.db.MVCCDatabase`.  A seeded scheduler interleaves their
+steps — begin, one micro-op at a time, then commit — so histories are both
+genuinely concurrent and exactly reproducible.
+
+Client-side faults mirror Jepsen's semantics: with ``crash_probability`` a
+commit's outcome is never learned (the operation completes as ``info``) and
+the client thread is reincarnated as a fresh logical process, so logical
+concurrency grows over time, exactly as §7 describes for fault-injection
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.objects import model_for
+from ..db.mvcc import (
+    ConflictAbort,
+    FaultInjector,
+    Isolation,
+    MVCCDatabase,
+    WouldBlock,
+)
+from ..errors import GeneratorError
+from ..history import History, HistoryBuilder
+from ..history.ops import MicroOp
+from .workload import WORKLOAD_WRITE_FNS, TransactionGenerator, WorkloadConfig
+
+FaultFactory = Callable[[random.Random], FaultInjector]
+
+
+@dataclass
+class RunConfig:
+    """One simulated test run.
+
+    ``txns`` counts completed transactions (ok, fail, or info).  ``faults``
+    is an optional factory building a fault injector from the run's RNG, so
+    the whole run stays reproducible from ``seed``.
+    """
+
+    txns: int = 1000
+    concurrency: int = 10
+    isolation: Isolation = Isolation.SERIALIZABLE
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    seed: int = 0
+    crash_probability: float = 0.0
+    crash_commit_probability: float = 0.5
+    abort_probability: float = 0.0
+    expose_timestamps: bool = False
+    faults: Optional[FaultFactory] = None
+    #: More than one site switches to the replicated PSI substrate
+    #: (:mod:`repro.db.replicated`); clients stick to ``slot % sites``.
+    sites: int = 1
+    replication_lag: int = 3
+
+    def __post_init__(self) -> None:
+        if self.txns < 0:
+            raise GeneratorError("txns must be non-negative")
+        if self.concurrency < 1:
+            raise GeneratorError("need at least one client")
+        for name in ("crash_probability", "abort_probability",
+                     "crash_commit_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise GeneratorError(f"{name} must be in [0, 1], got {value}")
+        if self.sites < 1:
+            raise GeneratorError("need at least one site")
+        if self.sites > 1 and self.faults is not None:
+            raise GeneratorError(
+                "fault injectors apply to the single-site MVCC database; "
+                "the replicated substrate models its own weakness (PSI)"
+            )
+
+
+class _Client:
+    """One client slot: a logical process with at most one open txn."""
+
+    __slots__ = ("process", "invocation", "executed", "position", "db_txn")
+
+    def __init__(self, process: int) -> None:
+        self.process = process
+        self.invocation: Optional[List[MicroOp]] = None
+        self.executed: List[MicroOp] = []
+        self.position = 0
+        self.db_txn = None
+
+    @property
+    def idle(self) -> bool:
+        return self.invocation is None
+
+    def reset(self) -> None:
+        self.invocation = None
+        self.executed = []
+        self.position = 0
+        self.db_txn = None
+
+
+def run_workload(config: RunConfig) -> History:
+    """Execute a run; returns the observed history.
+
+    The result is exactly what a client-side observer records: invocations
+    with unknown read values, completions carrying observed reads, ``fail``
+    for database-refused commits, ``info`` for crashed clients.
+    """
+    rng = random.Random(config.seed)
+    model = model_for(WORKLOAD_WRITE_FNS[config.workload.workload])
+    if config.sites > 1:
+        from ..db.replicated import ReplicatedDatabase
+
+        db = ReplicatedDatabase(
+            model, sites=config.sites, replication_lag=config.replication_lag
+        )
+    else:
+        faults = config.faults(rng) if config.faults else None
+        db = MVCCDatabase(model, config.isolation, faults)
+    generator = TransactionGenerator(config.workload, rng)
+    builder = HistoryBuilder()
+
+    clients = [_Client(process) for process in range(config.concurrency)]
+    sites = [slot % config.sites for slot in range(config.concurrency)]
+    next_process = config.concurrency
+    completed = 0
+
+    while completed < config.txns:
+        slot = rng.randrange(len(clients))
+        client = clients[slot]
+        if client.idle:
+            client.invocation = generator.next_txn()
+            if config.sites > 1:
+                client.db_txn = db.begin(site=sites[slot])
+            else:
+                client.db_txn = db.begin()
+            start_ts = (
+                client.db_txn.advertised_start_seq
+                if config.expose_timestamps
+                else None
+            )
+            builder.invoke(client.process, client.invocation, ts=start_ts)
+            continue
+
+        if client.position < len(client.invocation):
+            mop = client.invocation[client.position]
+            try:
+                client.executed.append(db.execute(client.db_txn, mop))
+                client.position += 1
+            except WouldBlock:
+                pass  # lock held: retry this micro-op on a later step
+            except ConflictAbort:
+                # Deadlock victim: the database killed the transaction.
+                completed += 1
+                builder.fail(client.process, None)
+                client.reset()
+            continue
+
+        # Commit point.
+        completed += 1
+        if rng.random() < config.abort_probability:
+            # Client-initiated rollback.  A correct database discards the
+            # transaction's effects; read-uncommitted already leaked them.
+            db.abort(client.db_txn)
+            builder.fail(client.process, None)
+            client.reset()
+            continue
+        if rng.random() < config.crash_probability:
+            if rng.random() < config.crash_commit_probability:
+                try:
+                    db.commit(client.db_txn)
+                except ConflictAbort:
+                    pass
+            else:
+                db.abort(client.db_txn)
+            builder.info(client.process, None)
+            client.process = next_process  # reincarnate (Jepsen-style)
+            next_process += 1
+        else:
+            try:
+                commit_ts = db.commit(client.db_txn)
+                builder.ok(
+                    client.process,
+                    client.executed,
+                    ts=commit_ts if config.expose_timestamps else None,
+                )
+            except ConflictAbort:
+                builder.fail(client.process, None)
+        client.reset()
+
+    # Close out in-flight transactions as indeterminate.
+    return builder.build()

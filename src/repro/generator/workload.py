@@ -1,0 +1,110 @@
+"""Random transaction generation (§7).
+
+The paper's tests "generated transactions of varying length (typically 1-10
+operations) comprised of random reads and writes over a handful of objects",
+with "anywhere from one to 1024 writes per object".  This module mirrors
+that: a rotating pool of active keys, uniform read/write mixes, and
+globally-unique write arguments so every history is recoverable by
+construction.
+
+Generated micro-ops are *invocations*: reads carry ``value=None`` until the
+database fills them in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import GeneratorError
+from ..history.ops import ADD, APPEND, INCREMENT, WRITE, MicroOp, r
+
+#: Write micro-op function per workload name.
+WORKLOAD_WRITE_FNS = {
+    "list-append": APPEND,
+    "rw-register": WRITE,
+    "grow-set": ADD,
+    "counter": INCREMENT,
+}
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of generated transactions.
+
+    ``active_keys`` is the size of the live key pool; once a key has
+    received ``max_writes_per_key`` writes it retires and a fresh key takes
+    its place (stressing object-creation paths, as §7 describes).
+    """
+
+    workload: str = "list-append"
+    active_keys: int = 5
+    max_writes_per_key: int = 100
+    min_txn_len: int = 1
+    max_txn_len: int = 5
+    read_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_WRITE_FNS:
+            raise GeneratorError(
+                f"unknown workload {self.workload!r}; "
+                f"known: {sorted(WORKLOAD_WRITE_FNS)}"
+            )
+        if self.min_txn_len < 1 or self.max_txn_len < self.min_txn_len:
+            raise GeneratorError(
+                f"bad transaction length range "
+                f"[{self.min_txn_len}, {self.max_txn_len}]"
+            )
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise GeneratorError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        if self.active_keys < 1 or self.max_writes_per_key < 1:
+            raise GeneratorError("need at least one key and one write per key")
+
+
+class TransactionGenerator:
+    """Produces invocation micro-op lists, managing key rotation and
+    argument uniqueness."""
+
+    def __init__(self, config: WorkloadConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        self._write_fn = WORKLOAD_WRITE_FNS[config.workload]
+        self._next_key = config.active_keys
+        self._pool: List[int] = list(range(config.active_keys))
+        self._writes_per_key: Dict[int, int] = {}
+        self._next_value = 0
+
+    def _fresh_value(self) -> int:
+        self._next_value += 1
+        return self._next_value
+
+    def _rotate(self, slot: int) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._pool[slot] = key
+        return key
+
+    def next_txn(self) -> List[MicroOp]:
+        """One random transaction's invocation micro-ops."""
+        cfg = self.config
+        length = self.rng.randint(cfg.min_txn_len, cfg.max_txn_len)
+        mops: List[MicroOp] = []
+        for _ in range(length):
+            slot = self.rng.randrange(len(self._pool))
+            key = self._pool[slot]
+            if self.rng.random() < cfg.read_fraction:
+                mops.append(r(key))
+                continue
+            count = self._writes_per_key.get(key, 0)
+            if count >= cfg.max_writes_per_key:
+                key = self._rotate(slot)
+                count = 0
+            self._writes_per_key[key] = count + 1
+            if self._write_fn == INCREMENT:
+                mops.append(MicroOp(INCREMENT, key, 1))
+            else:
+                mops.append(MicroOp(self._write_fn, key, self._fresh_value()))
+        return mops

@@ -1,0 +1,39 @@
+"""Graph substrate: labeled digraphs, SCCs, cycle searches, interval orders.
+
+This package is Elle's graph-theoretic machine room.  It knows nothing about
+transactions or isolation levels — it deals in hashable nodes and integer
+edge bitmasks.  The :mod:`repro.core` package assigns meaning to the bits.
+"""
+
+from .cycles import (
+    Cycle,
+    cycle_edge_labels,
+    cycle_edges,
+    find_cycle,
+    find_cycle_with_first_edge,
+    find_cycles,
+    shortest_cycle_in_component,
+    shortest_path,
+)
+from .digraph import ALL_EDGES, LabeledDiGraph
+from .dot import cycle_to_dot, graph_to_dot
+from .intervals import interval_precedence_edges
+from .tarjan import cyclic_components, strongly_connected_components
+
+__all__ = [
+    "ALL_EDGES",
+    "Cycle",
+    "LabeledDiGraph",
+    "cycle_edge_labels",
+    "cycle_edges",
+    "cycle_to_dot",
+    "cyclic_components",
+    "find_cycle",
+    "find_cycle_with_first_edge",
+    "find_cycles",
+    "graph_to_dot",
+    "interval_precedence_edges",
+    "shortest_cycle_in_component",
+    "shortest_path",
+    "strongly_connected_components",
+]

@@ -1,0 +1,153 @@
+"""Cycle searches over labeled dependency graphs.
+
+Implements the search strategy from §6 of the paper: Tarjan's algorithm
+identifies strongly connected components, then a breadth-first search inside
+each component finds a *short* cycle — short cycles make for readable
+counterexamples.  Two search shapes cover every anomaly class:
+
+* ``find_cycle`` — any cycle using edges visible under a mask (G0, G1c, and
+  the "at least one read-write edge" case of G2 via a required first edge).
+* ``find_cycle_with_first_edge`` — a cycle that traverses exactly one edge
+  from a designated mask and completes using only edges from another mask.
+  This is the paper's G-single search: follow exactly one read-write
+  (anti-dependency) edge, then return via write-write / write-read edges.
+
+Cycles are returned as node lists whose first and last element coincide:
+``[t1, t2, t3, t1]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .digraph import ALL_EDGES, LabeledDiGraph, Node
+from .tarjan import cyclic_components
+
+Cycle = List[Node]
+
+
+def shortest_path(
+    graph: LabeledDiGraph,
+    source: Node,
+    target: Node,
+    mask: int = ALL_EDGES,
+    restrict: Optional[Set[Node]] = None,
+) -> Optional[List[Node]]:
+    """Breadth-first shortest path ``source -> ... -> target`` under ``mask``.
+
+    ``restrict``, when given, confines the search to a node subset (the SCC
+    under examination).  Returns the node list including both endpoints, or
+    ``None``.  A direct edge ``source -> target`` yields ``[source, target]``;
+    if ``source == target`` the path is a proper cycle of length >= 1 edge.
+    """
+    if source not in graph:
+        return None
+    parent = {}
+    queue = deque([source])
+    seen = {source}
+    # When source == target we must leave the node and come back, so the
+    # target check happens on edge traversal, not on dequeue.
+    while queue:
+        node = queue.popleft()
+        for succ in graph.successors(node, mask):
+            if restrict is not None and succ not in restrict:
+                continue
+            if succ == target:
+                path = [target, node]
+                while node != source:
+                    node = parent[node]
+                    path.append(node)
+                path.reverse()
+                return path
+            if succ not in seen:
+                seen.add(succ)
+                parent[succ] = node
+                queue.append(succ)
+    return None
+
+
+def shortest_cycle_in_component(
+    graph: LabeledDiGraph,
+    component: Sequence[Node],
+    mask: int = ALL_EDGES,
+) -> Optional[Cycle]:
+    """The shortest cycle through any node of ``component`` under ``mask``.
+
+    Scans members in order, BFS-ing from each back to itself, and keeps the
+    shortest result.  Stops early on a 2-cycle since nothing shorter exists
+    (self-loops are found first, as paths of one edge).
+    """
+    members = set(component)
+    best: Optional[Cycle] = None
+    for node in component:
+        path = shortest_path(graph, node, node, mask, restrict=members)
+        if path is None:
+            continue
+        if best is None or len(path) < len(best):
+            best = path
+            if len(best) <= 3:  # self-loop or 2-cycle: minimal possible
+                break
+    return best
+
+
+def find_cycle(graph: LabeledDiGraph, mask: int = ALL_EDGES) -> Optional[Cycle]:
+    """A single short cycle under ``mask``, or None if the graph is acyclic."""
+    for component in cyclic_components(graph, mask):
+        cycle = shortest_cycle_in_component(graph, component, mask)
+        if cycle is not None:
+            return cycle
+    return None
+
+
+def find_cycles(graph: LabeledDiGraph, mask: int = ALL_EDGES) -> List[Cycle]:
+    """One short cycle per cyclic strongly-connected component."""
+    cycles = []
+    for component in cyclic_components(graph, mask):
+        cycle = shortest_cycle_in_component(graph, component, mask)
+        if cycle is not None:
+            cycles.append(cycle)
+    return cycles
+
+
+def find_cycle_with_first_edge(
+    graph: LabeledDiGraph,
+    first_mask: int,
+    rest_mask: int,
+    components: Optional[Iterable[Sequence[Node]]] = None,
+) -> Optional[Cycle]:
+    """A cycle taking exactly one ``first_mask`` edge, then ``rest_mask`` edges.
+
+    Components are discovered over the union mask (a cycle mixing both kinds
+    of edges lives in an SCC of the union graph).  For each member ``u`` and
+    each edge ``u -> v`` matching ``first_mask`` inside the component, BFS
+    searches ``v -> u`` using only ``rest_mask`` edges.  If ``rest_mask``
+    excludes ``first_mask`` bits, the resulting cycle contains *exactly one*
+    ``first_mask`` edge — the G-single property.
+    """
+    union = first_mask | rest_mask
+    if components is None:
+        components = cyclic_components(graph, union)
+    for component in components:
+        members = set(component)
+        for u in component:
+            for v, _label in graph.out_edges(u, first_mask):
+                if v not in members:
+                    continue
+                if v == u:
+                    # Self-loop on the first edge alone forms the cycle.
+                    return [u, u]
+                path = shortest_path(graph, v, u, rest_mask, restrict=members)
+                if path is not None:
+                    return [u] + path
+    return None
+
+
+def cycle_edges(cycle: Sequence[Node]) -> List[tuple]:
+    """The ``(u, v)`` pairs traversed by a cycle node-list."""
+    return [(cycle[i], cycle[i + 1]) for i in range(len(cycle) - 1)]
+
+
+def cycle_edge_labels(graph: LabeledDiGraph, cycle: Sequence[Node]) -> List[int]:
+    """Bitmask labels along a cycle's edges, in traversal order."""
+    return [graph.edge_label(u, v) for u, v in cycle_edges(cycle)]

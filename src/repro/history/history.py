@@ -1,0 +1,290 @@
+"""Histories: ordered sequences of observed operations.
+
+A :class:`History` is the checker's input — the paper's *observation* O.  It
+holds invocation/completion ops in index order and pairs them into
+:class:`~repro.history.ops.Transaction` views.
+
+Pairing rules (matching Jepsen's semantics):
+
+* Each logical process is single-threaded: an invocation on process ``p`` is
+  paired with the next completion on ``p``.
+* A process with a pending invocation cannot invoke again (that would mean
+  two concurrent transactions on a single-threaded client).
+* An invocation that never completes becomes an *indeterminate* transaction
+  (``info``): the client crashed or timed out without learning the outcome.
+
+Convenience constructors build histories from compact transaction tuples so
+tests and examples don't need to spell out invoke/complete pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import HistoryError
+from .ops import COMPLETION_TYPES, MicroOp, Op, OpType, Transaction
+
+CompactTxn = Tuple[Union[str, OpType], int, Sequence[MicroOp]]
+
+
+def _coerce_type(value: Union[str, OpType]) -> OpType:
+    if isinstance(value, OpType):
+        return value
+    try:
+        return OpType(value)
+    except ValueError:
+        raise HistoryError(f"unknown op type {value!r}") from None
+
+
+class History:
+    """An observation: operations in index order plus their transaction views."""
+
+    __slots__ = ("ops", "transactions", "_by_id")
+
+    def __init__(self, ops: Sequence[Op]) -> None:
+        self.ops: Tuple[Op, ...] = tuple(ops)
+        self._validate_indices()
+        self.transactions: List[Transaction] = self._pair()
+        self._by_id: Dict[int, Transaction] = {
+            t.id: t for t in self.transactions
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+
+    @classmethod
+    def of(cls, *txns: CompactTxn) -> "History":
+        """Build a history of sequential (non-overlapping) transactions.
+
+        Each argument is ``(type, process, micro_ops)`` where ``type`` is
+        ``"ok"``, ``"fail"`` or ``"info"``.  Transactions execute one after
+        another in argument order, so the real-time order equals the given
+        order.  Use :class:`HistoryBuilder` for concurrent structures.
+        """
+        ops: List[Op] = []
+        index = 0
+        for type_, process, mops in txns:
+            completion = _coerce_type(type_)
+            if completion not in COMPLETION_TYPES:
+                raise HistoryError(
+                    f"compact transactions need a completion type, got {type_!r}"
+                )
+            mops = tuple(mops)
+            ops.append(Op(index, OpType.INVOKE, process, mops))
+            ops.append(Op(index + 1, completion, process, mops))
+            index += 2
+        return cls(ops)
+
+    @classmethod
+    def interleaved(cls, *txns: CompactTxn) -> "History":
+        """Build a history where *all* transactions are mutually concurrent.
+
+        Every transaction is invoked before any completes, so real-time
+        inference yields no edges between them.  Processes must be distinct.
+        """
+        invokes: List[Op] = []
+        completes: List[Op] = []
+        seen = set()
+        for i, (type_, process, mops) in enumerate(txns):
+            if process in seen:
+                raise HistoryError(
+                    f"process {process} appears twice; concurrent transactions "
+                    "need distinct processes"
+                )
+            seen.add(process)
+            completion = _coerce_type(type_)
+            mops = tuple(mops)
+            invokes.append(Op(i, OpType.INVOKE, process, mops))
+            completes.append(Op(len(txns) + i, completion, process, mops))
+        return cls(invokes + completes)
+
+    # ------------------------------------------------------------------
+    # Pairing
+
+    def _validate_indices(self) -> None:
+        last = None
+        for op in self.ops:
+            if last is not None and op.index <= last:
+                raise HistoryError(
+                    f"op indices must be strictly increasing; {op.index} after {last}"
+                )
+            last = op.index
+
+    def _pair(self) -> List[Transaction]:
+        pending: Dict[int, Op] = {}
+        txns: List[Transaction] = []
+        for op in self.ops:
+            if op.is_invoke:
+                if op.process in pending:
+                    raise HistoryError(
+                        f"process {op.process} invoked at index {op.index} while "
+                        f"index {pending[op.process].index} is still pending"
+                    )
+                pending[op.process] = op
+            else:
+                invoke = pending.pop(op.process, None)
+                if invoke is None:
+                    raise HistoryError(
+                        f"completion at index {op.index} on process {op.process} "
+                        "has no pending invocation"
+                    )
+                mops = op.value if op.value is not None else invoke.value
+                txns.append(
+                    Transaction(
+                        id=invoke.index,
+                        process=op.process,
+                        type=op.type,
+                        mops=tuple(mops or ()),
+                        invoke_index=invoke.index,
+                        complete_index=op.index,
+                        start_ts=invoke.ts,
+                        commit_ts=op.ts if op.type is OpType.OK else None,
+                    )
+                )
+        # Unclosed invocations: outcome unknown.
+        for invoke in pending.values():
+            txns.append(
+                Transaction(
+                    id=invoke.index,
+                    process=invoke.process,
+                    type=OpType.INFO,
+                    mops=tuple(invoke.value or ()),
+                    invoke_index=invoke.index,
+                    complete_index=None,
+                    start_ts=invoke.ts,
+                )
+            )
+        txns.sort(key=lambda t: t.invoke_index)
+        return txns
+
+    # ------------------------------------------------------------------
+    # Access
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __getitem__(self, txn_id: int) -> Transaction:
+        try:
+            return self._by_id[txn_id]
+        except KeyError:
+            raise HistoryError(f"no transaction with id {txn_id}") from None
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops)
+
+    def oks(self) -> List[Transaction]:
+        """Definitely-committed transactions."""
+        return [t for t in self.transactions if t.committed]
+
+    def fails(self) -> List[Transaction]:
+        """Definitely-aborted transactions."""
+        return [t for t in self.transactions if t.aborted]
+
+    def infos(self) -> List[Transaction]:
+        """Indeterminate transactions."""
+        return [t for t in self.transactions if t.indeterminate]
+
+    def possibly_committed(self) -> List[Transaction]:
+        """Transactions that committed in at least one interpretation (ok | info)."""
+        return [t for t in self.transactions if not t.aborted]
+
+    def processes(self) -> List[int]:
+        """Distinct processes, in first-appearance order."""
+        seen: Dict[int, None] = {}
+        for t in self.transactions:
+            seen.setdefault(t.process, None)
+        return list(seen)
+
+    @property
+    def max_index(self) -> int:
+        return self.ops[-1].index if self.ops else -1
+
+    def __repr__(self) -> str:
+        return f"History({len(self.transactions)} txns, {len(self.ops)} ops)"
+
+
+class HistoryBuilder:
+    """Incrementally record invocations and completions with auto indices.
+
+    The generator's client runner and tests use this to express arbitrary
+    concurrency structures::
+
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.invoke(1, [r("x")])
+        b.ok(0, [append("x", 1)])
+        b.ok(1, [r("x", [1])])
+        history = b.build()
+    """
+
+    __slots__ = ("_ops", "_pending")
+
+    def __init__(self) -> None:
+        self._ops: List[Op] = []
+        self._pending: Dict[int, int] = {}
+
+    @property
+    def next_index(self) -> int:
+        return len(self._ops)
+
+    def invoke(
+        self,
+        process: int,
+        mops: Sequence[MicroOp],
+        ts: Optional[int] = None,
+    ) -> int:
+        """Record an invocation; returns its index (the transaction id).
+
+        ``ts`` is the database-exposed snapshot timestamp, if any (§5.1).
+        """
+        if process in self._pending:
+            raise HistoryError(
+                f"process {process} already has a pending invocation"
+            )
+        index = len(self._ops)
+        self._ops.append(Op(index, OpType.INVOKE, process, tuple(mops), ts))
+        self._pending[process] = index
+        return index
+
+    def _complete(
+        self,
+        process: int,
+        type_: OpType,
+        mops: Optional[Sequence[MicroOp]],
+        ts: Optional[int] = None,
+    ) -> int:
+        if process not in self._pending:
+            raise HistoryError(f"process {process} has no pending invocation")
+        del self._pending[process]
+        index = len(self._ops)
+        value = tuple(mops) if mops is not None else None
+        self._ops.append(Op(index, type_, process, value, ts))
+        return index
+
+    def ok(
+        self,
+        process: int,
+        mops: Sequence[MicroOp],
+        ts: Optional[int] = None,
+    ) -> int:
+        """Record a committed completion with its observed read values.
+
+        ``ts`` is the database-exposed commit timestamp, if any (§5.1).
+        """
+        return self._complete(process, OpType.OK, mops, ts)
+
+    def fail(self, process: int, mops: Optional[Sequence[MicroOp]] = None) -> int:
+        """Record a definite abort."""
+        return self._complete(process, OpType.FAIL, mops)
+
+    def info(self, process: int, mops: Optional[Sequence[MicroOp]] = None) -> int:
+        """Record an indeterminate completion (timeout, crash)."""
+        return self._complete(process, OpType.INFO, mops)
+
+    def build(self) -> History:
+        """Finish and produce the History (pending invocations become info)."""
+        return History(self._ops)

@@ -1,0 +1,5 @@
+"""Text rendering helpers for benchmark output."""
+
+from .ascii import ascii_plot, render_table
+
+__all__ = ["ascii_plot", "render_table"]

@@ -1,0 +1,82 @@
+"""ASCII tables and scatter plots for the benchmark harness.
+
+The paper's Figure 4 plots checker runtime against history length for
+several concurrency levels.  These helpers render the same series as
+monospace text, so the benchmark harness can regenerate the figure without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A fixed-width table: headers, separator, rows."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: Dict[str, List[Point]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Scatter-plot several named series on one ASCII canvas.
+
+    Each series gets a distinct mark (its label's first character).  Axes
+    are linear and annotated with min/max values.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for label, pts in series.items():
+        mark = label[0] if label else "*"
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_text = f"{y_hi:.3g}"
+    y_lo_text = f"{y_lo:.3g}"
+    margin = max(len(y_hi_text), len(y_lo_text), len(y_label)) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = y_hi_text.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_text.rjust(margin)
+        elif i == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "  ".join(f"{label[0]}={label}" for label in series)
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Tests for the Knossos-style search baseline."""
+
+import pytest
+
+from repro.baselines import check_serializable, check_strict_serializable
+from repro.history import History, HistoryBuilder, append, r, w
+
+
+class TestSerializable:
+    def test_empty_history(self):
+        result = check_serializable(History([]))
+        assert result.valid is True
+
+    def test_serial_appends(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1]), append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2])]),
+        )
+        assert check_serializable(h).valid is True
+
+    def test_reordering_found(self):
+        # Observed order is T_reader then T_writer, but a serialization
+        # exists with the writer first.
+        h = History.interleaved(
+            ("ok", 0, [r("x", [1])]),
+            ("ok", 1, [append("x", 1)]),
+        )
+        assert check_serializable(h).valid is True
+
+    def test_g1c_not_serializable(self):
+        h = History.interleaved(
+            ("ok", 0, [append("x", 1), r("y", [2])]),
+            ("ok", 1, [append("y", 2), r("x", [1])]),
+        )
+        assert check_serializable(h).valid is False
+
+    def test_write_skew_not_serializable(self):
+        h = History.interleaved(
+            ("ok", 0, [r("x", []), r("y", []), append("x", 1)]),
+            ("ok", 1, [r("x", []), r("y", []), append("y", 1)]),
+            ("ok", 2, [r("x", [1]), r("y", [1])]),
+        )
+        assert check_serializable(h).valid is False
+
+    def test_failed_txns_must_not_apply(self):
+        h = History.of(
+            ("fail", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [])]),
+        )
+        assert check_serializable(h).valid is True
+
+    def test_failed_write_observed_is_unserializable(self):
+        h = History.of(
+            ("fail", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert check_serializable(h).valid is False
+
+    def test_info_txns_optional(self):
+        # The info append may or may not have committed; both observations
+        # below are satisfiable.
+        h1 = History.of(
+            ("info", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert check_serializable(h1).valid is True
+        h2 = History.of(
+            ("info", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [])]),
+        )
+        assert check_serializable(h2).valid is True
+
+    def test_registers_supported(self):
+        h = History.of(
+            ("ok", 0, [w("x", 1)]),
+            ("ok", 1, [r("x", 1), w("x", 2)]),
+            ("ok", 2, [r("x", 2)]),
+        )
+        assert check_serializable(h).valid is True
+
+    def test_lost_update_registers_unserializable(self):
+        h = History.interleaved(
+            ("ok", 0, [r("x", None), w("x", 1)]),
+            ("ok", 1, [r("x", None), w("x", 2)]),
+            ("ok", 2, [r("x", 1)]),
+            ("ok", 3, [r("x", 2)]),
+        )
+        assert check_serializable(h).valid is False
+
+    def test_linearization_returned(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        result = check_serializable(h)
+        assert result.valid
+        assert result.linearization is not None
+        assert set(result.linearization) == {0, 2}
+
+
+class TestStrictSerializable:
+    def test_realtime_violation_caught(self):
+        # T0 commits, then T1 starts and reads the initial state: legal
+        # under serializability, illegal under strict serializability.
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.ok(0, [append("x", 1)])
+        b.invoke(1, [r("x", None)])
+        b.ok(1, [r("x", [])])
+        h = b.build()
+        assert check_strict_serializable(h).valid is False
+        assert check_serializable(h).valid is True
+
+    def test_concurrent_reorder_allowed(self):
+        h = History.interleaved(
+            ("ok", 0, [r("x", [1])]),
+            ("ok", 1, [append("x", 1)]),
+        )
+        assert check_strict_serializable(h).valid is True
+
+    def test_pending_info_at_end(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])  # never completes
+        b.invoke(1, [r("x", None)])
+        b.ok(1, [r("x", [])])
+        h = b.build()
+        assert check_strict_serializable(h).valid is True
+
+
+class TestCaps:
+    def test_state_cap_returns_unknown(self):
+        # An unserializable instance forces exhaustive search, which the
+        # state cap cuts short: outcome unknown.
+        h = History.interleaved(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("y", 1)]),
+            ("ok", 2, [r("x", [1]), r("y", [])]),
+            ("ok", 3, [r("x", []), r("y", [1])]),
+            ("ok", 4, [append("z", 1)]),
+            ("ok", 5, [append("w", 1)]),
+        )
+        result = check_serializable(h, timeout_s=None, max_states=10)
+        assert result.valid is None
+        assert result.timed_out
+
+    def test_states_explored_counted(self):
+        h = History.of(("ok", 0, [append("x", 1)]))
+        result = check_serializable(h)
+        assert result.states_explored >= 1

@@ -1,0 +1,141 @@
+"""Tests for the public API surfaces: analyze, Analysis, results, errors."""
+
+import pytest
+
+from repro import Analysis, ReproError, WorkloadError, check
+from repro.core import WR, WW, analyze, register_analyzer
+from repro.core.analysis import Evidence
+from repro.core.checker import ANALYZERS
+from repro.errors import GeneratorError, HistoryError
+from repro.history import History, append, r, w
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (HistoryError, WorkloadError, GeneratorError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise WorkloadError("x")
+
+
+class TestAnalyzeFunction:
+    def test_returns_analysis(self):
+        h = History.of(("ok", 0, [append("x", 1)]))
+        analysis = analyze(h, workload="list-append")
+        assert isinstance(analysis, Analysis)
+        assert analysis.workload == "list-append"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            analyze(History([]), workload="btree")
+
+    def test_options_forwarded(self):
+        h = History.of(("ok", 0, [w("x", 1)]))
+        analysis = analyze(
+            h, workload="rw-register", sources=("initial-state",)
+        )
+        assert analysis.workload == "rw-register"
+
+    def test_wrong_workload_mops_rejected(self):
+        h = History.of(("ok", 0, [w("x", 1)]))
+        with pytest.raises(WorkloadError, match="cannot interpret"):
+            analyze(h, workload="list-append")
+
+
+class TestRegisterAnalyzer:
+    def test_custom_analyzer_dispatch(self):
+        calls = []
+
+        def fake(history, **kw):
+            calls.append(kw)
+            return Analysis(history=history, workload="custom")
+
+        register_analyzer("custom", fake)
+        try:
+            result = check(History([]), workload="custom")
+            assert result.valid
+            assert calls and "process_edges" in calls[0]
+        finally:
+            del ANALYZERS["custom"]
+
+
+class TestAnalysisContainer:
+    def make(self):
+        h = History.of(("ok", 0, [append("x", 1)]), ("ok", 1, [r("x", [1])]))
+        return Analysis(history=h, workload="list-append")
+
+    def test_self_edges_dropped(self):
+        a = self.make()
+        a.add_edge(0, 0, Evidence(kind=WW))
+        assert a.graph.edge_count == 0
+
+    def test_first_evidence_wins(self):
+        a = self.make()
+        a.add_edge(0, 2, Evidence(kind=WR, key="x", value=1))
+        a.add_edge(0, 2, Evidence(kind=WR, key="x", value=99))
+        assert a.edge_evidence(0, 2, WR).value == 1
+
+    def test_missing_evidence_is_none(self):
+        a = self.make()
+        assert a.edge_evidence(0, 2, WW) is None
+
+    def test_merge_combines(self):
+        a = self.make()
+        b = Analysis(history=a.history, workload="list-append")
+        a.add_edge(0, 2, Evidence(kind=WR))
+        b.add_edge(2, 0, Evidence(kind=WW))
+        a.merge(b)
+        assert a.graph.has_edge(0, 2, WR)
+        assert a.graph.has_edge(2, 0, WW)
+
+    def test_txn_lookup(self):
+        a = self.make()
+        assert a.txn(0).committed
+
+
+class TestCheckResult:
+    def test_valid_report_succinct(self):
+        result = check(History.of(("ok", 0, [append("x", 1)])))
+        report = result.report()
+        assert report.startswith("VALID")
+        assert "Not:" not in report
+
+    def test_counts_via_anomalies_of(self):
+        result = check(
+            History.of(
+                ("fail", 0, [append("x", 1)]),
+                ("ok", 1, [r("x", [1])]),
+            ),
+            consistency_model="read-committed",
+        )
+        assert len(result.anomalies_of("G1a")) == 1
+
+    def test_report_lists_every_anomaly(self):
+        result = check(
+            History.of(
+                ("fail", 0, [append("x", 1)]),
+                ("ok", 1, [r("x", [1, 7])]),
+            ),
+            consistency_model="read-committed",
+        )
+        report = result.report()
+        assert "[G1a]" in report
+        assert "[garbage-read]" in report
+
+
+class TestReprs:
+    def test_op_and_txn_reprs_render(self):
+        h = History.of(("ok", 3, [append("x", 1), r("y", [2])]))
+        txn = h.transactions[0]
+        assert "T0" in repr(txn)
+        assert ":append" in repr(txn)
+        assert "History(" in repr(h)
+
+    def test_graph_repr(self):
+        from repro.graph import LabeledDiGraph
+
+        g = LabeledDiGraph()
+        g.add_edge(1, 2, 1)
+        assert "nodes=2" in repr(g)

@@ -1,0 +1,153 @@
+"""Tests for the consistency-model lattice and anomaly interpretation."""
+
+import pytest
+
+from repro.core.consistency import (
+    ALL_MODELS,
+    ANOMALY_RULES_OUT,
+    IMPLIES,
+    anomalies_forbidden_by,
+    implies,
+    impossible_models,
+    strongest_satisfiable,
+    weakest_violated,
+)
+
+
+class TestLattice:
+    def test_implies_is_reflexive(self):
+        for model in ALL_MODELS:
+            assert implies(model, model)
+
+    def test_strict_serializable_implies_everything_weaker(self):
+        for weaker in (
+            "serializable",
+            "snapshot-isolation",
+            "repeatable-read",
+            "read-committed",
+            "read-uncommitted",
+        ):
+            assert implies("strict-serializable", weaker)
+
+    def test_serializable_does_not_imply_strict(self):
+        assert not implies("serializable", "strict-serializable")
+
+    def test_si_and_repeatable_read_incomparable(self):
+        assert not implies("snapshot-isolation", "repeatable-read")
+        assert not implies("repeatable-read", "snapshot-isolation")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown consistency model"):
+            implies("serializable", "linearizable-ish")
+
+    def test_lattice_is_acyclic(self):
+        for stronger, weaker_set in IMPLIES.items():
+            for weaker in weaker_set:
+                assert not implies(weaker, stronger), (
+                    f"{stronger} <-> {weaker} forms a cycle"
+                )
+
+    def test_every_anomaly_maps_to_known_models(self):
+        for anomaly, models in ANOMALY_RULES_OUT.items():
+            for model in models:
+                assert model in ALL_MODELS, (anomaly, model)
+
+
+class TestImpossibleModels:
+    def test_g0_kills_everything(self):
+        assert impossible_models(["G0"]) == ALL_MODELS
+
+    def test_g1c_spares_read_uncommitted(self):
+        impossible = impossible_models(["G1c"])
+        assert "read-uncommitted" not in impossible
+        assert "read-committed" in impossible
+        assert "serializable" in impossible
+
+    def test_g2_item_spares_snapshot_isolation(self):
+        impossible = impossible_models(["G2-item"])
+        assert "snapshot-isolation" not in impossible  # write skew legal
+        assert "repeatable-read" in impossible
+        assert "serializable" in impossible
+
+    def test_g_single_kills_snapshot_isolation(self):
+        impossible = impossible_models(["G-single"])
+        assert "snapshot-isolation" in impossible
+        assert "serializable" in impossible
+        assert "parallel-snapshot-isolation" not in impossible
+
+    def test_lost_update_kills_si_and_cursor_stability(self):
+        impossible = impossible_models(["lost-update"])
+        assert "snapshot-isolation" in impossible
+        assert "cursor-stability" in impossible
+        assert "repeatable-read" in impossible
+        assert "read-committed" not in impossible
+
+    def test_realtime_variants_spare_serializable(self):
+        impossible = impossible_models(["G2-item-realtime"])
+        assert impossible == {"strict-serializable"}
+
+    def test_process_variants_kill_session_models(self):
+        impossible = impossible_models(["G-single-process"])
+        assert "strong-session-serializable" in impossible
+        assert "strict-serializable" in impossible
+        assert "serializable" not in impossible
+        assert "snapshot-isolation" not in impossible
+
+    def test_internal_kills_atomic_view_up(self):
+        impossible = impossible_models(["internal"])
+        assert "monotonic-atomic-view" in impossible
+        assert "snapshot-isolation" in impossible
+        assert "read-committed" not in impossible
+
+    def test_cyclic_versions_rules_out_nothing(self):
+        assert impossible_models(["cyclic-versions"]) == frozenset()
+
+    def test_empty_input(self):
+        assert impossible_models([]) == frozenset()
+
+
+class TestBoundaries:
+    def test_weakest_violated_is_minimal(self):
+        not_ = weakest_violated(["G-single"])
+        assert not_ == {"consistent-view"}
+
+    def test_strongest_satisfiable_complements(self):
+        alive = strongest_satisfiable(["G2-item"])
+        # SI survives write skew; its strongest strengthening is maximal.
+        assert alive == {"strong-snapshot-isolation"}
+        assert "serializable" not in impossible_models([]) - impossible_models(["G2-item"])
+
+    def test_no_anomalies_leaves_strict_serializable(self):
+        assert strongest_satisfiable([]) == {"strict-serializable"}
+
+
+class TestForbiddenBy:
+    def test_serializable_forbids_g2(self):
+        forbidden = anomalies_forbidden_by("serializable")
+        assert "G2-item" in forbidden
+        assert "G-single" in forbidden
+        assert "G1a" in forbidden
+        assert "G2-item-realtime" not in forbidden
+
+    def test_strict_serializable_forbids_realtime_cycles(self):
+        forbidden = anomalies_forbidden_by("strict-serializable")
+        assert "G2-item-realtime" in forbidden
+        assert "G-single-realtime" in forbidden
+
+    def test_snapshot_isolation_allows_g2(self):
+        forbidden = anomalies_forbidden_by("snapshot-isolation")
+        assert "G2-item" not in forbidden
+        assert "G-single" in forbidden
+        assert "lost-update" in forbidden
+
+    def test_read_committed_allows_read_skew(self):
+        forbidden = anomalies_forbidden_by("read-committed")
+        assert "G-single" not in forbidden
+        assert "G1a" in forbidden
+        assert "G1b" in forbidden
+        assert "G1c" in forbidden
+
+    def test_read_uncommitted_still_forbids_g0(self):
+        forbidden = anomalies_forbidden_by("read-uncommitted")
+        assert "G0" in forbidden
+        assert "G1a" not in forbidden

@@ -1,0 +1,127 @@
+"""Tests for internal-consistency checks across all four workloads."""
+
+import pytest
+
+from repro.core.internal import (
+    check_internal,
+    check_internal_counter,
+    check_internal_grow_set,
+    check_internal_list_append,
+    check_internal_register,
+)
+from repro.history import OpType, Transaction, add, append, inc, r, w
+
+
+def txn(mops):
+    return Transaction(
+        id=7, process=0, type=OpType.OK, mops=tuple(mops),
+        invoke_index=0, complete_index=1,
+    )
+
+
+class TestListAppendInternal:
+    def test_consistent_txn_passes(self):
+        t = txn([r("x", [1]), append("x", 2), r("x", [1, 2])])
+        assert check_internal_list_append(t) == []
+
+    def test_fauna_case_append_then_nil_read(self):
+        # §7.3: T1: append(0, 6), r(0, nil) — reads fail to observe own write.
+        t = txn([append(0, 6), r(0, [])])
+        problems = check_internal_list_append(t)
+        assert len(problems) == 1
+        assert problems[0].name == "internal"
+        assert problems[0].txns == (7,)
+
+    def test_read_disagrees_with_prior_read(self):
+        t = txn([r("x", [1, 2]), r("x", [1])])
+        assert len(check_internal_list_append(t)) == 1
+
+    def test_read_consistent_after_own_appends(self):
+        t = txn([r("x", [5]), append("x", 6), append("x", 7), r("x", [5, 6, 7])])
+        assert check_internal_list_append(t) == []
+
+    def test_read_missing_own_middle_append(self):
+        t = txn([r("x", [5]), append("x", 6), r("x", [5])])
+        assert len(check_internal_list_append(t)) == 1
+
+    def test_unknown_prefix_suffix_match(self):
+        # No prior read: the read must end with our own appends.
+        t = txn([append("x", 9), r("x", [1, 2, 9])])
+        assert check_internal_list_append(t) == []
+
+    def test_unknown_prefix_suffix_mismatch(self):
+        t = txn([append("x", 9), r("x", [1, 2])])
+        assert len(check_internal_list_append(t)) == 1
+
+    def test_unknown_read_values_skipped(self):
+        t = txn([append("x", 1), r("x", None)])
+        assert check_internal_list_append(t) == []
+
+    def test_keys_tracked_independently(self):
+        t = txn([append("x", 1), r("y", [3]), r("x", [1])])
+        assert check_internal_list_append(t) == []
+
+    def test_multiple_violations_all_reported(self):
+        t = txn([r("x", [1]), r("x", [2]), r("x", [3])])
+        assert len(check_internal_list_append(t)) == 2
+
+
+class TestRegisterInternal:
+    def test_write_then_matching_read(self):
+        assert check_internal_register(txn([w("x", 2), r("x", 2)])) == []
+
+    def test_dgraph_case_write_then_stale_read(self):
+        # §7.4: T1: w(10, 2), r(10, 1).
+        t = txn([w(10, 2), r(10, 1)])
+        problems = check_internal_register(t)
+        assert len(problems) == 1
+        assert problems[0].data["expected"] == 2
+        assert problems[0].data["actual"] == 1
+
+    def test_read_read_mismatch(self):
+        assert len(check_internal_register(txn([r("x", 1), r("x", 2)]))) == 1
+
+    def test_read_write_read(self):
+        assert check_internal_register(txn([r("x", 1), w("x", 5), r("x", 5)])) == []
+
+    def test_first_read_unconstrained(self):
+        assert check_internal_register(txn([r("x", 99)])) == []
+
+
+class TestGrowSetInternal:
+    def test_growing_reads_pass(self):
+        t = txn([r("x", {1}), add("x", 2), r("x", {1, 2, 3})])
+        assert check_internal_grow_set(t) == []
+
+    def test_shrinking_read_fails(self):
+        t = txn([r("x", {1, 2}), r("x", {1})])
+        assert len(check_internal_grow_set(t)) == 1
+
+    def test_own_add_missing_fails(self):
+        t = txn([add("x", 5), r("x", {1, 2})])
+        assert len(check_internal_grow_set(t)) == 1
+
+
+class TestCounterInternal:
+    def test_increment_reflected(self):
+        t = txn([r("x", 3), inc("x", 2), r("x", 5)])
+        assert check_internal_counter(t) == []
+
+    def test_increment_lost(self):
+        t = txn([r("x", 3), inc("x", 2), r("x", 3)])
+        problems = check_internal_counter(t)
+        assert len(problems) == 1
+        assert problems[0].data["expected"] == 5
+
+    def test_first_read_unconstrained(self):
+        assert check_internal_counter(txn([inc("x"), r("x", 42)])) == []
+
+
+class TestDispatch:
+    def test_check_internal_routes_by_workload(self):
+        t = txn([w(10, 2), r(10, 1)])
+        assert len(check_internal([t], "rw-register")) == 1
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            check_internal([], "graph-workload")

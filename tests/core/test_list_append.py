@@ -1,0 +1,279 @@
+"""Tests for the list-append analyzer: edges and non-cycle anomalies."""
+
+import pytest
+
+from repro.core import PROCESS, REALTIME, RW, WR, WW, analyze_list_append
+from repro.errors import WorkloadError
+from repro.history import History, HistoryBuilder, append, r
+
+
+def analyze(*txns, **kw):
+    kw.setdefault("process_edges", False)
+    kw.setdefault("realtime_edges", False)
+    return analyze_list_append(History.of(*txns), **kw)
+
+
+def anomaly_names(analysis):
+    return sorted({a.name for a in analysis.anomalies})
+
+
+class TestWriteIndex:
+    def test_duplicate_appends_rejected(self):
+        with pytest.raises(WorkloadError, match="globally unique"):
+            analyze(
+                ("ok", 0, [append("x", 1)]),
+                ("ok", 1, [append("x", 1)]),
+            )
+
+    def test_same_value_different_keys_ok(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("y", 1)]),
+        )
+        assert analysis.anomalies == []
+
+
+class TestWrEdges:
+    def test_wr_from_last_element_writer(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),   # T0 (id 0)
+            ("ok", 1, [append("x", 2)]),   # T1 (id 2)
+            ("ok", 2, [r("x", [1, 2])]),   # T2 (id 4)
+        )
+        g = analysis.graph
+        assert g.has_edge(2, 4, WR)      # writer of 2 -> reader
+        assert not g.has_edge(0, 4, WR)  # earlier writer linked via ww chain
+
+    def test_wr_own_read_no_self_edge(self):
+        analysis = analyze(("ok", 0, [append("x", 1), r("x", [1])]))
+        assert analysis.graph.edge_count == 0
+
+    def test_empty_read_no_wr(self):
+        analysis = analyze(
+            ("ok", 0, [r("x", [])]),
+            ("ok", 1, [append("x", 1)]),
+        )
+        assert not any(
+            label & WR for _u, _v, label in analysis.graph.edges()
+        )
+
+
+class TestWwEdges:
+    def test_chain_follows_trace(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [append("x", 3)]),
+            ("ok", 3, [r("x", [1, 2, 3])]),
+        )
+        g = analysis.graph
+        assert g.has_edge(0, 2, WW)
+        assert g.has_edge(2, 4, WW)
+        assert not g.has_edge(0, 4, WW)  # not transitive
+
+    def test_intermediate_appends_skipped(self):
+        # T0 appends 1 then 3 (1 is intermediate); T1 appends 2 between.
+        # Order [1, 2, 3]: installed versions are [1,2] (T1) and [1,2,3] (T0).
+        analysis = analyze(
+            ("ok", 0, [append("x", 1), append("x", 3)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2, 3])]),
+        )
+        g = analysis.graph
+        assert g.has_edge(2, 0, WW)      # T1 -> T0
+        assert not g.has_edge(0, 2, WW)  # the intermediate 1 orders nothing
+
+    def test_unobserved_appends_unordered(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [r("x", [1])]),  # 2 unobserved
+        )
+        assert not analysis.graph.has_edge(0, 2, WW)
+
+    def test_ww_evidence_records_via(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2])]),
+        )
+        ev = analysis.edge_evidence(0, 2, WW)
+        assert ev.key == "x"
+        assert ev.value == 2 and ev.prev_value == 1
+        assert ev.via == 4
+
+
+class TestRwEdges:
+    def test_reader_of_stale_version(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+            ("ok", 2, [append("x", 2)]),
+            ("ok", 3, [r("x", [1, 2])]),
+        )
+        assert analysis.graph.has_edge(2, 4, RW)  # reader of [1] -> writer of 2
+
+    def test_empty_read_antidepends_on_first_writer(self):
+        analysis = analyze(
+            ("ok", 0, [r("x", [])]),
+            ("ok", 1, [append("x", 1)]),
+            ("ok", 2, [r("x", [1])]),
+        )
+        assert analysis.graph.has_edge(0, 2, RW)
+
+    def test_current_read_no_rw(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert not any(
+            label & RW for _u, _v, label in analysis.graph.edges()
+        )
+
+    def test_rw_skips_to_next_installed(self):
+        # T0 appends 1; T1 appends 2 then 3 (2 intermediate).  A reader of
+        # [1] anti-depends on T1, which installed [1,2,3].
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2), append("x", 3)]),
+            ("ok", 2, [r("x", [1])]),
+            ("ok", 3, [r("x", [1, 2, 3])]),
+        )
+        assert analysis.graph.has_edge(4, 2, RW)
+
+    def test_intermediate_read_no_rw_onto_producer(self):
+        # Reader sees T1's intermediate version [1,2]; the next installed
+        # version belongs to T1 itself, so no anti-dependency is emitted
+        # (the real anomaly is the G1b, reported separately).
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2), append("x", 3)]),
+            ("ok", 2, [r("x", [1, 2])]),
+            ("ok", 3, [r("x", [1, 2, 3])]),
+        )
+        assert not analysis.graph.has_edge(4, 2, RW)
+        assert "G1b" in anomaly_names(analysis)
+
+
+class TestNonCycleAnomalies:
+    def test_aborted_read_g1a(self):
+        analysis = analyze(
+            ("fail", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        names = anomaly_names(analysis)
+        assert "G1a" in names
+
+    def test_info_writer_not_g1a(self):
+        analysis = analyze(
+            ("info", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert "G1a" not in anomaly_names(analysis)
+
+    def test_intermediate_read_g1b(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1), append("x", 2)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert "G1b" in anomaly_names(analysis)
+
+    def test_own_intermediate_read_not_g1b(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1), r("x", [1]), append("x", 2)]),
+        )
+        assert "G1b" not in anomaly_names(analysis)
+
+    def test_final_version_read_not_g1b(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1), append("x", 2)]),
+            ("ok", 1, [r("x", [1, 2])]),
+        )
+        assert "G1b" not in anomaly_names(analysis)
+
+    def test_garbage_read(self):
+        analysis = analyze(("ok", 0, [r("x", [99])]))
+        assert anomaly_names(analysis) == ["garbage-read"]
+
+    def test_duplicate_elements(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1, 1])]),
+        )
+        assert "duplicate-elements" in anomaly_names(analysis)
+
+    def test_dirty_update(self):
+        # Aborted T0's element 1 below committed T1's element 2: T1's
+        # append acted on aborted state.
+        analysis = analyze(
+            ("fail", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2])]),
+        )
+        names = anomaly_names(analysis)
+        assert "dirty-update" in names
+        assert "G1a" in names  # the read itself also saw aborted data
+
+    def test_incompatible_order_blocks_edges(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2])]),
+            ("ok", 3, [r("x", [2, 1])]),
+        )
+        assert "incompatible-order" in anomaly_names(analysis)
+
+    def test_internal_anomaly_surfaces(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1), r("x", [])]),
+        )
+        assert "internal" in anomaly_names(analysis)
+
+    def test_clean_history_no_anomalies(self):
+        analysis = analyze(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1]), append("x", 2)]),
+            ("ok", 2, [r("x", [1, 2])]),
+        )
+        assert analysis.anomalies == []
+
+
+class TestOrderEdges:
+    def test_process_edges_chain_same_process(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 0, [append("x", 2)]),
+            ("ok", 1, [append("y", 1)]),
+        )
+        analysis = analyze_list_append(h, process_edges=True, realtime_edges=False)
+        assert analysis.graph.has_edge(0, 2, PROCESS)
+        assert not analysis.graph.has_edge(2, 4, PROCESS)
+
+    def test_realtime_edges_sequential(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+        )
+        analysis = analyze_list_append(h, process_edges=False, realtime_edges=True)
+        assert analysis.graph.has_edge(0, 2, REALTIME)
+
+    def test_realtime_skips_concurrent(self):
+        h = History.interleaved(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+        )
+        analysis = analyze_list_append(h, process_edges=False, realtime_edges=True)
+        assert not any(
+            label & REALTIME for _u, _v, label in analysis.graph.edges()
+        )
+
+    def test_aborted_txns_excluded_from_orders(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("fail", 0, [append("x", 2)]),
+            ("ok", 0, [append("x", 3)]),
+        )
+        analysis = analyze_list_append(h, process_edges=True, realtime_edges=True)
+        failed = h.transactions[1].id
+        assert failed not in analysis.graph or analysis.graph.out_degree(failed) == 0
+        assert analysis.graph.has_edge(0, 4, PROCESS)

@@ -1,0 +1,124 @@
+"""Tests for object models (Figure 1): versions, writes, traceability."""
+
+import pytest
+
+from repro.core import (
+    AppendList,
+    Counter,
+    GrowSet,
+    Register,
+    is_prefix,
+    longest_common_prefix,
+    model_for,
+    trace,
+)
+
+
+class TestRegister:
+    def test_initial_is_nil(self):
+        assert Register().initial is None
+
+    def test_blind_write_replaces(self):
+        m = Register()
+        assert m.apply(None, 5) == 5
+        assert m.apply(5, 7) == 7
+
+    def test_not_traceable(self):
+        assert not Register().traceable()
+
+
+class TestCounter:
+    def test_initial_zero(self):
+        assert Counter().initial == 0
+
+    def test_increment_accumulates(self):
+        m = Counter()
+        assert m.apply(0, 1) == 1
+        assert m.apply(1, 3) == 4
+
+    def test_not_traceable(self):
+        assert not Counter().traceable()
+
+
+class TestGrowSet:
+    def test_initial_empty(self):
+        assert GrowSet().initial == frozenset()
+
+    def test_add_unions(self):
+        m = GrowSet()
+        v1 = m.apply(m.initial, 1)
+        v2 = m.apply(v1, 2)
+        assert v2 == frozenset({1, 2})
+
+    def test_add_is_idempotent(self):
+        m = GrowSet()
+        v1 = m.apply(frozenset({1}), 1)
+        assert v1 == frozenset({1})
+
+
+class TestAppendList:
+    def test_initial_empty(self):
+        assert AppendList().initial == ()
+
+    def test_append_preserves_order(self):
+        m = AppendList()
+        v = m.apply(m.apply(m.initial, 1), 2)
+        assert v == (1, 2)
+
+    def test_traceable(self):
+        assert AppendList().traceable()
+
+    def test_apply_accepts_lists(self):
+        assert AppendList().apply([1, 2], 3) == (1, 2, 3)
+
+
+class TestTrace:
+    def test_trace_of_empty(self):
+        assert list(trace(())) == [()]
+
+    def test_trace_is_all_prefixes(self):
+        assert list(trace((1, 2, 3))) == [(), (1,), (1, 2), (1, 2, 3)]
+
+    def test_trace_length(self):
+        assert len(list(trace(tuple(range(10))))) == 11
+
+
+class TestPrefix:
+    def test_empty_is_prefix_of_all(self):
+        assert is_prefix((), (1, 2))
+        assert is_prefix((), ())
+
+    def test_proper_prefix(self):
+        assert is_prefix((1,), (1, 2))
+        assert is_prefix((1, 2), (1, 2))
+
+    def test_not_prefix(self):
+        assert not is_prefix((2,), (1, 2))
+        assert not is_prefix((1, 2, 3), (1, 2))
+        assert not is_prefix((1, 3), (1, 2, 3))
+
+    def test_accepts_lists(self):
+        assert is_prefix([1], [1, 2])
+
+
+class TestLongestCommonPrefix:
+    def test_identical(self):
+        assert longest_common_prefix((1, 2), (1, 2)) == (1, 2)
+
+    def test_diverging(self):
+        assert longest_common_prefix((1, 2, 3), (1, 2, 4)) == (1, 2)
+
+    def test_disjoint(self):
+        assert longest_common_prefix((1,), (2,)) == ()
+
+
+class TestModelRegistry:
+    def test_lookup_by_write_fn(self):
+        assert isinstance(model_for("append"), AppendList)
+        assert isinstance(model_for("w"), Register)
+        assert isinstance(model_for("add"), GrowSet)
+        assert isinstance(model_for("inc"), Counter)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            model_for("cas")

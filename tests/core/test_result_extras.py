@@ -1,0 +1,47 @@
+"""Tests for CheckResult conveniences: counts and DOT export."""
+
+from repro import check
+from repro.history import History, append, r
+
+
+def anomalous_result():
+    return check(
+        History.of(
+            ("fail", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+            ("ok", 2, [r("x", [1, 9])]),
+        ),
+        consistency_model="read-committed",
+    )
+
+
+class TestAnomalyCounts:
+    def test_empty_when_clean(self):
+        result = check(History.of(("ok", 0, [append("x", 1)])))
+        assert result.anomaly_counts() == {}
+
+    def test_counts_match_anomalies(self):
+        result = anomalous_result()
+        counts = result.anomaly_counts()
+        assert sum(counts.values()) == len(result.anomalies)
+        assert counts.get("G1a", 0) >= 1
+        assert counts.get("garbage-read", 0) >= 1
+
+
+class TestDotExport:
+    def test_full_graph_dot(self):
+        result = anomalous_result()
+        dot = result.dot()
+        assert dot.startswith("digraph idsg {")
+        assert '[label="T' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_edges_carry_dependency_names(self):
+        result = check(
+            History.of(
+                ("ok", 0, [append("x", 1)]),
+                ("ok", 1, [r("x", [1])]),
+            )
+        )
+        dot = result.dot()
+        assert 'label="wr' in dot or 'label="rt' in dot or 'label="process' in dot

@@ -1,0 +1,187 @@
+"""Tests for §5.1 timestamp inference: the start-ordered serialization graph.
+
+When a database exposes snapshot/commit timestamps, Adya's *time-precedes*
+order gives a new edge kind: T1 -> T2 whenever commit_ts(T1) <= start_ts(T2)
+(T2's snapshot claims to contain T1).  Cycles through these edges — the
+G-SI family — falsify snapshot isolation itself, even when the value edges
+alone would permit it.
+"""
+
+import pytest
+
+from repro import check
+from repro.core import TIMESTAMP, analyze_list_append
+from repro.core.analysis import Analysis
+from repro.core.orders import add_timestamp_edges
+from repro.db import Isolation, YugaByteStaleRead
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.history import History, HistoryBuilder, append, r
+
+
+def ts_history(*txns):
+    """txns: (start_ts, commit_ts, process, mops)."""
+    b = HistoryBuilder()
+    # Invoke all, then complete all (mutually concurrent in real time), so
+    # only timestamps order them.
+    for i, (start, _commit, process, mops) in enumerate(txns):
+        b.invoke(process, mops, ts=start)
+    for i, (_start, commit, process, mops) in enumerate(txns):
+        b.ok(process, mops, ts=commit)
+    return b.build()
+
+
+class TestTimestampFields:
+    def test_transaction_carries_timestamps(self):
+        h = ts_history((5, 9, 0, [append("x", 1)]))
+        txn = h.transactions[0]
+        assert txn.start_ts == 5
+        assert txn.commit_ts == 9
+
+    def test_missing_timestamps_are_none(self):
+        h = History.of(("ok", 0, [append("x", 1)]))
+        txn = h.transactions[0]
+        assert txn.start_ts is None and txn.commit_ts is None
+
+
+class TestTimestampEdges:
+    def edges(self, history):
+        analysis = Analysis(history=history, workload="list-append")
+        add_timestamp_edges(analysis)
+        return analysis
+
+    def test_commit_before_start_gives_edge(self):
+        h = ts_history(
+            (0, 5, 0, [append("x", 1)]),
+            (6, 8, 1, [append("x", 2)]),
+        )
+        a = self.edges(h)
+        assert a.graph.has_edge(0, 1, TIMESTAMP)
+
+    def test_commit_equal_to_start_gives_edge(self):
+        # commit_ts == start_ts: the snapshot includes the commit.
+        h = ts_history(
+            (0, 5, 0, [append("x", 1)]),
+            (5, 8, 1, [append("x", 2)]),
+        )
+        a = self.edges(h)
+        assert a.graph.has_edge(0, 1, TIMESTAMP)
+
+    def test_overlapping_ts_no_edge(self):
+        h = ts_history(
+            (0, 9, 0, [append("x", 1)]),
+            (5, 12, 1, [append("x", 2)]),
+        )
+        a = self.edges(h)
+        assert not a.graph.has_edge(0, 1, TIMESTAMP)
+        assert not a.graph.has_edge(1, 0, TIMESTAMP)
+
+    def test_no_timestamps_no_edges(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+        )
+        a = self.edges(h)
+        assert a.graph.edge_count == 0
+
+    def test_transitive_reduction(self):
+        h = ts_history(
+            (0, 1, 0, [append("x", 1)]),
+            (2, 3, 1, [append("x", 2)]),
+            (4, 5, 2, [append("x", 3)]),
+        )
+        a = self.edges(h)
+        assert a.graph.has_edge(0, 1, TIMESTAMP)
+        assert a.graph.has_edge(1, 2, TIMESTAMP)
+        assert not a.graph.has_edge(0, 2, TIMESTAMP)
+
+
+class TestGSIClassification:
+    def test_g_single_ts(self):
+        # The database claims T0 committed before T1's snapshot, yet T1 did
+        # not observe T0's append: a start-ordered G-single, killing SI.
+        h = ts_history(
+            (0, 5, 0, [append("x", 1)]),
+            (6, 8, 1, [r("x", []), append("y", 1)]),
+            (9, 10, 2, [r("x", [1])]),
+        )
+        result = check(
+            h,
+            consistency_model="snapshot-isolation",
+            realtime_edges=False,
+            process_edges=False,
+            timestamp_edges=True,
+        )
+        assert not result.valid
+        assert "G-single-ts" in result.anomaly_types
+        assert "snapshot-isolation" in result.impossible
+
+    def test_same_history_without_ts_edges_is_si_valid(self):
+        h = ts_history(
+            (0, 5, 0, [append("x", 1)]),
+            (6, 8, 1, [r("x", []), append("y", 1)]),
+            (9, 10, 2, [r("x", [1])]),
+        )
+        result = check(
+            h,
+            consistency_model="snapshot-isolation",
+            realtime_edges=False,
+            process_edges=False,
+            timestamp_edges=False,
+        )
+        assert result.valid
+
+    def test_g2_item_ts_rules_nothing_out(self):
+        from repro.core.consistency import impossible_models
+
+        assert impossible_models(["G2-item-ts"]) == frozenset()
+        assert "snapshot-isolation" in impossible_models(["G-single-ts"])
+
+
+class TestEndToEnd:
+    def test_honest_si_is_ts_clean(self):
+        cfg = RunConfig(
+            txns=600,
+            concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=7,
+            expose_timestamps=True,
+        )
+        result = check(
+            run_workload(cfg),
+            consistency_model="snapshot-isolation",
+            timestamp_edges=True,
+        )
+        assert result.valid
+        assert not any(t.endswith("-ts") for t in result.anomaly_types)
+
+    def test_stale_timestamp_bug_caught(self):
+        cfg = RunConfig(
+            txns=800,
+            concurrency=10,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=7,
+            expose_timestamps=True,
+            faults=lambda rng: YugaByteStaleRead(
+                rng, probability=0.3, staleness=4
+            ),
+        )
+        result = check(
+            run_workload(cfg),
+            consistency_model="snapshot-isolation",
+            timestamp_edges=True,
+        )
+        assert not result.valid
+        assert "G-single-ts" in result.anomaly_types
+
+    def test_timestamps_off_by_default(self):
+        cfg = RunConfig(
+            txns=200,
+            concurrency=4,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(active_keys=2, max_writes_per_key=20),
+            seed=1,
+        )
+        history = run_workload(cfg)
+        assert all(t.start_ts is None for t in history.transactions)

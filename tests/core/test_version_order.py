@@ -1,0 +1,110 @@
+"""Tests for per-key version-order inference from traceable reads."""
+
+from repro.core import infer_key_orders
+from repro.history import History, append, r
+
+
+def orders_of(*txns):
+    h = History.of(*txns)
+    return infer_key_orders(h.transactions)
+
+
+def test_single_read_defines_order():
+    orders, anomalies = orders_of(("ok", 0, [r("x", [1, 2, 3])]))
+    assert anomalies == []
+    assert orders["x"].elements == (1, 2, 3)
+    assert orders["x"].position == {1: 0, 2: 1, 3: 2}
+
+
+def test_longest_read_wins():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1])]),
+        ("ok", 1, [r("x", [1, 2])]),
+        ("ok", 2, [r("x", [1, 2, 3])]),
+    )
+    assert anomalies == []
+    assert orders["x"].elements == (1, 2, 3)
+
+
+def test_source_txn_recorded():
+    orders, _ = orders_of(
+        ("ok", 0, [r("x", [1])]),
+        ("ok", 1, [r("x", [1, 2])]),
+    )
+    h_id = orders["x"].source_txn
+    # The second transaction (id 2 in compact numbering: invokes at 0, 2).
+    assert h_id == 2
+
+
+def test_incompatible_read_flagged():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1, 2])]),
+        ("ok", 1, [r("x", [2, 1])]),
+    )
+    assert len(anomalies) == 1
+    assert anomalies[0].name == "incompatible-order"
+    # The longest (first-found among equals) still defines the order.
+    assert orders["x"].elements in {(1, 2), (2, 1)}
+
+
+def test_duplicate_incompatible_values_reported_once():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1, 2, 3])]),
+        ("ok", 1, [r("x", [9])]),
+        ("ok", 2, [r("x", [9])]),
+    )
+    assert len(anomalies) == 1
+
+
+def test_divergent_mid_history():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1, 2, 3])]),
+        ("ok", 1, [r("x", [1, 9])]),
+    )
+    assert len(anomalies) == 1
+    assert anomalies[0].data["value"] == (1, 9)
+
+
+def test_empty_reads_compatible_with_everything():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [])]),
+        ("ok", 1, [r("x", [1])]),
+    )
+    assert anomalies == []
+    assert orders["x"].elements == (1,)
+
+
+def test_only_empty_reads_give_empty_order():
+    orders, anomalies = orders_of(("ok", 0, [r("x", [])]))
+    assert orders["x"].elements == ()
+    assert anomalies == []
+
+
+def test_uncommitted_reads_ignored():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1])]),
+        ("info", 1, [r("x", [1, 2, 3])]),
+        ("fail", 2, [r("x", [9, 9, 9])]),
+    )
+    assert orders["x"].elements == (1,)
+    assert anomalies == []
+
+
+def test_unknown_read_values_ignored():
+    orders, anomalies = orders_of(("ok", 0, [r("x", None), r("y", [5])]))
+    assert "x" not in orders
+    assert orders["y"].elements == (5,)
+
+
+def test_keys_independent():
+    orders, anomalies = orders_of(
+        ("ok", 0, [r("x", [1, 2]), r("y", [7])]),
+        ("ok", 1, [r("y", [7, 8])]),
+    )
+    assert orders["x"].elements == (1, 2)
+    assert orders["y"].elements == (7, 8)
+
+
+def test_writes_do_not_define_orders():
+    orders, anomalies = orders_of(("ok", 0, [append("x", 1)]))
+    assert orders == {}

@@ -1,0 +1,174 @@
+"""Unit tests for fault injectors and the windowed wrapper."""
+
+import random
+
+import pytest
+
+from repro.core.objects import AppendList, Register
+from repro.db import (
+    ConflictAbort,
+    DgraphShardMigration,
+    FaunaInternal,
+    Isolation,
+    MVCCDatabase,
+    TiDBRetry,
+    Windowed,
+    YugaByteStaleRead,
+)
+from repro.history import append, r, w
+
+
+def rng():
+    return random.Random(0)
+
+
+class TestTiDBRetry:
+    def make_conflict(self, injector):
+        db = MVCCDatabase(
+            AppendList(), Isolation.SNAPSHOT_ISOLATION, injector
+        )
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("x", 2))
+        db.commit(t1)
+        return db, t2
+
+    def test_retry_latest_preserves_concurrent_commit(self):
+        db, t2 = self.make_conflict(TiDBRetry(rng(), blind_probability=0.0))
+        db.commit(t2)  # no abort!
+        assert db.store.read_latest("x") == (1, 2)
+
+    def test_retry_blind_clobbers(self):
+        db, t2 = self.make_conflict(TiDBRetry(rng(), blind_probability=1.0))
+        db.commit(t2)
+        assert db.store.read_latest("x") == (2,)  # element 1 lost
+
+    def test_probability_zero_aborts_normally(self):
+        db, t2 = self.make_conflict(TiDBRetry(rng(), probability=0.0))
+        with pytest.raises(ConflictAbort):
+            db.commit(t2)
+
+
+class TestYugaByteStaleRead:
+    def test_assigns_stale_snapshot(self):
+        db = MVCCDatabase(
+            AppendList(),
+            Isolation.SERIALIZABLE,
+            YugaByteStaleRead(rng(), probability=1.0, staleness=5),
+        )
+        for i in range(6):
+            t = db.begin()
+            # Distinct keys: a stale snapshot must not trip the
+            # first-committer-wins check for this setup loop.
+            db.execute(t, append(f"x{i}", i))
+            db.commit(t)
+        t = db.begin()
+        assert t.start_seq < db.store.current_seq
+        assert t.skip_validation
+        # The advertised timestamp still claims the fresh snapshot.
+        assert t.advertised_start_seq == db.store.current_seq
+
+    def test_probability_zero_is_clean(self):
+        db = MVCCDatabase(
+            AppendList(),
+            Isolation.SERIALIZABLE,
+            YugaByteStaleRead(rng(), probability=0.0),
+        )
+        t = db.begin()
+        assert t.start_seq == t.advertised_start_seq
+        assert not t.skip_validation
+
+
+class TestFaunaInternal:
+    def test_own_writes_invisible(self):
+        db = MVCCDatabase(
+            AppendList(),
+            Isolation.SERIALIZABLE,
+            FaunaInternal(rng(), probability=1.0),
+        )
+        t = db.begin()
+        db.execute(t, append("x", 6))
+        got = db.execute(t, r("x"))
+        assert got.value == ()  # the paper's append(0,6), r(0, nil)
+
+    def test_zero_probability_reads_own_writes(self):
+        db = MVCCDatabase(
+            AppendList(),
+            Isolation.SERIALIZABLE,
+            FaunaInternal(rng(), probability=0.0),
+        )
+        t = db.begin()
+        db.execute(t, append("x", 6))
+        assert db.execute(t, r("x")).value == (6,)
+
+
+class TestDgraphShardMigration:
+    def test_nil_reads(self):
+        db = MVCCDatabase(
+            Register(),
+            Isolation.SNAPSHOT_ISOLATION,
+            DgraphShardMigration(rng(), probability=1.0),
+        )
+        t1 = db.begin()
+        db.execute(t1, w("x", 5))
+        db.commit(t1)
+        t2 = db.begin()
+        assert db.execute(t2, r("x")).value is None
+
+
+class TestWindowed:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Windowed(TiDBRetry(rng()), period=0)
+        with pytest.raises(ValueError):
+            Windowed(TiDBRetry(rng()), duty=1.5)
+
+    def test_inactive_outside_window(self):
+        inner = DgraphShardMigration(rng(), probability=1.0)
+        windowed = Windowed(inner, period=10, duty=0.5)
+        db = MVCCDatabase(
+            Register(), Isolation.SNAPSHOT_ISOLATION, windowed
+        )
+        t = db.begin()
+        db.execute(t, w("x", 1))
+        db.commit(t)
+        # commits=1 < duty*period=5: window open -> nil read.
+        t = db.begin()
+        assert db.execute(t, r("x")).value is None
+        db.abort(t)
+        # Push past the window (commits 5..9 are outside).
+        for i in range(5):
+            t = db.begin()
+            db.execute(t, w("y", 10 + i))
+            db.commit(t)
+        assert not windowed.active(db)
+        t = db.begin()
+        assert db.execute(t, r("x")).value == 1  # fault dormant
+
+    def test_windows_reopen_periodically(self):
+        inner = DgraphShardMigration(rng(), probability=1.0)
+        windowed = Windowed(inner, period=4, duty=0.5)
+        db = MVCCDatabase(Register(), Isolation.SNAPSHOT_ISOLATION, windowed)
+        states = []
+        for i in range(8):
+            states.append(windowed.active(db))
+            t = db.begin()
+            db.execute(t, w("k", i + 100))
+            db.commit(t)
+        # duty 0.5, period 4: open for commits%4 in {0,1}.
+        assert states == [True, True, False, False, True, True, False, False]
+
+    def test_conflict_hook_gated(self):
+        inner = TiDBRetry(rng(), blind_probability=0.0)
+        windowed = Windowed(inner, period=100, duty=0.0)  # never active
+        db = MVCCDatabase(
+            AppendList(), Isolation.SNAPSHOT_ISOLATION, windowed
+        )
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("x", 2))
+        db.commit(t1)
+        with pytest.raises(ConflictAbort):
+            db.commit(t2)  # retry suppressed outside the window

@@ -1,0 +1,198 @@
+"""Tests for the MVCC database protocols."""
+
+import pytest
+
+from repro.core.objects import AppendList
+from repro.db import ConflictAbort, Isolation, MVCCDatabase
+from repro.db.mvcc import WouldBlock
+from repro.history import append, r
+
+
+def make_db(isolation):
+    return MVCCDatabase(AppendList(), isolation)
+
+
+def run_mops(db, txn, mops):
+    return [db.execute(txn, m) for m in mops]
+
+
+class TestSerializable:
+    def test_commit_applies_writes(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t = db.begin()
+        db.execute(t, append("x", 1))
+        db.commit(t)
+        assert db.store.read_latest("x") == (1,)
+
+    def test_snapshot_reads_ignore_concurrent_commits(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        db.commit(t2)
+        got = db.execute(t1, r("x"))
+        assert got.value == ()
+
+    def test_read_own_writes(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t = db.begin()
+        db.execute(t, append("x", 1))
+        assert db.execute(t, r("x")).value == (1,)
+
+    def test_write_write_conflict_aborts(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("x", 2))
+        db.commit(t1)
+        with pytest.raises(ConflictAbort):
+            db.commit(t2)
+
+    def test_stale_read_validation_aborts(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t1 = db.begin()
+        db.execute(t1, r("x"))
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        db.commit(t2)
+        # t1 read x before t2's commit; writing anything must fail validation.
+        db.execute(t1, append("y", 9))
+        with pytest.raises(ConflictAbort):
+            db.commit(t1)
+
+    def test_read_only_txn_commits_fine(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t1 = db.begin()
+        db.execute(t1, r("x"))
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        db.commit(t2)
+        # Read-only: stale but installs nothing; snapshot reads are a
+        # consistent point in the past, so commit succeeds.
+        db.commit(t1)
+
+    def test_double_commit_rejected(self):
+        db = make_db(Isolation.SERIALIZABLE)
+        t = db.begin()
+        db.commit(t)
+        with pytest.raises(ValueError):
+            db.commit(t)
+
+
+class TestSnapshotIsolation:
+    def test_no_read_validation(self):
+        db = make_db(Isolation.SNAPSHOT_ISOLATION)
+        t1 = db.begin()
+        db.execute(t1, r("x"))
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        db.commit(t2)
+        db.execute(t1, append("y", 9))
+        db.commit(t1)  # write skew allowed: no reads validated
+
+    def test_first_committer_wins(self):
+        db = make_db(Isolation.SNAPSHOT_ISOLATION)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("x", 2))
+        db.commit(t1)
+        with pytest.raises(ConflictAbort):
+            db.commit(t2)
+        assert db.store.read_latest("x") == (1,)
+
+
+class TestReadCommitted:
+    def test_reads_see_latest_committed(self):
+        db = make_db(Isolation.READ_COMMITTED)
+        t1 = db.begin()
+        assert db.execute(t1, r("x")).value == ()
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        db.commit(t2)
+        assert db.execute(t1, r("x")).value == (1,)
+
+    def test_no_dirty_reads(self):
+        db = make_db(Isolation.READ_COMMITTED)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t2, append("x", 1))
+        assert db.execute(t1, r("x")).value == ()
+
+    def test_write_lock_blocks_second_writer(self):
+        db = make_db(Isolation.READ_COMMITTED)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        with pytest.raises(WouldBlock):
+            db.execute(t2, append("x", 2))
+        db.commit(t1)
+        db.execute(t2, append("x", 2))  # lock released
+        db.commit(t2)
+        assert db.store.read_latest("x") == (1, 2)
+
+    def test_deadlock_detected(self):
+        db = make_db(Isolation.READ_COMMITTED)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("y", 2))
+        with pytest.raises(WouldBlock):
+            db.execute(t1, append("y", 3))
+        with pytest.raises(ConflictAbort, match="deadlock"):
+            db.execute(t2, append("x", 4))
+        # Victim's locks released: t1 can proceed.
+        db.execute(t1, append("y", 3))
+        db.commit(t1)
+
+    def test_abort_releases_locks(self):
+        db = make_db(Isolation.READ_COMMITTED)
+        t1 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.abort(t1)
+        t2 = db.begin()
+        db.execute(t2, append("x", 2))
+        db.commit(t2)
+        assert db.store.read_latest("x") == (2,)
+
+
+class TestReadUncommitted:
+    def test_dirty_reads(self):
+        db = make_db(Isolation.READ_UNCOMMITTED)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        assert db.execute(t2, r("x")).value == (1,)
+
+    def test_abort_rolls_back_nothing(self):
+        db = make_db(Isolation.READ_UNCOMMITTED)
+        t1 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.abort(t1)
+        t2 = db.begin()
+        assert db.execute(t2, r("x")).value == (1,)
+
+    def test_interleaved_writes_interleave_state(self):
+        db = make_db(Isolation.READ_UNCOMMITTED)
+        t1 = db.begin()
+        t2 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.execute(t2, append("x", 2))
+        db.execute(t1, append("x", 3))
+        db.commit(t1)
+        db.commit(t2)
+        t3 = db.begin()
+        assert db.execute(t3, r("x")).value == (1, 2, 3)
+
+
+class TestCounters:
+    def test_stats(self):
+        db = make_db(Isolation.SNAPSHOT_ISOLATION)
+        t1 = db.begin()
+        db.execute(t1, append("x", 1))
+        db.commit(t1)
+        t2 = db.begin()
+        db.abort(t2)
+        assert db.commits == 1
+        assert db.aborts == 1

@@ -1,0 +1,69 @@
+"""Tests for the multiversion store."""
+
+import pytest
+
+from repro.core.objects import AppendList, Register
+from repro.db import VersionedStore
+
+
+@pytest.fixture
+def store():
+    return VersionedStore(AppendList())
+
+
+class TestBasics:
+    def test_initial_read(self, store):
+        assert store.read_latest("x") == ()
+        assert store.read_at("x", 100) == ()
+
+    def test_install_and_read(self, store):
+        seq = store.next_seq()
+        store.install("x", (1,), seq)
+        assert store.read_latest("x") == (1,)
+
+    def test_snapshot_reads(self, store):
+        s1 = store.next_seq()
+        store.install("x", (1,), s1)
+        s2 = store.next_seq()
+        store.install("x", (1, 2), s2)
+        assert store.read_at("x", 0) == ()
+        assert store.read_at("x", s1) == (1,)
+        assert store.read_at("x", s2) == (1, 2)
+        assert store.read_at("x", s2 + 10) == (1, 2)
+
+    def test_version_seq(self, store):
+        s1 = store.next_seq()
+        store.install("x", (1,), s1)
+        assert store.version_seq("x", 0) == 0
+        assert store.version_seq("x", s1) == s1
+        assert store.latest_version_seq("x") == s1
+        assert store.latest_version_seq("never") == 0
+
+    def test_written_since(self, store):
+        s1 = store.next_seq()
+        store.install("x", (1,), s1)
+        assert store.written_since("x", 0)
+        assert not store.written_since("x", s1)
+        assert not store.written_since("y", 0)
+
+    def test_nonmonotonic_install_rejected(self, store):
+        s1 = store.next_seq()
+        store.install("x", (1,), s1)
+        with pytest.raises(ValueError):
+            store.install("x", (1, 2), s1)
+
+    def test_same_seq_different_keys_ok(self, store):
+        seq = store.next_seq()
+        store.install("x", (1,), seq)
+        store.install("y", (2,), seq)
+        assert store.read_latest("x") == (1,)
+        assert store.read_latest("y") == (2,)
+
+    def test_keys_listing(self, store):
+        seq = store.next_seq()
+        store.install("x", (1,), seq)
+        assert set(store.keys()) == {"x"}
+
+    def test_register_model_initial(self):
+        store = VersionedStore(Register())
+        assert store.read_latest("x") is None

@@ -1,0 +1,103 @@
+"""Tests for the concurrent client runner."""
+
+import pytest
+
+from repro.db import Isolation
+from repro.errors import GeneratorError
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.history import OpType
+
+
+def small_config(**kw):
+    kw.setdefault("txns", 100)
+    kw.setdefault("concurrency", 4)
+    kw.setdefault(
+        "workload", WorkloadConfig(active_keys=2, max_writes_per_key=20)
+    )
+    return RunConfig(**kw)
+
+
+class TestConfigValidation:
+    def test_negative_txns(self):
+        with pytest.raises(GeneratorError):
+            RunConfig(txns=-1)
+
+    def test_zero_concurrency(self):
+        with pytest.raises(GeneratorError):
+            RunConfig(concurrency=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(GeneratorError):
+            RunConfig(crash_probability=2.0)
+
+
+class TestRuns:
+    def test_produces_requested_transactions(self):
+        h = run_workload(small_config(seed=1))
+        completions = [t for t in h.transactions if not t.indeterminate]
+        # Completed >= txns (the counter includes fails); leftovers are info.
+        assert len(h) >= 100
+
+    def test_deterministic_for_seed(self):
+        h1 = run_workload(small_config(seed=5))
+        h2 = run_workload(small_config(seed=5))
+        assert [(t.process, t.type, t.mops) for t in h1.transactions] == [
+            (t.process, t.type, t.mops) for t in h2.transactions
+        ]
+
+    def test_different_seeds_differ(self):
+        h1 = run_workload(small_config(seed=1))
+        h2 = run_workload(small_config(seed=2))
+        assert [t.mops for t in h1.transactions] != [
+            t.mops for t in h2.transactions
+        ]
+
+    def test_ok_reads_carry_values(self):
+        h = run_workload(small_config(seed=3))
+        for txn in h.oks():
+            for mop in txn.reads():
+                assert mop.value is not None or mop.value == ()
+
+    def test_crashes_create_info_and_new_processes(self):
+        cfg = small_config(seed=4, crash_probability=0.3, txns=200)
+        h = run_workload(cfg)
+        infos = h.infos()
+        assert infos, "expected crashed transactions"
+        # Reincarnation allocates processes beyond the client count.
+        assert max(h.processes()) >= cfg.concurrency
+
+    def test_aborts_recorded_as_fail(self):
+        cfg = small_config(seed=4, abort_probability=0.3, txns=200)
+        h = run_workload(cfg)
+        assert h.fails()
+
+    def test_si_conflicts_produce_fails(self):
+        cfg = small_config(
+            seed=6,
+            txns=300,
+            concurrency=8,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(
+                active_keys=1, max_writes_per_key=50, read_fraction=0.2
+            ),
+        )
+        h = run_workload(cfg)
+        assert h.fails(), "contended SI runs should abort some txns"
+
+    def test_read_committed_run_completes(self):
+        # Locking + deadlock detection must never wedge the scheduler.
+        cfg = small_config(
+            seed=7,
+            txns=300,
+            concurrency=8,
+            isolation=Isolation.READ_COMMITTED,
+            workload=WorkloadConfig(
+                active_keys=2, max_writes_per_key=50, read_fraction=0.3
+            ),
+        )
+        h = run_workload(cfg)
+        assert len(h) >= 300
+
+    def test_zero_txns(self):
+        h = run_workload(small_config(txns=0))
+        assert len(h) == 0

@@ -1,0 +1,88 @@
+"""Tests for the random transaction generator."""
+
+import random
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generator import TransactionGenerator, WorkloadConfig
+
+
+def gen(seed=0, **kw):
+    return TransactionGenerator(WorkloadConfig(**kw), random.Random(seed))
+
+
+class TestConfigValidation:
+    def test_unknown_workload(self):
+        with pytest.raises(GeneratorError, match="unknown workload"):
+            WorkloadConfig(workload="stack")
+
+    def test_bad_lengths(self):
+        with pytest.raises(GeneratorError):
+            WorkloadConfig(min_txn_len=0)
+        with pytest.raises(GeneratorError):
+            WorkloadConfig(min_txn_len=5, max_txn_len=2)
+
+    def test_bad_read_fraction(self):
+        with pytest.raises(GeneratorError):
+            WorkloadConfig(read_fraction=1.5)
+
+    def test_bad_key_counts(self):
+        with pytest.raises(GeneratorError):
+            WorkloadConfig(active_keys=0)
+        with pytest.raises(GeneratorError):
+            WorkloadConfig(max_writes_per_key=0)
+
+
+class TestGeneration:
+    def test_lengths_within_bounds(self):
+        g = gen(min_txn_len=2, max_txn_len=6)
+        for _ in range(200):
+            assert 2 <= len(g.next_txn()) <= 6
+
+    def test_reads_have_no_value(self):
+        g = gen(read_fraction=1.0)
+        for mop in g.next_txn():
+            assert mop.fn == "r"
+            assert mop.value is None
+
+    def test_write_arguments_unique(self):
+        g = gen(read_fraction=0.0)
+        seen = set()
+        for _ in range(300):
+            for mop in g.next_txn():
+                assert mop.value not in seen
+                seen.add(mop.value)
+
+    def test_keys_come_from_pool(self):
+        g = gen(active_keys=3, read_fraction=0.5)
+        keys = {m.key for _ in range(100) for m in g.next_txn()}
+        # Pool rotates, but keys are always small non-negative ints.
+        assert all(isinstance(k, int) and k >= 0 for k in keys)
+
+    def test_key_rotation_respects_write_cap(self):
+        g = gen(active_keys=1, max_writes_per_key=5, read_fraction=0.0,
+                min_txn_len=1, max_txn_len=1)
+        writes = {}
+        for _ in range(50):
+            (mop,) = g.next_txn()
+            writes[mop.key] = writes.get(mop.key, 0) + 1
+        assert max(writes.values()) <= 5
+        assert len(writes) >= 10  # rotated through many keys
+
+    def test_deterministic_for_seed(self):
+        a = [tuple(m for m in gen(seed=9).next_txn()) for _ in range(20)]
+        b = [tuple(m for m in gen(seed=9).next_txn()) for _ in range(20)]
+        assert a == b
+
+    def test_register_workload_uses_w(self):
+        g = gen(workload="rw-register", read_fraction=0.0)
+        assert all(m.fn == "w" for m in g.next_txn())
+
+    def test_counter_workload_increments_by_one(self):
+        g = gen(workload="counter", read_fraction=0.0)
+        assert all(m.fn == "inc" and m.value == 1 for m in g.next_txn())
+
+    def test_grow_set_workload_uses_add(self):
+        g = gen(workload="grow-set", read_fraction=0.0)
+        assert all(m.fn == "add" for m in g.next_txn())

@@ -1,0 +1,156 @@
+"""Tests for BFS cycle searches, including the exactly-one-edge (G-single) search."""
+
+from repro.graph import (
+    LabeledDiGraph,
+    cycle_edge_labels,
+    cycle_edges,
+    find_cycle,
+    find_cycle_with_first_edge,
+    find_cycles,
+    shortest_path,
+)
+
+WW, WR, RW = 1, 2, 4
+
+
+def build(edges):
+    g = LabeledDiGraph()
+    for u, v, label in edges:
+        g.add_edge(u, v, label)
+    return g
+
+
+def is_cycle(g, cycle, mask=-1):
+    assert cycle[0] == cycle[-1]
+    assert len(cycle) >= 2
+    for u, v in cycle_edges(cycle):
+        assert g.has_edge(u, v, mask), f"missing edge {u}->{v}"
+    interior = cycle[:-1]
+    assert len(set(interior)) == len(interior), "cycle revisits a node"
+
+
+class TestShortestPath:
+    def test_direct_edge(self):
+        g = build([(1, 2, WW)])
+        assert shortest_path(g, 1, 2) == [1, 2]
+
+    def test_two_hop(self):
+        g = build([(1, 2, WW), (2, 3, WW)])
+        assert shortest_path(g, 1, 3) == [1, 2, 3]
+
+    def test_prefers_shorter(self):
+        g = build([(1, 2, WW), (2, 3, WW), (1, 3, WR)])
+        assert shortest_path(g, 1, 3) == [1, 3]
+
+    def test_no_path(self):
+        g = build([(1, 2, WW)])
+        assert shortest_path(g, 2, 1) is None
+
+    def test_mask_blocks_path(self):
+        g = build([(1, 2, WW)])
+        assert shortest_path(g, 1, 2, mask=WR) is None
+
+    def test_restrict_blocks_detour(self):
+        g = build([(1, 9, WW), (9, 2, WW), (1, 2, WW)])
+        assert shortest_path(g, 1, 2, restrict={1, 2}) == [1, 2]
+        assert shortest_path(g, 1, 2, restrict={1, 2, 9}) == [1, 2]
+
+    def test_cycle_back_to_source(self):
+        g = build([(1, 2, WW), (2, 1, WW)])
+        assert shortest_path(g, 1, 1) == [1, 2, 1]
+
+    def test_self_loop_path(self):
+        g = build([(1, 1, WW)])
+        assert shortest_path(g, 1, 1) == [1, 1]
+
+    def test_missing_source(self):
+        g = build([(1, 2, WW)])
+        assert shortest_path(g, 42, 1) is None
+
+
+class TestFindCycle:
+    def test_acyclic_returns_none(self):
+        g = build([(1, 2, WW), (2, 3, WW)])
+        assert find_cycle(g) is None
+
+    def test_two_cycle(self):
+        g = build([(1, 2, WW), (2, 1, WW)])
+        cycle = find_cycle(g)
+        is_cycle(g, cycle)
+        assert len(cycle) == 3
+
+    def test_mask_filters(self):
+        g = build([(1, 2, WW), (2, 1, WR)])
+        assert find_cycle(g, WW) is None
+        assert find_cycle(g, WW | WR) is not None
+
+    def test_finds_short_cycle_inside_large_scc(self):
+        # 1->2->3->4->1 plus chord 2->1: shortest cycle is length 2.
+        g = build([(1, 2, WW), (2, 3, WW), (3, 4, WW), (4, 1, WW), (2, 1, WW)])
+        cycle = find_cycle(g)
+        is_cycle(g, cycle)
+        assert len(cycle) == 3  # [1, 2, 1] or [2, 1, 2]
+
+    def test_one_cycle_per_component(self):
+        g = build(
+            [
+                (1, 2, WW),
+                (2, 1, WW),
+                (3, 4, WW),
+                (4, 3, WW),
+                (2, 3, WW),
+            ]
+        )
+        cycles = find_cycles(g)
+        assert len(cycles) == 2
+        for c in cycles:
+            is_cycle(g, c)
+
+
+class TestFirstEdgeSearch:
+    def test_g_single_like(self):
+        # rw edge 1->2, wr edge 2->1: exactly-one-rw cycle exists.
+        g = build([(1, 2, RW), (2, 1, WR)])
+        cycle = find_cycle_with_first_edge(g, RW, WW | WR)
+        is_cycle(g, cycle)
+        labels = cycle_edge_labels(g, cycle)
+        assert sum(1 for l in labels if l & RW) == 1
+
+    def test_rejects_two_rw_cycle(self):
+        # The only cycle needs two rw edges; G-single search must fail.
+        g = build([(1, 2, RW), (2, 1, RW)])
+        assert find_cycle_with_first_edge(g, RW, WW | WR) is None
+
+    def test_finds_exactly_one_rw_among_mixed(self):
+        # Cycle A: 1 -rw-> 2 -rw-> 1 (two rw). Cycle B: 3 -rw-> 4 -ww-> 3.
+        g = build([(1, 2, RW), (2, 1, RW), (3, 4, RW), (4, 3, WW), (2, 3, WW)])
+        cycle = find_cycle_with_first_edge(g, RW, WW | WR)
+        is_cycle(g, cycle)
+        assert set(cycle[:-1]) == {3, 4}
+
+    def test_longer_completion_path(self):
+        g = build([(1, 2, RW), (2, 3, WW), (3, 4, WR), (4, 1, WW)])
+        cycle = find_cycle_with_first_edge(g, RW, WW | WR)
+        is_cycle(g, cycle)
+        labels = cycle_edge_labels(g, cycle)
+        assert sum(1 for l in labels if l & RW) == 1
+        assert len(cycle) == 5
+
+    def test_self_loop_on_first_edge(self):
+        g = build([(1, 1, RW)])
+        assert find_cycle_with_first_edge(g, RW, WW | WR) == [1, 1]
+
+    def test_edge_with_both_labels_counts_once(self):
+        # 1->2 labeled both ww and rw; 2->1 ww. The rw bit can serve as the
+        # single anti-dependency, completed by the ww edge home.
+        g = build([(1, 2, WW | RW), (2, 1, WW)])
+        cycle = find_cycle_with_first_edge(g, RW, WW | WR)
+        is_cycle(g, cycle)
+
+    def test_no_cycle_at_all(self):
+        g = build([(1, 2, RW), (2, 3, WW)])
+        assert find_cycle_with_first_edge(g, RW, WW | WR) is None
+
+
+def test_cycle_edges_helper():
+    assert cycle_edges([1, 2, 3, 1]) == [(1, 2), (2, 3), (3, 1)]

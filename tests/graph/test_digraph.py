@@ -1,0 +1,140 @@
+"""Unit tests for the labeled digraph."""
+
+import pytest
+
+from repro.graph import ALL_EDGES, LabeledDiGraph
+
+WW, WR, RW = 1, 2, 4
+
+
+def test_empty_graph():
+    g = LabeledDiGraph()
+    assert len(g) == 0
+    assert g.edge_count == 0
+    assert list(g.nodes()) == []
+    assert "a" not in g
+
+
+def test_add_node_idempotent():
+    g = LabeledDiGraph()
+    g.add_node(1)
+    g.add_node(1)
+    assert len(g) == 1
+    assert list(g.successors(1)) == []
+    assert list(g.predecessors(1)) == []
+
+
+def test_add_edge_creates_nodes():
+    g = LabeledDiGraph()
+    g.add_edge("a", "b", WW)
+    assert "a" in g and "b" in g
+    assert g.edge_label("a", "b") == WW
+    assert g.edge_label("b", "a") == 0
+
+
+def test_edge_labels_accumulate_bits():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    g.add_edge(1, 2, WR)
+    assert g.edge_label(1, 2) == WW | WR
+    assert g.edge_count == 1
+
+
+def test_zero_label_rejected():
+    g = LabeledDiGraph()
+    with pytest.raises(ValueError):
+        g.add_edge(1, 2, 0)
+
+
+def test_successors_respect_mask():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    g.add_edge(1, 3, WR)
+    g.add_edge(1, 4, WW | RW)
+    assert sorted(g.successors(1, WW)) == [2, 4]
+    assert sorted(g.successors(1, WR)) == [3]
+    assert sorted(g.successors(1, RW)) == [4]
+    assert sorted(g.successors(1)) == [2, 3, 4]
+
+
+def test_predecessors_respect_mask():
+    g = LabeledDiGraph()
+    g.add_edge(2, 1, WW)
+    g.add_edge(3, 1, WR)
+    assert sorted(g.predecessors(1, WW)) == [2]
+    assert sorted(g.predecessors(1)) == [2, 3]
+
+
+def test_has_edge_with_mask():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    assert g.has_edge(1, 2)
+    assert g.has_edge(1, 2, WW)
+    assert not g.has_edge(1, 2, WR)
+    assert not g.has_edge(2, 1)
+
+
+def test_out_edges_returns_labels():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW | WR)
+    g.add_edge(1, 3, RW)
+    assert sorted(g.out_edges(1, ALL_EDGES)) == [(2, WW | WR), (3, RW)]
+    assert list(g.out_edges(1, WR)) == [(2, WW | WR)]
+
+
+def test_edges_iterates_all_with_mask():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    g.add_edge(2, 3, WR)
+    assert sorted(g.edges()) == [(1, 2, WW), (2, 3, WR)]
+    assert list(g.edges(WR)) == [(2, 3, WR)]
+
+
+def test_union_merges_edges_and_nodes():
+    a = LabeledDiGraph()
+    a.add_edge(1, 2, WW)
+    b = LabeledDiGraph()
+    b.add_edge(1, 2, WR)
+    b.add_edge(2, 3, RW)
+    b.add_node(99)
+    a.union(b)
+    assert a.edge_label(1, 2) == WW | WR
+    assert a.edge_label(2, 3) == RW
+    assert 99 in a
+
+
+def test_copy_is_independent():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    h = g.copy()
+    h.add_edge(2, 3, WR)
+    assert g.edge_label(2, 3) == 0
+    assert h.edge_label(1, 2) == WW
+
+
+def test_filter_edges_keeps_nodes_drops_other_labels():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW | WR)
+    g.add_edge(2, 3, RW)
+    f = g.filter_edges(WW)
+    assert f.edge_label(1, 2) == WW
+    assert f.edge_label(2, 3) == 0
+    assert 3 in f  # node preserved
+
+
+def test_degrees():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, WW)
+    g.add_edge(1, 3, WR)
+    g.add_edge(3, 2, WW)
+    assert g.out_degree(1) == 2
+    assert g.out_degree(1, WW) == 1
+    assert g.in_degree(2) == 2
+    assert g.in_degree(2, WR) == 0
+
+
+def test_self_loop_allowed():
+    g = LabeledDiGraph()
+    g.add_edge(1, 1, RW)
+    assert g.has_edge(1, 1, RW)
+    assert list(g.successors(1)) == [1]

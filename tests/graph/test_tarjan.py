@@ -1,0 +1,118 @@
+"""Tests for the iterative Tarjan SCC implementation."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    LabeledDiGraph,
+    cyclic_components,
+    strongly_connected_components,
+)
+
+L = 1  # a generic edge label
+
+
+def as_sets(components):
+    return {frozenset(c) for c in components}
+
+
+def test_empty():
+    assert strongly_connected_components(LabeledDiGraph()) == []
+
+
+def test_single_node_no_edge():
+    g = LabeledDiGraph()
+    g.add_node("a")
+    assert as_sets(strongly_connected_components(g)) == {frozenset({"a"})}
+    assert cyclic_components(g) == []
+
+
+def test_self_loop_is_cyclic():
+    g = LabeledDiGraph()
+    g.add_edge("a", "a", L)
+    assert as_sets(cyclic_components(g)) == {frozenset({"a"})}
+
+
+def test_two_cycle():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, L)
+    g.add_edge(2, 1, L)
+    assert as_sets(cyclic_components(g)) == {frozenset({1, 2})}
+
+
+def test_chain_is_acyclic():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, L)
+    g.add_edge(2, 3, L)
+    g.add_edge(3, 4, L)
+    assert cyclic_components(g) == []
+    assert len(strongly_connected_components(g)) == 4
+
+
+def test_two_separate_cycles():
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, L)
+    g.add_edge(2, 1, L)
+    g.add_edge(3, 4, L)
+    g.add_edge(4, 5, L)
+    g.add_edge(5, 3, L)
+    g.add_edge(2, 3, L)  # bridge keeps them separate components
+    assert as_sets(cyclic_components(g)) == {
+        frozenset({1, 2}),
+        frozenset({3, 4, 5}),
+    }
+
+
+def test_mask_restricts_components():
+    ww, wr = 1, 2
+    g = LabeledDiGraph()
+    g.add_edge(1, 2, ww)
+    g.add_edge(2, 1, wr)
+    assert cyclic_components(g, ww | wr) != []
+    assert cyclic_components(g, ww) == []
+    assert cyclic_components(g, wr) == []
+
+
+def test_deep_graph_does_not_recurse():
+    # A 50k-node chain ending in a 2-cycle would overflow Python's stack if
+    # Tarjan recursed.
+    g = LabeledDiGraph()
+    n = 50_000
+    for i in range(n):
+        g.add_edge(i, i + 1, L)
+    g.add_edge(n, n - 1, L)
+    comps = cyclic_components(g)
+    assert as_sets(comps) == {frozenset({n - 1, n})}
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=max(n - 1, 0)),
+                st.integers(min_value=0, max_value=max(n - 1, 0)),
+            ),
+            max_size=40,
+        )
+    )
+    return n, edges
+
+
+@given(random_digraphs())
+@settings(max_examples=200, deadline=None)
+def test_matches_networkx_oracle(data):
+    n, edges = data
+    g = LabeledDiGraph()
+    ref = nx.DiGraph()
+    for i in range(n):
+        g.add_node(i)
+        ref.add_node(i)
+    for u, v in edges:
+        g.add_edge(u, v, L)
+        ref.add_edge(u, v)
+    ours = as_sets(strongly_connected_components(g))
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(ref)}
+    assert ours == theirs

@@ -1,0 +1,209 @@
+"""Unit tests for History pairing, constructors, and the builder."""
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.history import (
+    History,
+    HistoryBuilder,
+    Op,
+    OpType,
+    append,
+    r,
+)
+
+
+class TestCompactConstructor:
+    def test_of_builds_sequential_transactions(self):
+        h = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        assert len(h) == 2
+        t1, t2 = h.transactions
+        assert t1.committed and t2.committed
+        assert t1.complete_index < t2.invoke_index  # sequential
+
+    def test_of_accepts_optype_enum(self):
+        h = History.of((OpType.FAIL, 0, [append("x", 1)]))
+        assert h.transactions[0].aborted
+
+    def test_of_rejects_invoke_type(self):
+        with pytest.raises(HistoryError):
+            History.of(("invoke", 0, []))
+
+    def test_of_rejects_garbage_type(self):
+        with pytest.raises(HistoryError):
+            History.of(("committed", 0, []))
+
+    def test_interleaved_all_concurrent(self):
+        h = History.interleaved(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2)]),
+        )
+        t1, t2 = h.transactions
+        # Both invoked before either completes.
+        assert t1.invoke_index < t2.complete_index
+        assert t2.invoke_index < t1.complete_index
+
+    def test_interleaved_rejects_duplicate_process(self):
+        with pytest.raises(HistoryError, match="appears twice"):
+            History.interleaved(("ok", 0, []), ("ok", 0, []))
+
+
+class TestPairing:
+    def test_basic_pairing(self):
+        ops = [
+            Op(0, OpType.INVOKE, 5, (append("x", 1),)),
+            Op(1, OpType.OK, 5, (append("x", 1),)),
+        ]
+        h = History(ops)
+        assert len(h) == 1
+        txn = h.transactions[0]
+        assert txn.id == 0
+        assert txn.process == 5
+        assert txn.invoke_index == 0 and txn.complete_index == 1
+
+    def test_completion_values_preferred(self):
+        # The ok op carries the read's return value; invocation doesn't.
+        ops = [
+            Op(0, OpType.INVOKE, 0, (r("x"),)),
+            Op(1, OpType.OK, 0, (r("x", [7]),)),
+        ]
+        h = History(ops)
+        assert h.transactions[0].mops[0].value == [7]
+
+    def test_info_without_values_uses_invocation(self):
+        ops = [
+            Op(0, OpType.INVOKE, 0, (append("x", 1),)),
+            Op(1, OpType.INFO, 0, None),
+        ]
+        h = History(ops)
+        txn = h.transactions[0]
+        assert txn.indeterminate
+        assert txn.mops[0].value == 1
+
+    def test_unclosed_invocation_becomes_info(self):
+        ops = [Op(0, OpType.INVOKE, 0, (append("x", 1),))]
+        h = History(ops)
+        txn = h.transactions[0]
+        assert txn.indeterminate
+        assert txn.complete_index is None
+
+    def test_double_invoke_same_process_rejected(self):
+        ops = [
+            Op(0, OpType.INVOKE, 0, ()),
+            Op(1, OpType.INVOKE, 0, ()),
+        ]
+        with pytest.raises(HistoryError, match="still pending"):
+            History(ops)
+
+    def test_orphan_completion_rejected(self):
+        with pytest.raises(HistoryError, match="no pending invocation"):
+            History([Op(0, OpType.OK, 0, ())])
+
+    def test_nonmonotonic_indices_rejected(self):
+        ops = [
+            Op(5, OpType.INVOKE, 0, ()),
+            Op(3, OpType.OK, 0, ()),
+        ]
+        with pytest.raises(HistoryError, match="strictly increasing"):
+            History(ops)
+
+    def test_interleaved_processes(self):
+        ops = [
+            Op(0, OpType.INVOKE, 0, (append("x", 1),)),
+            Op(1, OpType.INVOKE, 1, (append("x", 2),)),
+            Op(2, OpType.OK, 1, (append("x", 2),)),
+            Op(3, OpType.OK, 0, (append("x", 1),)),
+        ]
+        h = History(ops)
+        assert len(h) == 2
+        by_process = {t.process: t for t in h.transactions}
+        assert by_process[0].complete_index == 3
+        assert by_process[1].complete_index == 2
+
+
+class TestAccessors:
+    def make(self):
+        return History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("fail", 1, [append("x", 2)]),
+            ("info", 2, [append("x", 3)]),
+        )
+
+    def test_filters(self):
+        h = self.make()
+        assert len(h.oks()) == 1
+        assert len(h.fails()) == 1
+        assert len(h.infos()) == 1
+        assert len(h.possibly_committed()) == 2
+
+    def test_lookup_by_id(self):
+        h = self.make()
+        txn = h.transactions[0]
+        assert h[txn.id] is txn
+        with pytest.raises(HistoryError):
+            h[999]
+
+    def test_processes_in_order(self):
+        assert self.make().processes() == [0, 1, 2]
+
+    def test_len_and_iter(self):
+        h = self.make()
+        assert len(list(h)) == len(h) == 3
+
+    def test_op_count_and_max_index(self):
+        h = self.make()
+        assert h.op_count == 6
+        assert h.max_index == 5
+        assert History([]).max_index == -1
+
+
+class TestBuilder:
+    def test_concurrent_structure(self):
+        b = HistoryBuilder()
+        t0 = b.invoke(0, [append("x", 1)])
+        t1 = b.invoke(1, [r("x")])
+        b.ok(0, [append("x", 1)])
+        b.ok(1, [r("x", [1])])
+        h = b.build()
+        assert len(h) == 2
+        assert h[t0].committed
+        assert h[t1].mops[0].value == [1]
+
+    def test_fail_and_info(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.fail(0)
+        b.invoke(1, [append("x", 2)])
+        b.info(1)
+        h = b.build()
+        assert h.transactions[0].aborted
+        assert h.transactions[1].indeterminate
+        # fail/info without values keep the invocation's micro-ops.
+        assert h.transactions[0].mops[0].value == 1
+
+    def test_pending_becomes_info_on_build(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        h = b.build()
+        assert h.transactions[0].indeterminate
+        assert h.transactions[0].complete_index is None
+
+    def test_double_invoke_rejected(self):
+        b = HistoryBuilder()
+        b.invoke(0, [])
+        with pytest.raises(HistoryError):
+            b.invoke(0, [])
+
+    def test_completion_without_invoke_rejected(self):
+        b = HistoryBuilder()
+        with pytest.raises(HistoryError):
+            b.ok(0, [])
+
+    def test_next_index_tracks(self):
+        b = HistoryBuilder()
+        assert b.next_index == 0
+        b.invoke(0, [])
+        assert b.next_index == 1

@@ -1,0 +1,127 @@
+"""Unit tests for micro-ops, ops, and transaction views."""
+
+import pytest
+
+from repro.history import (
+    MicroOp,
+    Op,
+    OpType,
+    Transaction,
+    add,
+    append,
+    final_writes,
+    inc,
+    intermediate_writes,
+    r,
+    w,
+)
+
+
+class TestMicroOp:
+    def test_read_constructor(self):
+        mop = r("x", [1, 2])
+        assert mop.fn == "r"
+        assert mop.key == "x"
+        assert mop.value == [1, 2]
+        assert mop.is_read and not mop.is_write
+
+    def test_read_with_unknown_value(self):
+        assert r("x").value is None
+
+    def test_append_constructor(self):
+        mop = append("x", 3)
+        assert mop.fn == "append"
+        assert mop.is_write and not mop.is_read
+
+    def test_write_add_inc(self):
+        assert w("x", 5).is_write
+        assert add("x", 5).is_write
+        assert inc("x").value == 1
+        assert inc("x", 3).value == 3
+
+    def test_unknown_fn_rejected(self):
+        with pytest.raises(ValueError, match="unknown micro-op"):
+            MicroOp("compare-and-set", "x", 1)
+
+    def test_repr_is_clojure_flavored(self):
+        assert repr(append("x", 1)) == "[:append 'x' 1]"
+
+    def test_frozen(self):
+        mop = r("x", 1)
+        with pytest.raises(AttributeError):
+            mop.value = 2
+
+
+class TestOp:
+    def test_value_coerced_to_tuple(self):
+        op = Op(0, OpType.INVOKE, 1, [r("x")])
+        assert isinstance(op.value, tuple)
+
+    def test_none_value_allowed(self):
+        op = Op(0, OpType.INFO, 1, None)
+        assert op.value is None
+
+    def test_invoke_and_completion_predicates(self):
+        assert Op(0, OpType.INVOKE, 0, ()).is_invoke
+        for t in (OpType.OK, OpType.FAIL, OpType.INFO):
+            op = Op(0, t, 0, ())
+            assert op.is_completion and not op.is_invoke
+
+
+class TestTransaction:
+    def make(self, mops, type_=OpType.OK):
+        return Transaction(
+            id=0, process=0, type=type_, mops=tuple(mops),
+            invoke_index=0, complete_index=1,
+        )
+
+    def test_invoke_type_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(
+                id=0, process=0, type=OpType.INVOKE, mops=(),
+                invoke_index=0, complete_index=1,
+            )
+
+    def test_status_predicates(self):
+        assert self.make([], OpType.OK).committed
+        assert self.make([], OpType.FAIL).aborted
+        assert self.make([], OpType.INFO).indeterminate
+
+    def test_reads_and_writes(self):
+        txn = self.make([append("x", 1), r("y", [2]), w("z", 3)])
+        assert [m.key for m in txn.reads()] == ["y"]
+        assert [m.key for m in txn.writes()] == ["x", "z"]
+        assert [m.value for m in txn.writes_to("z")] == [3]
+        assert txn.keys() == {"x", "y", "z"}
+
+
+class TestFinalAndIntermediateWrites:
+    def make(self, mops):
+        return Transaction(
+            id=0, process=0, type=OpType.OK, mops=tuple(mops),
+            invoke_index=0, complete_index=1,
+        )
+
+    def test_single_write_is_final(self):
+        txn = self.make([append("x", 1)])
+        finals = final_writes(txn)
+        assert finals["x"].value == 1
+        assert list(intermediate_writes(txn)) == []
+
+    def test_last_write_per_key_wins(self):
+        txn = self.make([append("x", 1), append("y", 2), append("x", 3)])
+        finals = final_writes(txn)
+        assert finals["x"].value == 3
+        assert finals["y"].value == 2
+        inter = list(intermediate_writes(txn))
+        assert len(inter) == 1 and inter[0].value == 1
+
+    def test_reads_do_not_count(self):
+        txn = self.make([r("x", [1]), append("x", 2)])
+        assert final_writes(txn)["x"].value == 2
+
+    def test_repeated_equal_writes(self):
+        # Two appends of the same value: the later one is final, the earlier
+        # one intermediate (identity, not equality, distinguishes them).
+        txn = self.make([append("x", 1), append("x", 1)])
+        assert len(list(intermediate_writes(txn))) == 1

@@ -1,0 +1,183 @@
+"""Integration: the four case studies of §7, reproduced end to end.
+
+Each test runs the workload against the MVCC simulator with the fault
+injector modeling the published root cause, and asserts Elle reports the
+anomaly classes the paper reports (experiments E4-E7 in DESIGN.md).
+"""
+
+import pytest
+
+from repro import check
+from repro.db import (
+    DgraphShardMigration,
+    FaunaInternal,
+    Isolation,
+    TiDBRetry,
+    YugaByteStaleRead,
+)
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+
+
+class TestTiDB:
+    """§7.1: auto-retry => G-single read skew, lost updates, inconsistent
+    observations implying aborted reads."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = RunConfig(
+            txns=1000,
+            concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=3,
+            faults=lambda rng: TiDBRetry(rng),
+        )
+        return check(run_workload(cfg), consistency_model="snapshot-isolation")
+
+    def test_invalid_under_claimed_si(self, result):
+        assert not result.valid
+
+    def test_g_single_read_skew(self, result):
+        assert "G-single" in result.anomaly_types
+
+    def test_lost_updates_as_incompatible_order(self, result):
+        assert "incompatible-order" in result.anomaly_types
+
+    def test_retry_off_is_clean(self):
+        cfg = RunConfig(
+            txns=1000,
+            concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=3,
+            faults=None,  # TiDB 3.0.0-rc2: retries disabled by default
+        )
+        result = check(
+            run_workload(cfg), consistency_model="snapshot-isolation"
+        )
+        assert result.valid
+
+
+class TestYugaByte:
+    """§7.2: stale read timestamps after master failover => G2-item with
+    multiple anti-dependencies; no G-single, G1, or G0."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = RunConfig(
+            txns=1000,
+            concurrency=10,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(active_keys=3, max_writes_per_key=30),
+            seed=3,
+            faults=lambda rng: YugaByteStaleRead(
+                rng, probability=0.3, staleness=4
+            ),
+        )
+        return check(run_workload(cfg), consistency_model="serializable")
+
+    def test_invalid_under_claimed_serializability(self, result):
+        assert not result.valid
+
+    def test_g2_item_cycles(self, result):
+        assert "G2-item" in result.anomaly_types
+
+    def test_no_g0_or_g1(self, result):
+        for name in ("G0", "G1a", "G1b", "G1c", "G-single"):
+            assert name not in result.anomaly_types
+
+    def test_cycles_have_multiple_antidependencies(self, result):
+        from repro.core import RW
+        from repro.core.anomalies import CycleAnomaly
+
+        g2s = [
+            a
+            for a in result.anomalies
+            if isinstance(a, CycleAnomaly) and a.name == "G2-item"
+        ]
+        assert any(
+            sum(1 for _u, _v, bit in a.steps if bit == RW) >= 2 for a in g2s
+        )
+
+
+class TestFauna:
+    """§7.3: tentative writes invisible to index reads => internal
+    inconsistency, with G2 inferred."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = RunConfig(
+            txns=1000,
+            concurrency=8,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(
+                active_keys=3, max_writes_per_key=30, read_fraction=0.4
+            ),
+            seed=3,
+            faults=lambda rng: FaunaInternal(rng, probability=0.3, staleness=2),
+        )
+        return check(run_workload(cfg), consistency_model="strict-serializable")
+
+    def test_internal_inconsistency(self, result):
+        assert "internal" in result.anomaly_types
+
+    def test_g2_inferred(self, result):
+        assert any("G2" in t or "G-single" in t for t in result.anomaly_types)
+
+    def test_internal_message_names_transaction(self, result):
+        internal = result.anomalies_of("internal")[0]
+        assert "incompatible with its own prior reads" in internal.message
+
+
+class TestDgraph:
+    """§7.4: fresh-shard nil reads on registers => internal inconsistency,
+    cyclic version orders (reported and discarded), read skew."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = RunConfig(
+            txns=1200,
+            concurrency=10,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(
+                workload="rw-register",
+                active_keys=3,
+                max_writes_per_key=40,
+                read_fraction=0.6,
+            ),
+            seed=5,
+            faults=lambda rng: DgraphShardMigration(rng, probability=0.15),
+        )
+        return check(
+            run_workload(cfg),
+            workload="rw-register",
+            consistency_model="snapshot-isolation",
+            sources=("initial-state", "write-follows-read", "realtime"),
+        )
+
+    def test_invalid_under_claimed_si(self, result):
+        assert not result.valid
+
+    def test_cyclic_versions_reported_and_discarded(self, result):
+        assert "cyclic-versions" in result.anomaly_types
+
+    def test_read_skew_cycles(self, result):
+        assert "G-single" in result.anomaly_types
+
+    def test_healthy_register_run_is_clean(self):
+        cfg = RunConfig(
+            txns=600,
+            concurrency=8,
+            isolation=Isolation.SERIALIZABLE,
+            workload=WorkloadConfig(
+                workload="rw-register", active_keys=3, max_writes_per_key=30
+            ),
+            seed=5,
+        )
+        result = check(
+            run_workload(cfg),
+            workload="rw-register",
+            consistency_model="strict-serializable",
+            sources=("initial-state", "write-follows-read", "realtime"),
+        )
+        assert result.valid, result.anomaly_types

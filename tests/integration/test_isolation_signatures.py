@@ -1,0 +1,101 @@
+"""Integration: each isolation level shows its textbook anomaly signature.
+
+This is the library's central soundness/effectiveness matrix:
+
+* ``serializable`` runs are clean even under strict serializability —
+  Elle reports **no false positives** (soundness, §4.3).
+* ``snapshot-isolation`` runs show write skew (G2-item) and nothing
+  stronger — valid under SI itself.
+* ``read-committed`` runs show read skew (G-single) but remain valid at
+  read-committed.
+* ``read-uncommitted`` runs exhibit the full menagerie: G0, G1, dirty
+  updates.
+"""
+
+import pytest
+
+from repro import check
+from repro.db import Isolation
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+
+CONTENDED = WorkloadConfig(active_keys=3, max_writes_per_key=30)
+
+
+def run_and_check(isolation, model, seed=7, txns=800, **kw):
+    cfg = RunConfig(
+        txns=txns,
+        concurrency=10,
+        isolation=isolation,
+        workload=CONTENDED,
+        seed=seed,
+        **kw,
+    )
+    return check(run_workload(cfg), consistency_model=model)
+
+
+class TestSerializableSoundness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_false_positives(self, seed):
+        result = run_and_check(
+            Isolation.SERIALIZABLE,
+            "strict-serializable",
+            seed=seed,
+            txns=400,
+            abort_probability=0.05,
+            crash_probability=0.05,
+        )
+        assert result.valid, result.anomaly_types
+        assert result.anomaly_types == ()
+
+
+class TestSnapshotIsolation:
+    def test_write_skew_and_nothing_stronger(self):
+        result = run_and_check(Isolation.SNAPSHOT_ISOLATION, "serializable")
+        assert not result.valid
+        assert "G2-item" in result.anomaly_types
+        # SI proscribes these; the database honours SI, so none appear:
+        for forbidden in ("G0", "G1a", "G1b", "G1c", "G-single",
+                          "lost-update", "incompatible-order"):
+            assert forbidden not in result.anomaly_types
+
+    def test_valid_under_si_itself(self):
+        result = run_and_check(
+            Isolation.SNAPSHOT_ISOLATION, "snapshot-isolation"
+        )
+        assert result.valid
+
+
+class TestReadCommitted:
+    def test_read_skew_visible(self):
+        result = run_and_check(Isolation.READ_COMMITTED, "snapshot-isolation")
+        assert not result.valid
+        assert "G-single" in result.anomaly_types
+
+    def test_valid_under_read_committed(self):
+        result = run_and_check(Isolation.READ_COMMITTED, "read-committed")
+        assert result.valid
+        for forbidden in ("G0", "G1a", "G1b", "G1c", "incompatible-order"):
+            assert forbidden not in result.anomaly_types
+
+
+class TestReadUncommitted:
+    def test_full_menagerie(self):
+        result = run_and_check(
+            Isolation.READ_UNCOMMITTED,
+            "read-committed",
+            abort_probability=0.1,
+        )
+        assert not result.valid
+        types = set(result.anomaly_types)
+        assert "G0" in types
+        assert {"G1a", "G1b", "G1c"} & types
+        assert "dirty-update" in types
+
+    def test_ruled_out_models_cascade(self):
+        result = run_and_check(
+            Isolation.READ_UNCOMMITTED,
+            "read-committed",
+            abort_probability=0.1,
+        )
+        assert "read-uncommitted" in result.impossible  # G0 kills even RU
+        assert "strict-serializable" in result.impossible

@@ -1,0 +1,120 @@
+"""Property tests for the database substrate itself.
+
+The checker's guarantees are only as good as the substrate it's validated
+against, so the simulator gets its own invariants:
+
+* the multiversion store serves monotone snapshots;
+* under any isolation level, committed versions of a list key form a
+  linear append history (each version extends some earlier one) — except
+  read-uncommitted and injected clobbering faults, which are *supposed* to
+  break it;
+* the replicated store never loses a committed append.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objects import AppendList, is_prefix
+from repro.db import ConflictAbort, Isolation, MVCCDatabase, VersionedStore
+from repro.db.mvcc import WouldBlock
+from repro.db.replicated import ReplicatedDatabase
+from repro.history import append, r
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_store_snapshots_are_monotone(writes, probe_seq):
+    store = VersionedStore(AppendList())
+    seqs = []
+    value = ()
+    for arg in writes:
+        seq = store.next_seq()
+        value = value + (arg,)
+        store.install("x", value, seq)
+        seqs.append(seq)
+    # Snapshot reads never run backwards and always return a prefix chain.
+    previous = ()
+    for seq in range(0, max(seqs) + 2):
+        now = store.read_at("x", seq)
+        assert is_prefix(previous, now)
+        previous = now
+    assert store.read_at("x", probe_seq) == store.read_at(
+        "x", min(probe_seq, max(seqs))
+    )
+
+
+@st.composite
+def db_scripts(draw):
+    isolation = draw(
+        st.sampled_from([
+            Isolation.SERIALIZABLE,
+            Isolation.SNAPSHOT_ISOLATION,
+            Isolation.READ_COMMITTED,
+        ])
+    )
+    steps = draw(st.integers(min_value=5, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    return isolation, steps, seed
+
+
+@given(db_scripts())
+@settings(max_examples=60, deadline=None)
+def test_committed_list_versions_form_a_chain(script):
+    """Every committed version extends the previous: no clobbering."""
+    isolation, steps, seed = script
+    rng = random.Random(seed)
+    db = MVCCDatabase(AppendList(), isolation)
+    open_txns = []
+    next_arg = 0
+    for _ in range(steps):
+        move = rng.random()
+        if move < 0.4 or not open_txns:
+            open_txns.append(db.begin())
+        elif move < 0.8:
+            txn = rng.choice(open_txns)
+            next_arg += 1
+            try:
+                db.execute(txn, append("x", next_arg))
+            except (WouldBlock, ConflictAbort):
+                if txn.finished:
+                    open_txns.remove(txn)
+        else:
+            txn = open_txns.pop(rng.randrange(len(open_txns)))
+            try:
+                db.commit(txn)
+            except ConflictAbort:
+                pass
+    values = db.store._values.get("x", [])
+    for earlier, later in zip(values, values[1:]):
+        assert is_prefix(earlier, later), (earlier, later)
+
+
+@given(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=60, deadline=None)
+def test_replicated_store_never_loses_committed_appends(lag, sites, seed):
+    rng = random.Random(seed)
+    db = ReplicatedDatabase(AppendList(), sites=sites, replication_lag=lag)
+    committed = []
+    for i in range(30):
+        txn = db.begin(site=rng.randrange(sites))
+        db.execute(txn, append("x", i))
+        try:
+            db.commit(txn)
+            committed.append(i)
+        except ConflictAbort:
+            pass
+    final = db._latest_global("x")
+    assert list(final) == committed
+    # Every site eventually converges: a far-future snapshot sees it all.
+    horizon = db._seq + lag + 1
+    for site in range(sites):
+        assert db._visible(site, horizon, "x") == final

@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "list-append"
+        assert args.isolation == "serializable"
+        assert args.model == "serializable"
+
+    def test_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--fault", "cosmic-rays"])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "acid"])
+
+
+class TestMain:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["--quiet", "--txns", "100", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VALID" in out
+
+    def test_buggy_run_exits_nonzero(self, capsys):
+        code = main([
+            "--quiet",
+            "--txns", "500",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_full_report_contains_explanations(self, capsys):
+        code = main([
+            "--txns", "500",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "because" in out
+
+    def test_windowed_fault(self, capsys):
+        code = main([
+            "--quiet",
+            "--txns", "400",
+            "--isolation", "serializable",
+            "--fault", "yugabyte-stale-read",
+            "--fault-window", "100",
+            "--model", "strict-serializable",
+            "--seed", "3",
+        ])
+        # The windowed stale reads violate strict serializability.
+        assert code == 1
+
+    def test_register_workload(self, capsys):
+        code = main([
+            "--quiet",
+            "--workload", "rw-register",
+            "--txns", "200",
+            "--seed", "5",
+        ])
+        assert code == 0
+
+    def test_timestamps_flag(self, capsys):
+        code = main([
+            "--quiet",
+            "--txns", "200",
+            "--isolation", "snapshot-isolation",
+            "--model", "snapshot-isolation",
+            "--timestamps",
+            "--seed", "7",
+        ])
+        assert code == 0

@@ -1,0 +1,55 @@
+"""Tests for ASCII rendering."""
+
+from repro.viz import ascii_plot, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["333", "4"]
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_wide_cells_expand_column(self):
+        text = render_table(["h"], [["wide-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_single_series_contains_marks(self):
+        plot = ascii_plot({"elle": [(0, 0), (10, 10)]}, width=20, height=10)
+        assert "e" in plot
+        assert "elle" in plot  # legend
+
+    def test_two_series_distinct_marks(self):
+        plot = ascii_plot(
+            {"elle": [(0, 1)], "knossos": [(10, 5)]}, width=20, height=8
+        )
+        assert "e" in plot and "k" in plot
+
+    def test_title_and_labels(self):
+        plot = ascii_plot(
+            {"s": [(0, 0), (5, 5)]},
+            width=20,
+            height=6,
+            x_label="ops",
+            y_label="sec",
+            title="Figure 4",
+        )
+        assert plot.splitlines()[0] == "Figure 4"
+        assert "ops" in plot
+        assert "sec" in plot
+
+    def test_constant_series_no_crash(self):
+        plot = ascii_plot({"s": [(1, 3), (2, 3)]}, width=10, height=5)
+        assert "s" in plot
