@@ -1,0 +1,58 @@
+"""Machine-readable benchmark records, tracked across PRs.
+
+Every benchmark entry point appends one run record to
+``BENCH_elle_scaling.json`` at the repository root so the perf trajectory
+is visible in version control: each record carries the benchmark name, an
+ISO timestamp, the interpreter version, and the benchmark's own result
+rows.  Stdlib only — no dependency on pytest-benchmark's storage format.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Default record file, at the repository root.
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_elle_scaling.json"
+
+
+def load_runs(path: Optional[Path] = None) -> List[Dict]:
+    """All recorded runs (oldest first); empty if the file doesn't exist."""
+    path = Path(path) if path is not None else DEFAULT_PATH
+    if not path.exists():
+        return []
+    with open(path) as fh:
+        data = json.load(fh)
+    return data.get("runs", [])
+
+
+def record_run(
+    benchmark: str,
+    results: List[Dict],
+    path: Optional[Path] = None,
+    **extra,
+) -> Path:
+    """Append one run record and rewrite the JSON file.
+
+    ``results`` is the benchmark's own list of row dicts (sizes, stage
+    timings...).  Returns the path written, for the caller to report.
+    """
+    path = Path(path) if path is not None else DEFAULT_PATH
+    runs = load_runs(path)
+    record = {
+        "benchmark": benchmark,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "argv": sys.argv[1:],
+        "results": results,
+    }
+    record.update(extra)
+    runs.append(record)
+    with open(path, "w") as fh:
+        json.dump({"runs": runs}, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

@@ -30,20 +30,61 @@ def bench_elle_large_histories(benchmark, size):
     assert result.valid
 
 
-def main() -> None:  # pragma: no cover - manual entry point
+def main(argv=None) -> None:  # pragma: no cover - manual entry point
+    import argparse
     import time
 
+    from repro.core import Profile
     from repro.viz import render_table
 
+    from _record import record_run
+
+    parser = argparse.ArgumentParser(
+        description="Check figure-4 histories at scale and record timings."
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10_000, 50_000, 100_000],
+        metavar="TXNS",
+        help="history sizes (transactions) to check",
+    )
+    parser.add_argument("--concurrency", type=int, default=20)
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="benchmark record file (default: BENCH_elle_scaling.json "
+        "at the repository root)",
+    )
+    args = parser.parse_args(argv)
+
     rows = []
-    for size in (10_000, 50_000, 100_000):
-        history = figure4_history(size, 20)
+    results = []
+    for size in args.sizes:
+        history = figure4_history(size, args.concurrency)
+        profile = Profile()
         start = time.perf_counter()
-        result = check(history, consistency_model="strict-serializable")
+        result = check(
+            history,
+            consistency_model="strict-serializable",
+            profile=profile,
+        )
         elapsed = time.perf_counter() - start
         assert result.valid
         rows.append([size, history.op_count, f"{elapsed:.2f}"])
+        results.append(
+            {
+                "txns": size,
+                "ops": history.op_count,
+                "seconds": round(elapsed, 4),
+                "profile": profile.as_dict(),
+            }
+        )
     print(render_table(["transactions", "operations", "elle (s)"], rows))
+    path = record_run("elle_scaling", results, path=args.out)
+    print(f"recorded to {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

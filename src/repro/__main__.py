@@ -17,7 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import check
+from .core import Profile, check
 from .core.consistency import ALL_MODELS, SERIALIZABLE
 from .db import INJECTORS, Isolation, Windowed
 from .generator import RunConfig, WorkloadConfig, run_workload
@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="verdict line only"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings (analysis, graph freeze, each SCC "
+        "mask family, explanation rendering) and SCC run counters",
+    )
     return parser
 
 
@@ -104,11 +110,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=fault_factory,
     )
     history = run_workload(config)
+    profile = Profile() if args.profile else None
     result = check(
         history,
         workload=args.workload,
         consistency_model=args.model,
         timestamp_edges=args.timestamps,
+        profile=profile,
     )
 
     if args.quiet:
@@ -119,6 +127,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         print(result.report())
+    if profile is not None:
+        print()
+        print(profile.report())
     return 0 if result.valid else 1
 
 

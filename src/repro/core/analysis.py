@@ -9,7 +9,7 @@ a human-readable counterexample (Figure 2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..graph import LabeledDiGraph
 from ..history import History, Transaction
@@ -70,6 +70,24 @@ class Analysis:
             return
         self.graph.add_edge(u, v, evidence.kind)
         self.evidence.setdefault((u, v, evidence.kind), evidence)
+
+    def add_order_edges(
+        self, pairs: Iterable[Tuple[int, int]], evidence: Evidence
+    ) -> None:
+        """Bulk-record edges that all share one justification.
+
+        Order-derived dependencies (process / realtime / timestamp) carry
+        identical evidence for every pair, so the frozen ``evidence``
+        instance is shared rather than rebuilt per edge and the graph edges
+        go in through the bulk path.  Self-edges are dropped as in
+        :meth:`add_edge`.
+        """
+        kind = evidence.kind
+        pairs = [(u, v) for u, v in pairs if u != v]
+        self.graph.add_edges_from((u, v, kind) for u, v in pairs)
+        setdefault = self.evidence.setdefault
+        for u, v in pairs:
+            setdefault((u, v, kind), evidence)
 
     def edge_evidence(self, u: int, v: int, bit: int) -> Optional[Evidence]:
         return self.evidence.get((u, v, bit))

@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -34,6 +35,7 @@ from .counter_set import analyze_counter, analyze_grow_set
 from .cycle_search import find_cycle_anomalies
 from .explain import render_cycle
 from .list_append import analyze_list_append
+from .profiling import Profile
 from .rw_register import analyze_rw_register
 
 #: Registered analyzers: workload name -> analyze function.
@@ -146,6 +148,7 @@ def check(
     consistency_model: str = SERIALIZABLE,
     process_edges: bool = True,
     realtime_edges: bool = True,
+    profile: Optional[Profile] = None,
     **options,
 ) -> CheckResult:
     """Check an observation against a consistency model.
@@ -153,28 +156,41 @@ def check(
     ``workload`` selects the analyzer (``list-append``, ``rw-register``,
     ``grow-set``, ``counter``).  ``process_edges`` / ``realtime_edges``
     control the §5.1 order inference; disable ``realtime_edges`` when the
-    database makes no real-time claims.  Extra keyword options pass through
-    to the analyzer (e.g. ``sources`` for rw-register).
+    database makes no real-time claims.  ``profile``, when given, collects
+    per-stage timings and SCC counters (see :mod:`repro.core.profiling`;
+    ``python -m repro --profile`` prints them).  Extra keyword options pass
+    through to the analyzer (e.g. ``sources`` for rw-register).
     """
     _validate_model(consistency_model)
-    analysis = analyze(
-        history,
-        workload=workload,
-        process_edges=process_edges,
-        realtime_edges=realtime_edges,
-        **options,
-    )
-
-    cycles = find_cycle_anomalies(analysis.graph)
-    explained = [
-        CycleAnomaly(
-            name=c.name,
-            txns=c.txns,
-            message=c.message + "\n" + render_cycle(analysis, c),
-            steps=c.steps,
+    if profile is None:
+        stage = lambda name: nullcontext()  # noqa: E731
+    else:
+        stage = profile.stage
+    with stage("analyze"):
+        analysis = analyze(
+            history,
+            workload=workload,
+            process_edges=process_edges,
+            realtime_edges=realtime_edges,
+            **options,
         )
-        for c in cycles
-    ]
+    with stage("freeze"):
+        csr = analysis.graph.freeze()
+    if profile is not None:
+        profile.count("graph.nodes", csr.node_count)
+        profile.count("graph.edges", csr.edge_count)
+    with stage("cycle-search"):
+        cycles = find_cycle_anomalies(analysis.graph, profile=profile)
+    with stage("explain"):
+        explained = [
+            CycleAnomaly(
+                name=c.name,
+                txns=c.txns,
+                message=c.message + "\n" + render_cycle(analysis, c),
+                steps=c.steps,
+            )
+            for c in cycles
+        ]
     all_anomalies = sort_anomalies(list(analysis.anomalies) + explained)
     types = tuple(sorted({a.name for a in all_anomalies}))
 

@@ -24,14 +24,9 @@ reported as G0 even if some edges also carry rw bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..graph import (
-    LabeledDiGraph,
-    cyclic_components,
-    find_cycle_with_first_edge,
-    shortest_cycle_in_component,
-)
+from ..graph import CSRGraph, LabeledDiGraph
 from .anomalies import (
     G0,
     G0_PROCESS,
@@ -52,6 +47,7 @@ from .anomalies import (
     CycleAnomaly,
 )
 from .deps import PROCESS, REALTIME, RW, TIMESTAMP, WR, WW
+from .profiling import Profile
 
 #: Priority order for classifying an edge's contribution to a cycle.
 _BIT_PRIORITY = (WW, WR, RW, PROCESS, REALTIME, TIMESTAMP)
@@ -116,6 +112,34 @@ _SPECS: Tuple[_Spec, ...] = (
     ),
 )
 
+_VALUE = WW | WR | RW
+
+#: The SCC refinement tree: ``(family, mask, parent_mask)`` triples in
+#: topological order (parents first).  Every spec mask is ``value_bits |
+#: extra`` for one of four ``extra`` strengthenings (none / process /
+#: process+realtime / timestamp), and the masks nest two ways: within a
+#: family (``ww|e ⊆ ww|wr|e ⊆ ww|wr|rw|e``) and across families at full
+#: width (``value ⊆ session ⊆ realtime``).  A cycle under a mask is a
+#: cycle under every superset mask, so each entry's cyclic SCCs live
+#: inside its parent's — only masks with ``parent_mask=None`` can ever
+#: need an unconditional full-graph decomposition.  On a clean history the
+#: realtime root comes back acyclic and every other mask resolves for
+#: free: one full-graph Tarjan instead of sixteen.
+_REFINEMENT: Tuple[Tuple[str, int, Optional[int]], ...] = (
+    ("realtime", _VALUE | PROCESS | REALTIME, None),
+    ("realtime", WW | WR | PROCESS | REALTIME, _VALUE | PROCESS | REALTIME),
+    ("realtime", WW | PROCESS | REALTIME, WW | WR | PROCESS | REALTIME),
+    ("session", _VALUE | PROCESS, _VALUE | PROCESS | REALTIME),
+    ("session", WW | WR | PROCESS, _VALUE | PROCESS),
+    ("session", WW | PROCESS, WW | WR | PROCESS),
+    ("value", _VALUE, _VALUE | PROCESS),
+    ("value", WW | WR, _VALUE),
+    ("value", WW, WW | WR),
+    ("timestamp", _VALUE | TIMESTAMP, None),
+    ("timestamp", WW | WR | TIMESTAMP, _VALUE | TIMESTAMP),
+    ("timestamp", WW | TIMESTAMP, WW | WR | TIMESTAMP),
+)
+
 _BASE_NAMES = {
     "G0": (G0, G0_PROCESS, G0_REALTIME, G0_TS),
     "G1c": (G1C, G1C_PROCESS, G1C_REALTIME, G1C_TS),
@@ -178,29 +202,122 @@ def _summary(name: str, cycle: Sequence[int]) -> str:
     return f"{name} cycle over {len(cycle) - 1} transaction(s): {path}"
 
 
-def find_cycle_anomalies(graph: LabeledDiGraph) -> List[CycleAnomaly]:
+def _refined_components(
+    csr: CSRGraph, profile: Optional[Profile] = None
+) -> Dict[int, List[List[int]]]:
+    """Cyclic SCCs (integer domain) for every *effective* spec mask.
+
+    Walks each family's mask chain widest-first, reusing each mask's
+    decomposition for every parent/child relationship it appears in.  Masks
+    are reduced by the graph's label union before lookup: two spec masks
+    that select the same visible edge set share one decomposition — e.g.
+    without timestamp edges the whole timestamp family collapses onto the
+    value family and costs nothing.
+
+    A cycle under a mask is a cycle under every superset mask, so all of a
+    mask's cyclic SCCs live inside the cyclic components already found
+    under its parent in the tree.  :func:`_decompose` exploits that twice:
+    a mask whose parent found nothing is resolved to ``[]`` outright, and
+    otherwise a Tarjan *probe* confined to the parent components decides
+    whether the mask has any cycles at all before the full-graph
+    decomposition runs.  On a clean history (the production hot path) every
+    non-root mask resolves without touching the graph.
+    """
+    label_union = csr.label_union
+    cache: Dict[int, List[List[int]]] = {}
+    for family_name, mask, parent_mask in _REFINEMENT:
+        eff = mask & label_union
+        if eff in cache:
+            continue
+        if parent_mask is None:
+            parent = None
+        else:
+            parent = cache[parent_mask & label_union]
+        if profile is not None:
+            with profile.stage(f"scc/{family_name}"):
+                cache[eff] = _decompose(
+                    csr, eff, parent, parent_mask is None, profile
+                )
+        else:
+            cache[eff] = _decompose(csr, eff, parent, parent_mask is None, None)
+    return cache
+
+
+def _decompose(
+    csr: CSRGraph,
+    mask: int,
+    parent: Optional[List[List[int]]],
+    widest: bool,
+    profile: Optional[Profile],
+) -> List[List[int]]:
+    """One decomposition step of the refinement walk.
+
+    Witness selection downstream is sensitive to Tarjan's emission order
+    (component order and member order are traversal-dependent), so any
+    components actually handed to the searches come from a *full-graph*
+    run — byte-identical to the historical per-spec decomposition.  The
+    refinement saves work by proving, via the parent components, that the
+    full run is unnecessary: narrow masks whose parent is acyclic resolve
+    to ``[]`` for free, and otherwise a Tarjan probe confined to the
+    parent's members (where every narrow-mask cycle must live) runs first.
+    The probe sees exactly the true cyclic SCC *sets* — only their order
+    may differ — so an empty probe proves the full run would find nothing.
+    """
+    if mask == 0:
+        # No visible edges: nothing can be cyclic.
+        return []
+    if not widest:
+        if not parent:
+            # Parent found no cyclic components; narrower masks can't either.
+            return []
+        if profile is not None:
+            profile.count("scc.probe_runs")
+        members = sorted(i for component in parent for i in component)
+        allowed = csr.allowed_table(members)
+        if not csr.cyclic_scc_idx(mask, roots=members, allowed=allowed):
+            return []
+    if profile is not None:
+        profile.count("scc.full_runs")
+    return csr.cyclic_scc_idx(mask)
+
+
+def find_cycle_anomalies(
+    graph: Union[LabeledDiGraph, CSRGraph],
+    profile: Optional[Profile] = None,
+) -> List[CycleAnomaly]:
     """All cycle anomalies, one witness per (cycle, classification).
 
-    Runs every search pass in severity order.  Each pass finds at most one
+    Freezes the graph once into its CSR snapshot, computes the SCC
+    refinement tree (at most one full-graph Tarjan per mask family), then
+    runs every search pass in severity order.  Each pass finds at most one
     short cycle per strongly connected component; duplicates across passes
     are dropped by cycle signature.
     """
+    csr = graph.freeze() if isinstance(graph, LabeledDiGraph) else graph
+    components_for = _refined_components(csr, profile)
+    label_union = csr.label_union
+    nodes = csr.nodes
+    scratch = bytearray(len(nodes))
+
     anomalies: List[CycleAnomaly] = []
     seen: Set[Tuple[int, ...]] = set()
     for spec in _SPECS:
-        components = cyclic_components(graph, spec.mask)
-        for component in components:
+        for component in components_for[spec.mask & label_union]:
+            for i in component:
+                scratch[i] = 1
             if spec.first is None:
-                cycle = shortest_cycle_in_component(graph, component, spec.mask)
-            else:
-                cycle = find_cycle_with_first_edge(
-                    graph,
-                    spec.first,
-                    spec.rest,
-                    components=[component],
+                cycle_idx = csr.shortest_cycle_idx(
+                    component, spec.mask, scratch
                 )
-            if cycle is None:
+            else:
+                cycle_idx = csr.first_edge_cycle_idx(
+                    component, spec.first, spec.rest, scratch
+                )
+            for i in component:
+                scratch[i] = 0
+            if cycle_idx is None:
                 continue
+            cycle = [nodes[i] for i in cycle_idx]
             signature = _canonical(cycle)
             if signature in seen:
                 continue

@@ -183,8 +183,84 @@ def _check_read(
     return anomalies
 
 
+class _ReadScreen:
+    """Per-key element sets that prove most reads anomaly-free in C speed.
+
+    :func:`_check_read` walks every element of every read in Python.  On a
+    healthy history that work always concludes "nothing wrong", so the
+    screen precomputes three structures from the append index and answers
+    "could this read possibly witness an anomaly?" with set operations:
+
+    * ``elements[key]`` — every element any transaction appended to the
+      key; a read outside this set contains garbage.
+    * ``aborted[key]`` — elements appended by definitely-aborted
+      transactions; a read intersecting it witnesses G1a (and possibly a
+      dirty update).
+    * ``nonfinal`` — ``(key, element)`` pairs that are a *non-final*
+      append of their writer; a read ending on one may be an intermediate
+      read (G1b).
+
+    Duplicate elements are screened by comparing the read's length against
+    its set's.  A read that passes every screen provably yields no
+    anomalies, so the slow path runs only on suspicious reads.
+    """
+
+    __slots__ = ("elements", "aborted", "nonfinal")
+
+    _EMPTY: frozenset = frozenset()
+
+    def __init__(
+        self,
+        txns: Sequence[Transaction],
+        index: Dict[Tuple[Any, Any], Transaction],
+    ) -> None:
+        elements: Dict[Any, set] = {}
+        aborted: Dict[Any, set] = {}
+        for (key, element), writer in index.items():
+            bucket = elements.get(key)
+            if bucket is None:
+                bucket = elements[key] = set()
+            bucket.add(element)
+            if writer.aborted:
+                bad = aborted.get(key)
+                if bad is None:
+                    bad = aborted[key] = set()
+                bad.add(element)
+        nonfinal: set = set()
+        for txn in txns:
+            finals: Dict[Any, Any] = {}
+            appends = [
+                (mop.key, mop.value) for mop in txn.mops if mop.fn == APPEND
+            ]
+            if not appends:
+                continue
+            for key, value in appends:
+                finals[key] = value
+            for key, value in appends:
+                if finals[key] != value:
+                    nonfinal.add((key, value))
+        self.elements = elements
+        self.aborted = aborted
+        self.nonfinal = nonfinal
+
+    def suspicious(self, key: Any, value: Tuple) -> bool:
+        """True when ``value`` could witness any anomaly on ``key``."""
+        if not value:
+            return False
+        if len(value) != len(set(value)):
+            return True  # duplicate elements
+        empty = self._EMPTY
+        if not self.elements.get(key, empty).issuperset(value):
+            return True  # garbage element
+        if not self.aborted.get(key, empty).isdisjoint(value):
+            return True  # aborted read (G1a) / dirty update
+        return (key, value[-1]) in self.nonfinal  # intermediate read (G1b)
+
+
 def _installed_positions(
-    order: KeyOrder, index: Dict[Tuple[Any, Any], Transaction]
+    order: KeyOrder,
+    index: Dict[Tuple[Any, Any], Transaction],
+    screen: Optional[_ReadScreen] = None,
 ) -> List[Tuple[int, Transaction]]:
     """Positions in the inferred trace that are *installed* versions.
 
@@ -194,11 +270,17 @@ def _installed_positions(
     chain: nothing beyond them can be ordered soundly.
     """
     installed = []
+    key = order.key
+    nonfinal = screen.nonfinal if screen is not None else None
     for pos, element in enumerate(order.elements):
-        writer = index.get((order.key, element))
+        writer = index.get((key, element))
         if writer is None:
             break  # garbage element: the trace beyond it is unreliable
-        final = final_writes(writer).get(order.key)
+        if nonfinal is not None:
+            if (key, element) not in nonfinal:
+                installed.append((pos, writer))
+            continue
+        final = final_writes(writer).get(key)
         if final is not None and final.value == element:
             installed.append((pos, writer))
     return installed
@@ -209,10 +291,11 @@ def _add_key_edges(
     order: KeyOrder,
     reads: List[Tuple[Transaction, Tuple]],
     index: Dict[Tuple[Any, Any], Transaction],
+    screen: Optional[_ReadScreen] = None,
 ) -> None:
     """ww, wr, and rw edges for one key's inferred version order."""
     key = order.key
-    installed = _installed_positions(order, index)
+    installed = _installed_positions(order, index, screen)
 
     # ww: consecutive installed versions were written by their writers in
     # version order.  A transaction installs at most one version per key, so
@@ -290,6 +373,7 @@ def analyze_list_append(
     )
 
     index = build_append_index(txns)
+    screen = _ReadScreen(txns, index)
 
     reads_by_key: Dict[Any, List[Tuple[Transaction, Tuple]]] = {}
     for txn in txns:
@@ -299,15 +383,16 @@ def analyze_list_append(
             if mop.fn == READ and mop.value is not None:
                 value = tuple(mop.value)
                 reads_by_key.setdefault(mop.key, []).append((txn, value))
-                analysis.anomalies.extend(
-                    _check_read(txn, mop.key, value, index)
-                )
+                if screen.suspicious(mop.key, value):
+                    analysis.anomalies.extend(
+                        _check_read(txn, mop.key, value, index)
+                    )
 
     orders, order_anomalies = infer_key_orders(txns)
     analysis.anomalies.extend(order_anomalies)
 
     for key, order in orders.items():
-        _add_key_edges(analysis, order, reads_by_key.get(key, []), index)
+        _add_key_edges(analysis, order, reads_by_key.get(key, []), index, screen)
 
     if process_edges:
         add_process_edges(analysis)

@@ -37,12 +37,11 @@ def add_process_edges(analysis: Analysis) -> None:
         by_process.setdefault(txn.process, []).append(txn)
     for process, txns in by_process.items():
         txns.sort(key=lambda t: t.invoke_index)
-        for prev, nxt in zip(txns, txns[1:]):
-            analysis.add_edge(
-                prev.id,
-                nxt.id,
-                Evidence(kind=PROCESS, process=process),
-            )
+        evidence = Evidence(kind=PROCESS, process=process)
+        analysis.add_order_edges(
+            ((prev.id, nxt.id) for prev, nxt in zip(txns, txns[1:])),
+            evidence,
+        )
 
 
 def add_realtime_edges(analysis: Analysis) -> None:
@@ -60,8 +59,9 @@ def add_realtime_edges(analysis: Analysis) -> None:
             # past every event, so the transaction never precedes anything.
             sentinel += 1
             intervals.append((txn.id, txn.invoke_index, sentinel))
-    for pred, succ in interval_precedence_edges(intervals):
-        analysis.add_edge(pred, succ, Evidence(kind=REALTIME))
+    analysis.add_order_edges(
+        interval_precedence_edges(intervals), Evidence(kind=REALTIME)
+    )
 
 
 def add_timestamp_edges(analysis: Analysis) -> None:
@@ -98,5 +98,6 @@ def add_timestamp_edges(analysis: Analysis) -> None:
             sentinel += 2
             complete = max(sentinel, invoke + 1)
         resolved.append((txn_id, invoke, complete))
-    for pred, succ in interval_precedence_edges(resolved):
-        analysis.add_edge(pred, succ, Evidence(kind=TIMESTAMP))
+    analysis.add_order_edges(
+        interval_precedence_edges(resolved), Evidence(kind=TIMESTAMP)
+    )

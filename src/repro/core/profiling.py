@@ -1,0 +1,81 @@
+"""Per-stage timing and counters for the checking pipeline.
+
+Perf work on the checker needs to know where the time goes: dependency
+inference, graph freeze, each SCC mask family, cycle BFS, explanation
+rendering.  A :class:`Profile` is threaded (optionally) through
+:func:`repro.core.checker.check` and
+:func:`repro.core.cycle_search.find_cycle_anomalies`; ``python -m repro
+--profile`` prints the result.
+
+Counters double as behavioural assertions: the mask-refinement cycle search
+records how many *full-graph* Tarjan decompositions ran versus how many
+were confined to parent components or served from cache, so a regression
+back to per-pass full decompositions is visible in the numbers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class Profile:
+    """Accumulates named stage durations and integer counters.
+
+    Stages nest freely; re-entering a name accumulates.  The object is
+    cheap enough to thread through hot paths as an optional argument —
+    callers guard with ``if profile is not None``.
+    """
+
+    __slots__ = ("stages", "counters", "_stage_order")
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, float] = {}
+        self.counters: Dict[str, int] = {}
+        self._stage_order: list = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (accumulating on re-entry)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            if name not in self.stages:
+                self._stage_order.append(name)
+                self.stages[name] = elapsed
+            else:
+                self.stages[name] += elapsed
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def report(self) -> str:
+        """An aligned, human-readable stage/counter table."""
+        lines = ["profile:"]
+        if self.stages:
+            width = max(len(name) for name in self.stages)
+            for name in self._stage_order:
+                lines.append(
+                    f"  {name.ljust(width)}  {self.stages[name] * 1000:10.2f} ms"
+                )
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(
+                    f"  {name.ljust(width)}  {self.counters[name]:10d}"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (for benchmark records)."""
+        return {
+            "stages_ms": {
+                name: self.stages[name] * 1000 for name in self._stage_order
+            },
+            "counters": dict(self.counters),
+        }

@@ -15,6 +15,7 @@ from .cycles import (
     shortest_cycle_in_component,
     shortest_path,
 )
+from .csr import CSRGraph
 from .digraph import ALL_EDGES, LabeledDiGraph
 from .dot import cycle_to_dot, graph_to_dot
 from .intervals import interval_precedence_edges
@@ -22,6 +23,7 @@ from .tarjan import cyclic_components, strongly_connected_components
 
 __all__ = [
     "ALL_EDGES",
+    "CSRGraph",
     "Cycle",
     "LabeledDiGraph",
     "cycle_edge_labels",

@@ -1,0 +1,386 @@
+"""Dense integer-indexed CSR (compressed sparse row) graph core.
+
+:class:`~repro.graph.digraph.LabeledDiGraph` is the right structure for
+*building* dependency graphs — analyzers discover edges in arbitrary order
+and OR labels together — but a terrible one for *searching* them: every edge
+probe hashes an arbitrary node, and every traversal walks dict views.  At
+Elle's target scale (§7.5: hundreds of thousands of transactions) the cycle
+search runs many Tarjan and BFS passes over the same frozen topology, so
+the graph is snapshotted once into flat arrays:
+
+* ``nodes[i]`` — the original node for integer id ``i`` (interning order is
+  the digraph's insertion order, keeping traversals deterministic and
+  byte-identical to the dict-based implementation they replaced);
+* ``indptr`` / ``indices`` / ``labels`` — classic CSR: the out-edges of
+  node ``i`` are ``indices[indptr[i]:indptr[i + 1]]`` with bitmask labels
+  ``labels[indptr[i]:indptr[i + 1]]``, in successor insertion order.
+
+All algorithms here work in the integer domain and take an edge *mask*: an
+edge participates iff ``label & mask`` is non-zero.  Restricted variants
+additionally take an ``allowed`` byte table (``allowed[i]`` truthy means
+node ``i`` is in play), which is how the cycle search confines narrower
+passes to the strongly connected components found under wider masks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+#: Mask that admits every edge regardless of label.
+ALL_EDGES = -1
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a labeled digraph.
+
+    Build via :meth:`from_digraph` (or ``LabeledDiGraph.freeze()``, which
+    caches the snapshot until the next mutation).  Node-domain helpers
+    (``edge_label``, ``__contains__``) mirror ``LabeledDiGraph`` so frozen
+    graphs can stand in for dict graphs in read-only code paths.
+    """
+
+    __slots__ = ("nodes", "index_of", "indptr", "indices", "labels",
+                 "label_union")
+
+    def __init__(
+        self,
+        nodes: List,
+        index_of: Dict,
+        indptr: List[int],
+        indices: List[int],
+        labels: List[int],
+    ) -> None:
+        self.nodes = nodes
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.labels = labels
+        union = 0
+        for label in labels:
+            union |= label
+        self.label_union = union
+
+    @classmethod
+    def from_digraph(cls, graph) -> "CSRGraph":
+        """Freeze a :class:`LabeledDiGraph` into CSR arrays.
+
+        Node ids follow the digraph's insertion order; each row's successor
+        order is the successor-dict insertion order.  Traversals over the
+        snapshot therefore visit nodes and edges in exactly the order the
+        dict-based algorithms did.
+        """
+        succ = graph._succ
+        nodes = list(succ)
+        index_of = {node: i for i, node in enumerate(nodes)}
+        indptr = [0] * (len(nodes) + 1)
+        indices: List[int] = []
+        labels: List[int] = []
+        extend_indices = indices.extend
+        extend_labels = labels.extend
+        intern = index_of.__getitem__
+        pos = 0
+        for i, node in enumerate(nodes):
+            targets = succ[node]
+            if targets:
+                pos += len(targets)
+                extend_indices(map(intern, targets))
+                extend_labels(targets.values())
+            indptr[i + 1] = pos
+        return cls(nodes, index_of, indptr, indices, labels)
+
+    # ------------------------------------------------------------------
+    # Node-domain queries (LabeledDiGraph-compatible subset)
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.indices)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self.index_of
+
+    def edge_label(self, u, v) -> int:
+        """The bitmask on edge ``u -> v`` (node domain), or 0 if absent."""
+        ui = self.index_of.get(u)
+        vi = self.index_of.get(v)
+        if ui is None or vi is None:
+            return 0
+        return self.edge_label_idx(ui, vi)
+
+    def has_edge(self, u, v, mask: int = ALL_EDGES) -> bool:
+        return bool(self.edge_label(u, v) & mask)
+
+    def successors(self, u, mask: int = ALL_EDGES) -> Iterator:
+        """Node-domain successor iteration (compatibility helper)."""
+        ui = self.index_of.get(u)
+        if ui is None:
+            return iter(())
+        nodes = self.nodes
+        indices = self.indices
+        labels = self.labels
+        return (
+            nodes[indices[pos]]
+            for pos in range(self.indptr[ui], self.indptr[ui + 1])
+            if labels[pos] & mask
+        )
+
+    # ------------------------------------------------------------------
+    # Integer-domain primitives
+
+    def edge_label_idx(self, u: int, v: int) -> int:
+        """The bitmask on edge ``u -> v`` (integer domain), or 0 if absent."""
+        indices = self.indices
+        for pos in range(self.indptr[u], self.indptr[u + 1]):
+            if indices[pos] == v:
+                return self.labels[pos]
+        return 0
+
+    def intern_many(self, members: Iterable) -> List[int]:
+        """Map node-domain values to integer ids, preserving order."""
+        intern = self.index_of.__getitem__
+        return [intern(m) for m in members]
+
+    def allowed_table(self, members: Iterable[int]) -> bytearray:
+        """A byte table with ``table[i] = 1`` for each member index."""
+        table = bytearray(len(self.nodes))
+        for i in members:
+            table[i] = 1
+        return table
+
+    # ------------------------------------------------------------------
+    # Tarjan strongly connected components
+
+    def scc_idx(
+        self,
+        mask: int = ALL_EDGES,
+        roots: Optional[Sequence[int]] = None,
+        allowed: Optional[bytearray] = None,
+    ) -> List[List[int]]:
+        """Tarjan SCCs over integer ids, unrolled to an explicit stack.
+
+        ``roots`` is the DFS root order (default: every node in interning
+        order); ``allowed`` restricts the traversal to a node subset.  With
+        defaults the visit order — hence component order *and* member order
+        — is identical to the dict-based Tarjan this replaced.  Components
+        come out in reverse topological order of the condensation.
+        """
+        indptr = self.indptr
+        indices = self.indices
+        labels = self.labels
+        n = len(self.nodes)
+        index_of = [-1] * n
+        lowlink = [0] * n
+        on_stack = bytearray(n)
+        stack: List[int] = []
+        components: List[List[int]] = []
+        counter = 0
+        if roots is None:
+            roots = range(n)
+        # Parallel work stacks: the node under visit and its resume position
+        # in the CSR row (cheaper than tuples or saved iterators).
+        work_node: List[int] = []
+        work_pos: List[int] = []
+        for root in roots:
+            if index_of[root] != -1:
+                continue
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack[root] = 1
+            work_node.append(root)
+            work_pos.append(indptr[root])
+            while work_node:
+                node = work_node[-1]
+                pos = work_pos[-1]
+                end = indptr[node + 1]
+                advanced = False
+                node_low = lowlink[node]
+                while pos < end:
+                    if labels[pos] & mask:
+                        child = indices[pos]
+                        if allowed is None or allowed[child]:
+                            child_index = index_of[child]
+                            if child_index == -1:
+                                work_pos[-1] = pos + 1
+                                index_of[child] = lowlink[child] = counter
+                                counter += 1
+                                stack.append(child)
+                                on_stack[child] = 1
+                                work_node.append(child)
+                                work_pos.append(indptr[child])
+                                advanced = True
+                                break
+                            if on_stack[child] and child_index < node_low:
+                                node_low = child_index
+                    pos += 1
+                if advanced:
+                    lowlink[node] = node_low
+                    continue
+                lowlink[node] = node_low
+                work_node.pop()
+                work_pos.pop()
+                if work_node:
+                    parent = work_node[-1]
+                    if node_low < lowlink[parent]:
+                        lowlink[parent] = node_low
+                if node_low == index_of[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = 0
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components
+
+    def _has_self_loop_idx(self, node: int, mask: int) -> bool:
+        indices = self.indices
+        labels = self.labels
+        for pos in range(self.indptr[node], self.indptr[node + 1]):
+            if indices[pos] == node and labels[pos] & mask:
+                return True
+        return False
+
+    def cyclic_scc_idx(
+        self,
+        mask: int = ALL_EDGES,
+        roots: Optional[Sequence[int]] = None,
+        allowed: Optional[bytearray] = None,
+    ) -> List[List[int]]:
+        """SCCs that can contain a cycle: size > 1, or a self-looping node."""
+        result = []
+        for component in self.scc_idx(mask, roots, allowed):
+            if len(component) > 1:
+                result.append(component)
+            elif self._has_self_loop_idx(component[0], mask):
+                result.append(component)
+        return result
+
+    # ------------------------------------------------------------------
+    # Breadth-first cycle searches
+
+    def shortest_path_idx(
+        self,
+        source: int,
+        target: int,
+        mask: int = ALL_EDGES,
+        allowed: Optional[bytearray] = None,
+    ) -> Optional[List[int]]:
+        """BFS shortest path ``source -> ... -> target`` under ``mask``.
+
+        Successors are scanned in CSR row order (the digraph's insertion
+        order), so ties break exactly as the dict BFS did.  When ``source ==
+        target`` the path must leave the node and return: the target test
+        happens on edge traversal, not on dequeue.
+        """
+        indptr = self.indptr
+        indices = self.indices
+        labels = self.labels
+        parent: Dict[int, int] = {}
+        queue = deque((source,))
+        seen = {source}
+        seen_add = seen.add
+        append = queue.append
+        while queue:
+            node = queue.popleft()
+            for pos in range(indptr[node], indptr[node + 1]):
+                if not labels[pos] & mask:
+                    continue
+                succ = indices[pos]
+                if allowed is not None and not allowed[succ]:
+                    continue
+                if succ == target:
+                    path = [target, node]
+                    while node != source:
+                        node = parent[node]
+                        path.append(node)
+                    path.reverse()
+                    return path
+                if succ not in seen:
+                    seen_add(succ)
+                    parent[succ] = node
+                    append(succ)
+        return None
+
+    def shortest_cycle_idx(
+        self,
+        component: Sequence[int],
+        mask: int = ALL_EDGES,
+        allowed: Optional[bytearray] = None,
+    ) -> Optional[List[int]]:
+        """The shortest cycle through any member of ``component``.
+
+        ``allowed`` must contain (at least) the component members; when
+        omitted a table is built from the component.  Members are scanned in
+        the order given, keeping the shortest cycle found; a 2-cycle or
+        self-loop stops the scan early since nothing shorter exists.
+        """
+        if allowed is None:
+            allowed = self.allowed_table(component)
+        best: Optional[List[int]] = None
+        for node in component:
+            path = self.shortest_path_idx(node, node, mask, allowed)
+            if path is None:
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+                if len(best) <= 3:  # self-loop or 2-cycle: minimal possible
+                    break
+        return best
+
+    def first_edge_cycle_idx(
+        self,
+        component: Sequence[int],
+        first_mask: int,
+        rest_mask: int,
+        allowed: Optional[bytearray] = None,
+    ) -> Optional[List[int]]:
+        """A cycle taking exactly one ``first_mask`` edge, then ``rest_mask``.
+
+        For each member ``u`` (in order) and each out-edge ``u -> v``
+        matching ``first_mask`` inside the component (CSR row order), BFS
+        searches ``v -> u`` using only ``rest_mask`` edges.  When
+        ``rest_mask`` excludes the ``first_mask`` bits the result contains
+        exactly one first-mask edge — the G-single property.
+        """
+        if allowed is None:
+            allowed = self.allowed_table(component)
+        indptr = self.indptr
+        indices = self.indices
+        labels = self.labels
+        for u in component:
+            for pos in range(indptr[u], indptr[u + 1]):
+                if not labels[pos] & first_mask:
+                    continue
+                v = indices[pos]
+                if not allowed[v]:
+                    continue
+                if v == u:
+                    # Self-loop on the first edge alone forms the cycle.
+                    return [u, u]
+                path = self.shortest_path_idx(v, u, rest_mask, allowed)
+                if path is not None:
+                    return [u] + path
+        return None
+
+    # ------------------------------------------------------------------
+
+    def to_nodes(self, idx_seq: Sequence[int]) -> List:
+        """Map a sequence of integer ids back to their original nodes."""
+        nodes = self.nodes
+        return [nodes[i] for i in idx_seq]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(nodes={len(self.nodes)}, edges={len(self.indices)})"

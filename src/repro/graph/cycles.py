@@ -12,23 +12,28 @@ counterexamples.  Two search shapes cover every anomaly class:
   This is the paper's G-single search: follow exactly one read-write
   (anti-dependency) edge, then return via write-write / write-read edges.
 
+The traversals run on the integer-indexed CSR snapshot (see
+:mod:`repro.graph.csr`); these wrappers translate between original nodes and
+integer ids, so callers keep working in the node domain.
+
 Cycles are returned as node lists whose first and last element coincide:
 ``[t1, t2, t3, t1]``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
+from .csr import CSRGraph
 from .digraph import ALL_EDGES, LabeledDiGraph, Node
-from .tarjan import cyclic_components
+from .tarjan import _as_csr
 
 Cycle = List[Node]
+GraphLike = Union[LabeledDiGraph, CSRGraph]
 
 
 def shortest_path(
-    graph: LabeledDiGraph,
+    graph: GraphLike,
     source: Node,
     target: Node,
     mask: int = ALL_EDGES,
@@ -41,34 +46,27 @@ def shortest_path(
     ``None``.  A direct edge ``source -> target`` yields ``[source, target]``;
     if ``source == target`` the path is a proper cycle of length >= 1 edge.
     """
-    if source not in graph:
+    csr = _as_csr(graph)
+    index_of = csr.index_of
+    source_idx = index_of.get(source)
+    target_idx = index_of.get(target)
+    if source_idx is None or target_idx is None:
         return None
-    parent = {}
-    queue = deque([source])
-    seen = {source}
-    # When source == target we must leave the node and come back, so the
-    # target check happens on edge traversal, not on dequeue.
-    while queue:
-        node = queue.popleft()
-        for succ in graph.successors(node, mask):
-            if restrict is not None and succ not in restrict:
-                continue
-            if succ == target:
-                path = [target, node]
-                while node != source:
-                    node = parent[node]
-                    path.append(node)
-                path.reverse()
-                return path
-            if succ not in seen:
-                seen.add(succ)
-                parent[succ] = node
-                queue.append(succ)
-    return None
+    allowed = None
+    if restrict is not None:
+        allowed = bytearray(len(csr.nodes))
+        for node in restrict:
+            i = index_of.get(node)
+            if i is not None:
+                allowed[i] = 1
+    path = csr.shortest_path_idx(source_idx, target_idx, mask, allowed)
+    if path is None:
+        return None
+    return csr.to_nodes(path)
 
 
 def shortest_cycle_in_component(
-    graph: LabeledDiGraph,
+    graph: GraphLike,
     component: Sequence[Node],
     mask: int = ALL_EDGES,
 ) -> Optional[Cycle]:
@@ -78,40 +76,37 @@ def shortest_cycle_in_component(
     shortest result.  Stops early on a 2-cycle since nothing shorter exists
     (self-loops are found first, as paths of one edge).
     """
-    members = set(component)
-    best: Optional[Cycle] = None
-    for node in component:
-        path = shortest_path(graph, node, node, mask, restrict=members)
-        if path is None:
-            continue
-        if best is None or len(path) < len(best):
-            best = path
-            if len(best) <= 3:  # self-loop or 2-cycle: minimal possible
-                break
-    return best
+    csr = _as_csr(graph)
+    members = csr.intern_many(component)
+    cycle = csr.shortest_cycle_idx(members, mask)
+    if cycle is None:
+        return None
+    return csr.to_nodes(cycle)
 
 
-def find_cycle(graph: LabeledDiGraph, mask: int = ALL_EDGES) -> Optional[Cycle]:
+def find_cycle(graph: GraphLike, mask: int = ALL_EDGES) -> Optional[Cycle]:
     """A single short cycle under ``mask``, or None if the graph is acyclic."""
-    for component in cyclic_components(graph, mask):
-        cycle = shortest_cycle_in_component(graph, component, mask)
+    csr = _as_csr(graph)
+    for component in csr.cyclic_scc_idx(mask):
+        cycle = csr.shortest_cycle_idx(component, mask)
         if cycle is not None:
-            return cycle
+            return csr.to_nodes(cycle)
     return None
 
 
-def find_cycles(graph: LabeledDiGraph, mask: int = ALL_EDGES) -> List[Cycle]:
+def find_cycles(graph: GraphLike, mask: int = ALL_EDGES) -> List[Cycle]:
     """One short cycle per cyclic strongly-connected component."""
+    csr = _as_csr(graph)
     cycles = []
-    for component in cyclic_components(graph, mask):
-        cycle = shortest_cycle_in_component(graph, component, mask)
+    for component in csr.cyclic_scc_idx(mask):
+        cycle = csr.shortest_cycle_idx(component, mask)
         if cycle is not None:
-            cycles.append(cycle)
+            cycles.append(csr.to_nodes(cycle))
     return cycles
 
 
 def find_cycle_with_first_edge(
-    graph: LabeledDiGraph,
+    graph: GraphLike,
     first_mask: int,
     rest_mask: int,
     components: Optional[Iterable[Sequence[Node]]] = None,
@@ -125,21 +120,17 @@ def find_cycle_with_first_edge(
     excludes ``first_mask`` bits, the resulting cycle contains *exactly one*
     ``first_mask`` edge — the G-single property.
     """
-    union = first_mask | rest_mask
+    csr = _as_csr(graph)
     if components is None:
-        components = cyclic_components(graph, union)
-    for component in components:
-        members = set(component)
-        for u in component:
-            for v, _label in graph.out_edges(u, first_mask):
-                if v not in members:
-                    continue
-                if v == u:
-                    # Self-loop on the first edge alone forms the cycle.
-                    return [u, u]
-                path = shortest_path(graph, v, u, rest_mask, restrict=members)
-                if path is not None:
-                    return [u] + path
+        idx_components: Iterable[Sequence[int]] = csr.cyclic_scc_idx(
+            first_mask | rest_mask
+        )
+    else:
+        idx_components = [csr.intern_many(c) for c in components]
+    for component in idx_components:
+        cycle = csr.first_edge_cycle_idx(component, first_mask, rest_mask)
+        if cycle is not None:
+            return csr.to_nodes(cycle)
     return None
 
 
@@ -148,6 +139,6 @@ def cycle_edges(cycle: Sequence[Node]) -> List[tuple]:
     return [(cycle[i], cycle[i + 1]) for i in range(len(cycle) - 1)]
 
 
-def cycle_edge_labels(graph: LabeledDiGraph, cycle: Sequence[Node]) -> List[int]:
+def cycle_edge_labels(graph: GraphLike, cycle: Sequence[Node]) -> List[int]:
     """Bitmask labels along a cycle's edges, in traversal order."""
     return [graph.edge_label(u, v) for u, v in cycle_edges(cycle)]

@@ -13,7 +13,9 @@ Nodes may be any hashable value; the checker uses integer transaction ids.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, Tuple
+
+from .csr import CSRGraph
 
 #: Mask that admits every edge regardless of label.
 ALL_EDGES = -1
@@ -27,13 +29,18 @@ class LabeledDiGraph:
     Adding an edge that already exists ORs the new label into the existing
     one, so multiple dependency kinds between the same pair of transactions
     accumulate onto a single edge.
+
+    :meth:`freeze` snapshots the graph into a :class:`~repro.graph.csr.CSRGraph`
+    for the search algorithms; the snapshot is cached until the next
+    mutation, so repeated searches over an unchanged graph share one freeze.
     """
 
-    __slots__ = ("_succ", "_pred")
+    __slots__ = ("_succ", "_pred", "_csr")
 
     def __init__(self) -> None:
         self._succ: Dict[Node, Dict[Node, int]] = {}
         self._pred: Dict[Node, Dict[Node, int]] = {}
+        self._csr: Optional[CSRGraph] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -43,27 +50,81 @@ class LabeledDiGraph:
         if node not in self._succ:
             self._succ[node] = {}
             self._pred[node] = {}
+            self._csr = None
 
     def add_edge(self, u: Node, v: Node, label: int) -> None:
         """Add an edge ``u -> v`` carrying ``label`` (OR-ed into any existing label)."""
         if label == 0:
             raise ValueError("edge label must have at least one bit set")
-        self.add_node(u)
-        self.add_node(v)
-        self._succ[u][v] = self._succ[u].get(v, 0) | label
-        self._pred[v][u] = self._pred[v].get(u, 0) | label
+        succ = self._succ
+        pred = self._pred
+        if u not in succ:
+            succ[u] = {}
+            pred[u] = {}
+        if v not in succ:
+            succ[v] = {}
+            pred[v] = {}
+        targets = succ[u]
+        targets[v] = targets.get(v, 0) | label
+        sources = pred[v]
+        sources[u] = sources.get(u, 0) | label
+        self._csr = None
 
     def add_edges_from(self, edges: Iterable[Tuple[Node, Node, int]]) -> None:
+        """Bulk :meth:`add_edge`, hoisting the per-edge method dispatch."""
+        # Invalidate up front: a zero-label ValueError mid-iteration must
+        # not leave a pre-mutation snapshot cached over the partial insert.
+        self._csr = None
+        succ = self._succ
+        pred = self._pred
         for u, v, label in edges:
-            self.add_edge(u, v, label)
+            if label == 0:
+                raise ValueError("edge label must have at least one bit set")
+            if u not in succ:
+                succ[u] = {}
+                pred[u] = {}
+            if v not in succ:
+                succ[v] = {}
+                pred[v] = {}
+            targets = succ[u]
+            targets[v] = targets.get(v, 0) | label
+            sources = pred[v]
+            sources[u] = sources.get(u, 0) | label
 
     def union(self, other: "LabeledDiGraph") -> "LabeledDiGraph":
-        """Merge ``other``'s nodes and edges into this graph; returns self."""
+        """Merge ``other``'s nodes and edges into this graph; returns self.
+
+        Merges whole successor/predecessor rows at a time instead of
+        re-dispatching :meth:`add_edge` per edge — analyzers union several
+        per-key graphs, so this path is warm.
+        """
+        succ = self._succ
+        pred = self._pred
         for node in other._succ:
-            self.add_node(node)
+            if node not in succ:
+                succ[node] = {}
+                pred[node] = {}
         for u, targets in other._succ.items():
-            for v, label in targets.items():
-                self.add_edge(u, v, label)
+            if not targets:
+                continue
+            mine = succ[u]
+            if mine:
+                get = mine.get
+                for v, label in targets.items():
+                    mine[v] = get(v, 0) | label
+            else:
+                mine.update(targets)
+        for v, sources in other._pred.items():
+            if not sources:
+                continue
+            mine = pred[v]
+            if mine:
+                get = mine.get
+                for u, label in sources.items():
+                    mine[u] = get(u, 0) | label
+            else:
+                mine.update(sources)
+        self._csr = None
         return self
 
     def copy(self) -> "LabeledDiGraph":
@@ -76,6 +137,20 @@ class LabeledDiGraph:
                 succ[v] = label
                 g._pred[v][u] = label
         return g
+
+    # ------------------------------------------------------------------
+    # Freezing
+
+    def freeze(self) -> CSRGraph:
+        """An integer-indexed CSR snapshot of the current graph.
+
+        Cached: repeated calls between mutations return the same snapshot,
+        so every search pass in a cycle hunt shares one freeze.
+        """
+        csr = self._csr
+        if csr is None:
+            csr = self._csr = CSRGraph.from_digraph(self)
+        return csr
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,24 +1,38 @@
-"""Iterative Tarjan strongly-connected-components.
+"""Iterative Tarjan strongly-connected-components over the CSR core.
 
 Elle's cycle detection starts from SCCs (§6 of the paper): any cycle lives
 entirely inside one strongly connected component, so we find the components
 first and only then run the (more expensive) shortest-cycle searches inside
 each.  Tarjan's algorithm is linear in nodes + edges [Tarjan 1971].
 
-The recursion is unrolled into an explicit stack: real Jepsen histories
+The traversal itself lives in :meth:`repro.graph.csr.CSRGraph.scc_idx`: the
+graph is frozen once into flat integer arrays (cached on the digraph) and
+the recursion is unrolled into an explicit stack — real Jepsen histories
 produce graphs with hundreds of thousands of nodes, far beyond Python's
-recursion limit.
+recursion limit.  The functions here keep the historical node-domain API:
+they accept a :class:`LabeledDiGraph` (or an already-frozen
+:class:`CSRGraph`) and return components of original nodes, in exactly the
+order the dict-based implementation produced.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Union
 
+from .csr import CSRGraph
 from .digraph import ALL_EDGES, LabeledDiGraph, Node
+
+GraphLike = Union[LabeledDiGraph, CSRGraph]
+
+
+def _as_csr(graph: GraphLike) -> CSRGraph:
+    if isinstance(graph, CSRGraph):
+        return graph
+    return graph.freeze()
 
 
 def strongly_connected_components(
-    graph: LabeledDiGraph, mask: int = ALL_EDGES
+    graph: GraphLike, mask: int = ALL_EDGES
 ) -> List[List[Node]]:
     """All strongly connected components of ``graph`` under ``mask``.
 
@@ -26,70 +40,23 @@ def strongly_connected_components(
     maximal; every node appears in exactly one.  Order follows reverse
     topological order of the condensation (a property of Tarjan's algorithm).
     """
-    index_of = {}
-    lowlink = {}
-    on_stack = set()
-    stack: List[Node] = []
-    components: List[List[Node]] = []
-    counter = 0
-
-    for root in graph.nodes():
-        if root in index_of:
-            continue
-        # Each work item is (node, iterator over successors).
-        work = [(root, None)]
-        while work:
-            node, child_iter = work[-1]
-            if child_iter is None:
-                index_of[node] = lowlink[node] = counter
-                counter += 1
-                stack.append(node)
-                on_stack.add(node)
-                child_iter = graph.successors(node, mask)
-                work[-1] = (node, child_iter)
-
-            advanced = False
-            for child in child_iter:
-                if child not in index_of:
-                    work.append((child, None))
-                    advanced = True
-                    break
-                if child in on_stack:
-                    if index_of[child] < lowlink[node]:
-                        lowlink[node] = index_of[child]
-            if advanced:
-                continue
-
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                if lowlink[node] < lowlink[parent]:
-                    lowlink[parent] = lowlink[node]
-            if lowlink[node] == index_of[node]:
-                component = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
-                        break
-                components.append(component)
-    return components
+    csr = _as_csr(graph)
+    nodes = csr.nodes
+    return [
+        [nodes[i] for i in component] for component in csr.scc_idx(mask)
+    ]
 
 
 def cyclic_components(
-    graph: LabeledDiGraph, mask: int = ALL_EDGES
+    graph: GraphLike, mask: int = ALL_EDGES
 ) -> List[List[Node]]:
     """SCCs that can contain a cycle: size > 1, or a single self-looping node."""
-    result = []
-    for component in strongly_connected_components(graph, mask):
-        if len(component) > 1:
-            result.append(component)
-        else:
-            node = component[0]
-            if graph.has_edge(node, node, mask):
-                result.append(component)
-    return result
+    csr = _as_csr(graph)
+    nodes = csr.nodes
+    return [
+        [nodes[i] for i in component]
+        for component in csr.cyclic_scc_idx(mask)
+    ]
 
 
 def condensation_order(components: Iterable[List[Node]]) -> List[List[Node]]:
