@@ -1,11 +1,27 @@
-"""Experiment E8: the §7.5 scale claim.
+"""Experiment E8: the §7.5 scale claim, across workloads and shard counts.
 
 "Elle was able to check histories of hundreds of thousands of transactions
-in tens of seconds" — on the authors' hardware and JVM.  This benchmark
-runs the check at 10k/25k/50k transactions (20k–100k operations) once each;
-extrapolate linearly for the paper's scale, or run
-``python benchmarks/bench_elle_scaling.py`` for a full 100k-transaction
-measurement with a table.
+in tens of seconds" — on the authors' hardware and JVM.  The pytest entry
+runs the list-append check at 10k/25k/50k transactions once each; the
+manual entry point (``python benchmarks/bench_elle_scaling.py``) measures a
+full sweep — sizes x workloads (``list-append``, ``rw-register``) x shard
+counts — verifies every shard count produces the identical verdict, and
+appends the rows to ``BENCH_elle_scaling.json``.
+
+The rw-register rows run with *all four* version-order sources enabled
+(initial-state, write-follows-read, process, realtime), which exercises the
+per-key interaction streams of the ``HistoryIndex``: historically the
+process/realtime sources rescanned every transaction once per key
+(O(keys x txns)); they now read each key's interacting transactions off the
+single-pass index.  ``--assert-asymptotics`` pins that fix: checking a
+history with twice the keys (same transaction count) must not cost
+meaningfully more than the baseline, which the old code violated by
+construction.
+
+Shard-sweep note: ``--shards N`` fans per-key inference across N worker
+processes.  The speedup is bounded by available cores (the record includes
+``cpu_count``); on a single-core machine the sweep only demonstrates result
+equivalence.
 """
 
 import pytest
@@ -14,6 +30,10 @@ from repro import check
 from repro.scenarios import figure4_history
 
 SIZES = [10_000, 25_000, 50_000]
+
+#: Version-order sources for rw-register rows: everything on, as §7.4's
+#: Dgraph analysis ran, so the per-key process/realtime streams are hot.
+REGISTER_SOURCES = ("initial-state", "write-follows-read", "process", "realtime")
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -30,11 +50,99 @@ def bench_elle_large_histories(benchmark, size):
     assert result.valid
 
 
-def main(argv=None) -> None:  # pragma: no cover - manual entry point
-    import argparse
+def _check_options(workload):
+    if workload == "rw-register":
+        return {"sources": REGISTER_SOURCES}
+    return {}
+
+
+def _timed_check(history, workload, shards):  # pragma: no cover - manual
     import time
 
     from repro.core import Profile
+
+    profile = Profile()
+    start = time.perf_counter()
+    result = check(
+        history,
+        workload=workload,
+        consistency_model="strict-serializable",
+        shards=shards,
+        profile=profile,
+        **_check_options(workload),
+    )
+    return time.perf_counter() - start, result, profile
+
+
+def _verdict(result):  # pragma: no cover - manual entry point
+    return (
+        result.valid,
+        result.anomaly_types,
+        tuple((a.name, a.txns) for a in result.anomalies),
+    )
+
+
+def _assert_register_asymptotics(txns, concurrency, rows):  # pragma: no cover
+    """A ~10x larger keyspace must not meaningfully slow the check.
+
+    The pre-index code rescanned all transactions once per key inside the
+    process/realtime version sources — O(keys x txns), so ten times the
+    keys cost roughly ten times that stage (several extra seconds at this
+    size).  With per-key interaction streams the total work tracks the
+    operation count, not keys x txns, so the ratio stays near 1; the bound
+    of 3 leaves generous noise headroom while catching any regression to
+    the rescan by an order of magnitude.
+    """
+    import time
+
+    timings = {}
+    key_counts = {}
+    for max_writes_per_key in (100, 10):  # ~keyspace x1 and x10
+        history = figure4_history(
+            txns,
+            concurrency,
+            workload="rw-register",
+            active_keys=50,
+            max_writes_per_key=max_writes_per_key,
+        )
+        key_counts[max_writes_per_key] = len(history.index().slices)
+        start = time.perf_counter()
+        result = check(
+            history,
+            workload="rw-register",
+            consistency_model="strict-serializable",
+            sources=REGISTER_SOURCES,
+        )
+        timings[max_writes_per_key] = time.perf_counter() - start
+        assert result.valid
+    ratio = timings[10] / timings[100]
+    rows.append(
+        {
+            "benchmark": "register-sources-asymptotics",
+            "txns": txns,
+            "baseline_keys": key_counts[100],
+            "baseline_seconds": round(timings[100], 4),
+            "wide_keys": key_counts[10],
+            "wide_seconds": round(timings[10], 4),
+            "ratio": round(ratio, 3),
+        }
+    )
+    assert ratio < 3.0, (
+        f"rw-register check slowed {ratio:.2f}x when the keyspace grew "
+        f"{key_counts[10] / key_counts[100]:.1f}x; the O(keys x txns) "
+        "version-source rescan is back"
+    )
+    print(
+        f"register-sources asymptotics: {key_counts[100]} keys "
+        f"{timings[100]:.2f}s -> {key_counts[10]} keys {timings[10]:.2f}s "
+        f"(ratio {ratio:.2f}, want < 3)"
+    )
+
+
+def main(argv=None) -> None:  # pragma: no cover - manual entry point
+    import argparse
+    import os
+
     from repro.viz import render_table
 
     from _record import record_run
@@ -50,7 +158,28 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
         metavar="TXNS",
         help="history sizes (transactions) to check",
     )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=["list-append", "rw-register"],
+        default=["list-append", "rw-register"],
+        help="workloads to sweep",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1],
+        metavar="N",
+        help="shard counts to sweep (verdicts are asserted identical)",
+    )
     parser.add_argument("--concurrency", type=int, default=20)
+    parser.add_argument(
+        "--assert-asymptotics",
+        action="store_true",
+        help="pin the rw-register version-source fix: doubling the "
+        "keyspace must not meaningfully slow the check",
+    )
     parser.add_argument(
         "--out",
         default=None,
@@ -62,28 +191,50 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
 
     rows = []
     results = []
-    for size in args.sizes:
-        history = figure4_history(size, args.concurrency)
-        profile = Profile()
-        start = time.perf_counter()
-        result = check(
-            history,
-            consistency_model="strict-serializable",
-            profile=profile,
+    for workload in args.workloads:
+        for size in args.sizes:
+            history = figure4_history(
+                size, args.concurrency, workload=workload
+            )
+            baseline = None
+            for shards in args.shards:
+                elapsed, result, profile = _timed_check(
+                    history, workload, shards
+                )
+                assert result.valid
+                if baseline is None:
+                    baseline = _verdict(result)
+                else:
+                    assert _verdict(result) == baseline, (
+                        f"shards={shards} diverged from shards="
+                        f"{args.shards[0]} on {workload}/{size}"
+                    )
+                rows.append(
+                    [workload, size, history.op_count, shards, f"{elapsed:.2f}"]
+                )
+                results.append(
+                    {
+                        "workload": workload,
+                        "txns": size,
+                        "ops": history.op_count,
+                        "shards": shards,
+                        "seconds": round(elapsed, 4),
+                        "profile": profile.as_dict(),
+                    }
+                )
+    print(
+        render_table(
+            ["workload", "transactions", "operations", "shards", "elle (s)"],
+            rows,
         )
-        elapsed = time.perf_counter() - start
-        assert result.valid
-        rows.append([size, history.op_count, f"{elapsed:.2f}"])
-        results.append(
-            {
-                "txns": size,
-                "ops": history.op_count,
-                "seconds": round(elapsed, 4),
-                "profile": profile.as_dict(),
-            }
+    )
+    if args.assert_asymptotics:
+        _assert_register_asymptotics(
+            min(args.sizes), args.concurrency, results
         )
-    print(render_table(["transactions", "operations", "elle (s)"], rows))
-    path = record_run("elle_scaling", results, path=args.out)
+    path = record_run(
+        "elle_scaling", results, path=args.out, cpu_count=os.cpu_count()
+    )
     print(f"recorded to {path}")
 
 

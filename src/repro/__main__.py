@@ -9,6 +9,12 @@ Generates a workload against the MVCC simulator (optionally with a fault
 injector), checks the observation with Elle, prints the verdict plus every
 counterexample, and exits non-zero when the requested model is violated —
 suitable for CI pipelines the way Jepsen tests are.
+
+Real observations work too: ``--in history.jsonl`` checks a JSON-lines
+history captured from an actual system instead of generating one, and
+``--dump-history out.jsonl`` saves whatever was checked for replay.
+``--shards N`` fans the per-key dependency inference across N worker
+processes (identical verdicts; pays off in proportion to available cores).
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from .core import Profile, check
 from .core.consistency import ALL_MODELS, SERIALIZABLE
 from .db import INJECTORS, Isolation, Windowed
 from .generator import RunConfig, WorkloadConfig, run_workload
+from .history import dump_history, load_history
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +86,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage timings (analysis, graph freeze, each SCC "
         "mask family, explanation rendering) and SCC run counters",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition per-key dependency inference across N worker "
+        "processes (1 = inline; results are identical either way)",
+    )
+    parser.add_argument(
+        "--in",
+        dest="in_path",
+        default=None,
+        metavar="PATH",
+        help="check a JSON-lines history file instead of generating a "
+        "workload (generator options are ignored)",
+    )
+    parser.add_argument(
+        "--dump-history",
+        default=None,
+        metavar="PATH",
+        help="write the checked history to PATH as JSON lines",
+    )
     return parser
 
 
@@ -95,27 +124,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             def fault_factory(rng, _cls=injector_cls):
                 return _cls(rng)
 
-    config = RunConfig(
-        txns=args.txns,
-        concurrency=args.concurrency,
-        isolation=Isolation(args.isolation),
-        workload=WorkloadConfig(
-            workload=args.workload,
-            active_keys=args.keys,
-            max_writes_per_key=args.writes_per_key,
-        ),
-        seed=args.seed,
-        crash_probability=args.crash_probability,
-        expose_timestamps=args.timestamps,
-        faults=fault_factory,
-    )
-    history = run_workload(config)
+    if args.in_path is not None:
+        history = load_history(args.in_path)
+    else:
+        config = RunConfig(
+            txns=args.txns,
+            concurrency=args.concurrency,
+            isolation=Isolation(args.isolation),
+            workload=WorkloadConfig(
+                workload=args.workload,
+                active_keys=args.keys,
+                max_writes_per_key=args.writes_per_key,
+            ),
+            seed=args.seed,
+            crash_probability=args.crash_probability,
+            expose_timestamps=args.timestamps,
+            faults=fault_factory,
+        )
+        history = run_workload(config)
+    if args.dump_history is not None:
+        dump_history(history, args.dump_history)
     profile = Profile() if args.profile else None
     result = check(
         history,
         workload=args.workload,
         consistency_model=args.model,
         timestamp_edges=args.timestamps,
+        shards=args.shards,
         profile=profile,
     )
 

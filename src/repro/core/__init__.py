@@ -22,6 +22,13 @@ from .deps import (
 )
 from .counter_set import analyze_counter, analyze_grow_set, build_add_index
 from .explain import cycle_dot, explain_edge, render_cycle
+from .keyspace import (
+    KeyspacePlan,
+    ReadCheckStyle,
+    check_recoverable_read,
+    execute_plan,
+    register_plan,
+)
 from .list_append import analyze_list_append, build_append_index
 from .rw_register import analyze_rw_register, build_write_index
 from .objects import (
@@ -52,7 +59,9 @@ __all__ = [
     "Evidence",
     "GrowSet",
     "KeyOrder",
+    "KeyspacePlan",
     "ORDER_EDGES",
+    "ReadCheckStyle",
     "ObjectModel",
     "PROCESS",
     "Profile",
@@ -76,7 +85,9 @@ __all__ = [
     "build_append_index",
     "build_write_index",
     "check",
+    "check_recoverable_read",
     "classify_cycle",
+    "execute_plan",
     "committed_reads_by_key",
     "consistency",
     "cycle_dot",
@@ -90,6 +101,7 @@ __all__ = [
     "longest_common_prefix",
     "model_for",
     "register_analyzer",
+    "register_plan",
     "render_cycle",
     "sort_anomalies",
     "trace",

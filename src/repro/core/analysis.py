@@ -4,21 +4,27 @@ An :class:`Analysis` bundles the inferred direct serialization graph with
 the non-cycle anomalies found along the way, plus *evidence*: for every edge
 bit, the observation that justifies it.  Evidence is what turns a cycle into
 a human-readable counterexample (Figure 2 of the paper).
+
+Evidence storage is tiered for scale.  Value edges (ww/wr/rw) store one
+record per ``(from, to, bit)`` — the justifying key and values genuinely
+differ per edge.  Order edges (process/realtime/timestamp) would store
+hundreds of thousands of identical records on a large history, so they are
+*synthesized on demand* by :meth:`Analysis.edge_evidence`: the graph bit
+plus the history already determine everything the record would say.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..graph import LabeledDiGraph
 from ..history import History, Transaction
 from .anomalies import Anomaly
-from .deps import PROCESS, REALTIME, RW, WR, WW
+from .deps import ORDER_EDGES, PROCESS
 
 
-@dataclass(frozen=True)
-class Evidence:
+class Evidence(NamedTuple):
     """Why an edge exists.
 
     ``kind`` is the dependency bit.  The remaining fields depend on the
@@ -26,6 +32,10 @@ class Evidence:
     or register value whose observation justified the edge.  ``via`` is the
     transaction whose read witnessed the relationship (for ww edges inferred
     from a third party's read).
+
+    A ``NamedTuple`` rather than a dataclass: analyses carry one record per
+    value edge, and sharded analysis ships them between processes, so cheap
+    construction and fast pickling matter.
     """
 
     kind: int
@@ -47,7 +57,9 @@ class Analysis:
     ids.  ``anomalies`` holds the *non-cycle* anomalies found during
     inference; cycle anomalies are found later by
     :mod:`repro.core.cycle_search` on this graph.  ``evidence`` maps
-    ``(from, to, bit)`` to the :class:`Evidence` justifying that bit.
+    ``(from, to, bit)`` to the :class:`Evidence` justifying that bit (value
+    edges only; order-edge evidence is synthesized by
+    :meth:`edge_evidence`).
     """
 
     history: History
@@ -74,23 +86,32 @@ class Analysis:
     def add_order_edges(
         self, pairs: Iterable[Tuple[int, int]], evidence: Evidence
     ) -> None:
-        """Bulk-record edges that all share one justification.
+        """Bulk-record order edges sharing one justification shape.
 
         Order-derived dependencies (process / realtime / timestamp) carry
-        identical evidence for every pair, so the frozen ``evidence``
-        instance is shared rather than rebuilt per edge and the graph edges
-        go in through the bulk path.  Self-edges are dropped as in
-        :meth:`add_edge`.
+        evidence fully determined by their kind and endpoints, so nothing is
+        stored per pair — :meth:`edge_evidence` synthesizes the record on
+        demand — and the graph edges go in through the bulk path.
+        Self-edges are dropped as in :meth:`add_edge`.  Kinds outside
+        :data:`~repro.core.deps.ORDER_EDGES` fall back to per-pair storage.
         """
         kind = evidence.kind
         pairs = [(u, v) for u, v in pairs if u != v]
         self.graph.add_edges_from((u, v, kind) for u, v in pairs)
-        setdefault = self.evidence.setdefault
-        for u, v in pairs:
-            setdefault((u, v, kind), evidence)
+        if not kind & ORDER_EDGES:
+            setdefault = self.evidence.setdefault
+            for u, v in pairs:
+                setdefault((u, v, kind), evidence)
 
     def edge_evidence(self, u: int, v: int, bit: int) -> Optional[Evidence]:
-        return self.evidence.get((u, v, bit))
+        ev = self.evidence.get((u, v, bit))
+        if ev is not None:
+            return ev
+        if bit & ORDER_EDGES and self.graph.has_edge(u, v, bit):
+            if bit == PROCESS:
+                return Evidence(kind=PROCESS, process=self.history[u].process)
+            return Evidence(kind=bit)
+        return None
 
     def merge(self, other: "Analysis") -> "Analysis":
         """Fold another analysis (same history) into this one."""

@@ -16,7 +16,6 @@ Typical use::
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -36,6 +35,7 @@ from .cycle_search import find_cycle_anomalies
 from .explain import render_cycle
 from .list_append import analyze_list_append
 from .profiling import Profile
+from .profiling import stage as _stage
 from .rw_register import analyze_rw_register
 
 #: Registered analyzers: workload name -> analyze function.
@@ -125,15 +125,28 @@ def analyze(
     workload: str = "list-append",
     process_edges: bool = True,
     realtime_edges: bool = True,
+    shards: int = 1,
+    profile: Optional[Profile] = None,
     **options,
 ) -> Analysis:
-    """Run dependency inference only (no cycle search, no verdict)."""
+    """Run dependency inference only (no cycle search, no verdict).
+
+    ``shards`` fans the per-key analysis across a process pool (``1`` =
+    inline, identical results either way); ``profile`` collects the
+    analyzer's per-stage timings.  Both are forwarded only when set, so
+    analyzers registered via :func:`register_analyzer` need not accept
+    them.
+    """
     try:
         analyzer = ANALYZERS[workload]
     except KeyError:
         raise ValueError(
             f"unknown workload {workload!r}; known: {sorted(ANALYZERS)}"
         ) from None
+    if shards != 1:
+        options["shards"] = shards
+    if profile is not None:
+        options["profile"] = profile
     return analyzer(
         history,
         process_edges=process_edges,
@@ -148,6 +161,7 @@ def check(
     consistency_model: str = SERIALIZABLE,
     process_edges: bool = True,
     realtime_edges: bool = True,
+    shards: int = 1,
     profile: Optional[Profile] = None,
     **options,
 ) -> CheckResult:
@@ -156,22 +170,24 @@ def check(
     ``workload`` selects the analyzer (``list-append``, ``rw-register``,
     ``grow-set``, ``counter``).  ``process_edges`` / ``realtime_edges``
     control the §5.1 order inference; disable ``realtime_edges`` when the
-    database makes no real-time claims.  ``profile``, when given, collects
-    per-stage timings and SCC counters (see :mod:`repro.core.profiling`;
-    ``python -m repro --profile`` prints them).  Extra keyword options pass
-    through to the analyzer (e.g. ``sources`` for rw-register).
+    database makes no real-time claims.  ``shards`` partitions the per-key
+    analysis across a ``multiprocessing`` pool (``python -m repro
+    --shards``); results are identical to ``shards=1``.  ``profile``, when
+    given, collects per-stage timings and SCC counters (see
+    :mod:`repro.core.profiling`; ``python -m repro --profile`` prints
+    them).  Extra keyword options pass through to the analyzer (e.g.
+    ``sources`` for rw-register).
     """
     _validate_model(consistency_model)
-    if profile is None:
-        stage = lambda name: nullcontext()  # noqa: E731
-    else:
-        stage = profile.stage
+    stage = lambda name: _stage(profile, name)  # noqa: E731
     with stage("analyze"):
         analysis = analyze(
             history,
             workload=workload,
             process_edges=process_edges,
             realtime_edges=realtime_edges,
+            shards=shards,
+            profile=profile,
             **options,
         )
     with stage("freeze"):

@@ -20,20 +20,32 @@ writes are indistinguishable), so no value edge can name a specific writer.
 The counter analyzer checks internal consistency and *plausibility* — a
 committed read must be expressible as a sum of concurrently-possible
 increments; it relies on process/real-time edges for cycles.
+
+Both run as keyspace-partitioned plans (:mod:`repro.core.keyspace`) over
+the history's single-pass index, so they shard like the stronger analyzers.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
-from ..errors import WorkloadError
 from ..history import History, Transaction
-from ..history.ops import ADD, INCREMENT, READ
+from ..history.index import check_unique_writes, duplicate_write_error
+from ..history.ops import ADD
 from .analysis import Analysis, Evidence
 from .anomalies import G1A, GARBAGE_READ, Anomaly
 from .deps import RW, WR
-from .internal import check_internal_counter, check_internal_grow_set
+from .keyspace import (
+    PHASE_READ,
+    Batch,
+    KeyspacePlan,
+    ReadCheckStyle,
+    check_recoverable_read,
+    execute_plan,
+    register_plan,
+)
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .profiling import Profile, stage
 from .validate import validate_workload
 
 
@@ -49,13 +61,139 @@ def build_add_index(
             slot = (mop.key, mop.value)
             other = index.get(slot)
             if other is not None and other.id != txn.id:
-                raise WorkloadError(
-                    f"element {mop.value!r} added to key {mop.key!r} by both "
-                    f"T{other.id} and T{txn.id}; grow-set histories require "
-                    "globally unique adds"
+                raise duplicate_write_error(
+                    "grow-set", mop.key, mop.value, other, txn
                 )
             index[slot] = txn
     return index
+
+
+# ---------------------------------------------------------------------------
+# Anomaly phrasing (the shared checks in keyspace drive the logic)
+
+def _garbage(reader, key, element, _elements):
+    return Anomaly(
+        name=GARBAGE_READ,
+        txns=(reader.id,),
+        message=(
+            f"T{reader.id} read element {element!r} of key "
+            f"{key!r}, which no observed transaction "
+            "added"
+        ),
+        data={"key": key, "element": element},
+    )
+
+
+def _g1a(reader, key, element, adder):
+    return Anomaly(
+        name=G1A,
+        txns=(reader.id, adder.id),
+        message=(
+            f"T{reader.id} read element {element!r} of key "
+            f"{key!r}, added by aborted transaction "
+            f"T{adder.id}"
+        ),
+        data={"key": key, "element": element},
+    )
+
+
+@register_plan
+class GrowSetPlan(KeyspacePlan):
+    """Per-key grow-set analysis: wr/rw edges from element visibility."""
+
+    workload = "grow-set"
+
+    def __init__(self, history: History) -> None:
+        super().__init__(history)
+        check_unique_writes(self.index, "grow-set")
+        self._keys = self.index.read_key_order
+        self._style = ReadCheckStyle(garbage=_garbage, g1a=_g1a)
+
+    def analyze_key(self, key: Any) -> Batch:
+        slice_ = self.index.slices[key]
+        write_map = slice_.write_map
+        anomaly_blocks = []
+        edge_blocks = []
+        for txn, mop_seq, mop in slice_.committed_reads:
+            if mop.value is None:
+                continue
+            observed = frozenset(mop.value)
+            ordered = tuple(sorted(observed, key=repr))
+            found = check_recoverable_read(
+                txn, key, ordered, write_map, self._style
+            )
+            if found:
+                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
+
+            fragment: Dict[Tuple[int, int, int], Evidence] = {}
+            for element in ordered:
+                adder = write_map.get(element)
+                if adder is None or adder.id == txn.id:
+                    continue
+                fragment.setdefault(
+                    (adder.id, txn.id, WR),
+                    Evidence(kind=WR, key=key, value=element),
+                )
+            # Anti-dependencies: elements this read did not see.
+            for element, adder in write_map.items():
+                if element not in observed and adder.id != txn.id:
+                    fragment.setdefault(
+                        (txn.id, adder.id, RW),
+                        Evidence(kind=RW, key=key, value=element),
+                    )
+            if fragment:
+                edge_blocks.append(((0, txn.id, mop_seq), fragment))
+        return anomaly_blocks, edge_blocks
+
+
+@register_plan
+class CounterPlan(KeyspacePlan):
+    """Per-key counter plausibility: reads within the feasible sum range."""
+
+    workload = "counter"
+
+    def __init__(self, history: History) -> None:
+        super().__init__(history)
+        self._keys = self.index.read_key_order
+
+    def analyze_key(self, key: Any) -> Batch:
+        slice_ = self.index.slices[key]
+        lo = 0  # definitely-committed negative increments
+        hi = 0  # every possibly-committed positive increment
+        for txn, _seq, mop in slice_.writes:
+            delta = mop.value
+            if delta >= 0:
+                if not txn.aborted:
+                    hi += delta
+            elif txn.committed:
+                lo += delta
+        lo = min(lo, 0)
+        hi = max(hi, 0)
+
+        anomaly_blocks = []
+        for txn, mop_seq, mop in slice_.committed_reads:
+            if mop.value is None:
+                continue
+            if not (lo <= mop.value <= hi):
+                anomaly_blocks.append(
+                    (
+                        (PHASE_READ, txn.id, mop_seq),
+                        [
+                            Anomaly(
+                                name=GARBAGE_READ,
+                                txns=(txn.id,),
+                                message=(
+                                    f"T{txn.id} read counter {key!r} = "
+                                    f"{mop.value!r}, outside the feasible range "
+                                    f"[{lo}, {hi}] of observed increments"
+                                ),
+                                data={"key": key, "value": mop.value,
+                                      "lo": lo, "hi": hi},
+                            )
+                        ],
+                    )
+                )
+        return anomaly_blocks, []
 
 
 def analyze_grow_set(
@@ -63,78 +201,22 @@ def analyze_grow_set(
     process_edges: bool = True,
     realtime_edges: bool = True,
     timestamp_edges: bool = False,
+    shards: int = 1,
+    profile: Profile = None,
 ) -> Analysis:
     """Grow-set analysis: wr/rw edges from element visibility."""
     analysis = Analysis(history=history, workload="grow-set")
-    txns = history.transactions
-    validate_workload(txns, "grow-set")
-
-    analysis.anomalies.extend(
-        a for txn in txns if txn.committed
-        for a in check_internal_grow_set(txn)
-    )
-
-    index = build_add_index(txns)
-    adds_by_key: Dict[Any, List[Tuple[Any, Transaction]]] = {}
-    for (key, element), txn in index.items():
-        adds_by_key.setdefault(key, []).append((element, txn))
-
-    for txn in txns:
-        if not txn.committed:
-            continue
-        for mop in txn.mops:
-            if mop.fn != READ or mop.value is None:
-                continue
-            observed = frozenset(mop.value)
-            for element in sorted(observed, key=repr):
-                adder = index.get((mop.key, element))
-                if adder is None:
-                    analysis.anomalies.append(
-                        Anomaly(
-                            name=GARBAGE_READ,
-                            txns=(txn.id,),
-                            message=(
-                                f"T{txn.id} read element {element!r} of key "
-                                f"{mop.key!r}, which no observed transaction "
-                                "added"
-                            ),
-                            data={"key": mop.key, "element": element},
-                        )
-                    )
-                    continue
-                if adder.aborted:
-                    analysis.anomalies.append(
-                        Anomaly(
-                            name=G1A,
-                            txns=(txn.id, adder.id),
-                            message=(
-                                f"T{txn.id} read element {element!r} of key "
-                                f"{mop.key!r}, added by aborted transaction "
-                                f"T{adder.id}"
-                            ),
-                            data={"key": mop.key, "element": element},
-                        )
-                    )
-                analysis.add_edge(
-                    adder.id,
-                    txn.id,
-                    Evidence(kind=WR, key=mop.key, value=element),
-                )
-            # Anti-dependencies: elements this read did not see.
-            for element, adder in adds_by_key.get(mop.key, ()):
-                if element not in observed:
-                    analysis.add_edge(
-                        txn.id,
-                        adder.id,
-                        Evidence(kind=RW, key=mop.key, value=element),
-                    )
-
-    if process_edges:
-        add_process_edges(analysis)
-    if realtime_edges:
-        add_realtime_edges(analysis)
-    if timestamp_edges:
-        add_timestamp_edges(analysis)
+    validate_workload(history.transactions, "grow-set")
+    with stage(profile, "analyze/index"):
+        plan = GrowSetPlan(history)
+    execute_plan(plan, analysis, shards=shards, profile=profile)
+    with stage(profile, "analyze/orders"):
+        if process_edges:
+            add_process_edges(analysis)
+        if realtime_edges:
+            add_realtime_edges(analysis)
+        if timestamp_edges:
+            add_timestamp_edges(analysis)
     return analysis
 
 
@@ -143,6 +225,8 @@ def analyze_counter(
     process_edges: bool = True,
     realtime_edges: bool = True,
     timestamp_edges: bool = False,
+    shards: int = 1,
+    profile: Profile = None,
 ) -> Analysis:
     """Counter analysis: internal consistency and value plausibility.
 
@@ -153,61 +237,15 @@ def analyze_counter(
     ``garbage-read`` — the counter held a value no interpretation produces.
     """
     analysis = Analysis(history=history, workload="counter")
-    txns = history.transactions
-    validate_workload(txns, "counter")
-
-    analysis.anomalies.extend(
-        a for txn in txns if txn.committed
-        for a in check_internal_counter(txn)
-    )
-
-    lo: Dict[Any, int] = {}
-    hi: Dict[Any, int] = {}
-    for txn in txns:
-        for mop in txn.mops:
-            if mop.fn != INCREMENT:
-                continue
-            delta = mop.value
-            committed_surely = txn.committed
-            possibly = not txn.aborted
-            if delta >= 0:
-                if possibly:
-                    hi[mop.key] = hi.get(mop.key, 0) + delta
-                if committed_surely:
-                    lo.setdefault(mop.key, 0)
-            else:
-                if committed_surely:
-                    lo[mop.key] = lo.get(mop.key, 0) + delta
-                if possibly:
-                    hi.setdefault(mop.key, 0)
-
-    for txn in txns:
-        if not txn.committed:
-            continue
-        for mop in txn.mops:
-            if mop.fn != READ or mop.value is None:
-                continue
-            lo_k = min(lo.get(mop.key, 0), 0)
-            hi_k = max(hi.get(mop.key, 0), 0)
-            if not (lo_k <= mop.value <= hi_k):
-                analysis.anomalies.append(
-                    Anomaly(
-                        name=GARBAGE_READ,
-                        txns=(txn.id,),
-                        message=(
-                            f"T{txn.id} read counter {mop.key!r} = "
-                            f"{mop.value!r}, outside the feasible range "
-                            f"[{lo_k}, {hi_k}] of observed increments"
-                        ),
-                        data={"key": mop.key, "value": mop.value,
-                              "lo": lo_k, "hi": hi_k},
-                    )
-                )
-
-    if process_edges:
-        add_process_edges(analysis)
-    if realtime_edges:
-        add_realtime_edges(analysis)
-    if timestamp_edges:
-        add_timestamp_edges(analysis)
+    validate_workload(history.transactions, "counter")
+    with stage(profile, "analyze/index"):
+        plan = CounterPlan(history)
+    execute_plan(plan, analysis, shards=shards, profile=profile)
+    with stage(profile, "analyze/orders"):
+        if process_edges:
+            add_process_edges(analysis)
+        if realtime_edges:
+            add_realtime_edges(analysis)
+        if timestamp_edges:
+            add_timestamp_edges(analysis)
     return analysis

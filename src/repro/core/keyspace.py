@@ -1,0 +1,364 @@
+"""Keyspace-partitioned analysis: per-key plans, deterministic merge, shards.
+
+Elle's dependency inference is separable by key (§4–§5): version orders,
+write indexes, and ww/wr/rw edges are all derived from one key's micro-op
+stream at a time.  This module is the execution engine that exploits that
+separability.  Each analyzer contributes a :class:`KeyspacePlan` — a recipe
+that turns one :class:`~repro.history.index.KeySlice` into *batches* of
+anomalies and evidence-carrying edges — and :func:`execute_plan` runs the
+plan over every key, either inline or across a ``multiprocessing`` pool,
+then merges the batches into the :class:`~repro.core.analysis.Analysis`.
+
+**Determinism.**  Every batch is tagged with a sort key that encodes where
+its contents appeared in the historical single-threaded emission order
+(transaction-major for per-read checks, key-major for per-key orders and
+edges).  The merge sorts batches by tag before applying them, so the
+resulting analysis — anomaly order, graph node interning order (which
+downstream cycle-witness selection is sensitive to), and evidence
+precedence — is byte-identical whether the plan ran on one shard or many,
+and identical to the historical non-partitioned analyzers.
+
+**Sharding.**  ``execute_plan(..., shards=N)`` partitions keys (and the
+transaction list, for internal-consistency checks) round-robin across a
+worker pool.  Workers are forked after the plan is built, so they inherit
+the parent's :class:`~repro.history.index.HistoryIndex` by copy-on-write
+and ship back only compact batch payloads.  On platforms without ``fork``
+the pool falls back to ``spawn`` and rebuilds the plan from the pickled
+history.
+
+The shared read checks (garbage reads, aborted reads / G1a, intermediate
+reads / G1b, dirty updates) live here too, parameterized by a per-workload
+:class:`ReadCheckStyle` so each analyzer keeps its own message phrasing
+while the logic exists once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from operator import itemgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..history import History, Transaction
+from ..history.index import HistoryIndex
+from .analysis import Analysis, EdgeKey, Evidence
+from .anomalies import Anomaly
+from .internal import INTERNAL_CHECKERS
+from .profiling import Profile, stage
+
+#: Batch sort key: (phase, major, minor).  Phases order anomaly groups the
+#: way the historical analyzers emitted them: 0 = internal consistency
+#: (transaction-major), 1 = per-read checks (transaction-major), 2 = per-key
+#: order anomalies (key-major), 3 = per-key late anomalies (key-major).
+Tag = Tuple[int, int, int]
+
+#: One anomaly batch: every anomaly that one emission step produced.
+AnomalyBlock = Tuple[Tag, List[Anomaly]]
+
+#: One edge batch: emission-ordered ``(u, v, bit) -> Evidence``.  The dict's
+#: key order doubles as the graph-insertion order, and its keys are exactly
+#: the ``(u, v, label)`` triples the graph bulk-insert path consumes.
+EdgeBlock = Tuple[Tag, Dict[EdgeKey, Evidence]]
+
+Batch = Tuple[List[AnomalyBlock], List[EdgeBlock]]
+
+PHASE_INTERNAL = 0
+PHASE_READ = 1
+PHASE_KEYED = 2
+PHASE_LATE = 3
+
+
+# ---------------------------------------------------------------------------
+# Shared read checks
+
+_MISSING = object()
+
+
+def final_write_value(txn: Transaction, key: Any) -> Any:
+    """The value of ``txn``'s final write to ``key`` (sentinel if none)."""
+    for mop in reversed(txn.mops):
+        if mop.is_write and mop.key == key:
+            return mop.value
+    return _MISSING
+
+
+class ReadCheckStyle(NamedTuple):
+    """Per-workload parameterization of :func:`check_recoverable_read`.
+
+    The booleans select which checks the datatype supports; the callables
+    build the workload's anomaly records (each analyzer keeps its own
+    phrasing).  ``intermediate_after_aborted`` controls whether an aborted
+    final element is *also* checked for G1b (lists report both facts;
+    registers treat G1a as subsuming it).
+    """
+
+    garbage: Callable[[Transaction, Any, Any, Tuple], Anomaly]
+    g1a: Callable[[Transaction, Any, Any, Transaction], Anomaly]
+    g1b: Optional[
+        Callable[[Transaction, Any, Any, Any, Tuple, Transaction], Anomaly]
+    ] = None
+    dirty: Optional[Callable[..., Anomaly]] = None
+    duplicate: Optional[Callable[..., Anomaly]] = None
+    duplicates: bool = False
+    dirty_updates: bool = False
+    intermediate: bool = False
+    intermediate_after_aborted: bool = True
+
+
+def check_recoverable_read(
+    reader: Transaction,
+    key: Any,
+    elements: Tuple,
+    write_map: Dict[Any, Transaction],
+    style: ReadCheckStyle,
+) -> List[Anomaly]:
+    """Non-cycle anomalies witnessed by one committed read (§4.1, §6.1).
+
+    ``elements`` is the read's observation as an ordered element sequence
+    (one element for registers); ``write_map`` maps the key's written
+    values to their writers.  Recoverability turns each element into a
+    verdict: unknown writer — garbage; aborted writer — G1a; a non-aborted
+    write over an aborted element — dirty update; a final element that was
+    not its writer's final write — intermediate read (G1b).
+    """
+    anomalies: List[Anomaly] = []
+
+    if style.duplicates:
+        seen: Dict[Any, int] = {}
+        for pos, element in enumerate(elements):
+            if element in seen:
+                anomalies.append(
+                    style.duplicate(reader, key, element, seen[element], pos, elements)
+                )
+            else:
+                seen[element] = pos
+
+    first_aborted = None
+    for pos, element in enumerate(elements):
+        writer = write_map.get(element)
+        if writer is None:
+            anomalies.append(style.garbage(reader, key, element, elements))
+            continue
+        if writer.aborted:
+            anomalies.append(style.g1a(reader, key, element, writer))
+            if first_aborted is None:
+                first_aborted = (pos, element, writer)
+        elif first_aborted is not None and style.dirty_updates:
+            _apos, aelement, awriter = first_aborted
+            anomalies.append(
+                style.dirty(reader, key, element, aelement, awriter, writer)
+            )
+            first_aborted = None  # one report per aborted segment
+
+    if style.intermediate and elements:
+        last = elements[-1]
+        writer = write_map.get(last)
+        if (
+            writer is not None
+            and writer.id != reader.id
+            and (style.intermediate_after_aborted or not writer.aborted)
+        ):
+            final = final_write_value(writer, key)
+            if final is not _MISSING and final != last:
+                anomalies.append(
+                    style.g1b(reader, key, last, final, elements, writer)
+                )
+    return anomalies
+
+
+# ---------------------------------------------------------------------------
+# Plans
+
+class KeyspacePlan:
+    """One workload's per-key analysis recipe.
+
+    Subclasses set :attr:`workload`, validate the observation's
+    recoverability contract in ``__init__`` (raising
+    :class:`~repro.errors.WorkloadError` in the parent, deterministically),
+    and implement :meth:`analyze_key`.  ``plan_options`` must capture the
+    constructor keywords so a ``spawn``-based worker can rebuild the plan
+    from the pickled history.
+    """
+
+    workload: str = ""
+
+    def __init__(self, history: History, **options: Any) -> None:
+        self.history = history
+        self.index: HistoryIndex = history.index()
+        self.plan_options: Dict[str, Any] = dict(options)
+        self._keys: Sequence[Any] = ()
+
+    def keys(self) -> Sequence[Any]:
+        """Keys to analyze, in the canonical (merge-defining) order."""
+        return self._keys
+
+    def analyze_key(self, key: Any) -> Batch:
+        """All anomaly and edge batches derived from one key."""
+        raise NotImplementedError
+
+    def check_internal(self, txn: Transaction) -> List[Anomaly]:
+        """Internal-consistency anomalies for one committed transaction."""
+        return INTERNAL_CHECKERS[self.workload](txn)
+
+
+#: Registered plans: workload name -> plan class (populated by analyzers).
+PLANS: Dict[str, type] = {}
+
+
+def register_plan(cls: type) -> type:
+    """Class decorator: register a :class:`KeyspacePlan` by its workload."""
+    PLANS[cls.workload] = cls
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# Execution
+
+def _chunk_bounds(plan: KeyspacePlan, shards: int) -> List[Tuple[int, int, int, int]]:
+    """Contiguous ``(txn_lo, txn_hi, key_lo, key_hi)`` ranges per shard.
+
+    Contiguous rather than strided: transactions and keys are laid out in
+    memory roughly in creation order, so range chunks keep each forked
+    worker's page faults (copy-on-write from the inherited index) local to
+    its own share instead of touching every page.
+    """
+    n_txns = len(plan.index.transactions)
+    n_keys = len(plan.keys())
+    return [
+        (
+            i * n_txns // shards,
+            (i + 1) * n_txns // shards,
+            i * n_keys // shards,
+            (i + 1) * n_keys // shards,
+        )
+        for i in range(shards)
+    ]
+
+
+def _analyze_chunk(
+    plan: KeyspacePlan, txn_lo: int, txn_hi: int, key_lo: int, key_hi: int
+) -> Batch:
+    """One worker's share: a transaction range and a key range."""
+    anomaly_blocks: List[AnomalyBlock] = []
+    edge_blocks: List[EdgeBlock] = []
+    transactions = plan.index.transactions
+    check_internal = plan.check_internal
+    for txn in transactions[txn_lo:txn_hi]:
+        if txn.committed:
+            found = check_internal(txn)
+            if found:
+                anomaly_blocks.append(((PHASE_INTERNAL, txn.id, 0), found))
+    keys = plan.keys()
+    analyze_key = plan.analyze_key
+    for key in keys[key_lo:key_hi]:
+        key_anomalies, key_edges = analyze_key(key)
+        anomaly_blocks.extend(key_anomalies)
+        edge_blocks.extend(key_edges)
+    return anomaly_blocks, edge_blocks
+
+
+def _merge(analysis: Analysis, batches: Sequence[Batch]) -> None:
+    """Apply batches in tag order: the deterministic heart of the design."""
+    anomaly_blocks: List[AnomalyBlock] = []
+    edge_blocks: List[EdgeBlock] = []
+    for chunk_anomalies, chunk_edges in batches:
+        anomaly_blocks.extend(chunk_anomalies)
+        edge_blocks.extend(chunk_edges)
+    tag = itemgetter(0)
+    anomaly_blocks.sort(key=tag)
+    edge_blocks.sort(key=tag)
+
+    anomalies = analysis.anomalies
+    for _tag, found in anomaly_blocks:
+        anomalies.extend(found)
+
+    # Graph edges go in forward tag order so node interning matches the
+    # historical per-edge emission; evidence merges in *reverse* tag order
+    # with overwrite, leaving exactly the first-emitted record per edge bit.
+    graph_add = analysis.graph.add_edges_from
+    for _tag, fragment in edge_blocks:
+        graph_add(fragment)
+    combined: Dict[EdgeKey, Evidence] = {}
+    for _tag, fragment in reversed(edge_blocks):
+        combined.update(fragment)
+    if analysis.evidence:
+        setdefault = analysis.evidence.setdefault
+        for edge_key, evidence in combined.items():
+            setdefault(edge_key, evidence)
+    else:
+        analysis.evidence.update(combined)
+
+
+# Worker-side state.  Under the ``fork`` start method the parent sets
+# ``_WORKER_PLAN`` before creating the pool and children inherit it (and the
+# whole HistoryIndex) by copy-on-write; under ``spawn`` the initializer
+# rebuilds the plan from the pickled history.
+_WORKER_PLAN: Optional[KeyspacePlan] = None
+
+
+def _spawn_init(payload: Tuple[History, str, Dict[str, Any]]) -> None:
+    global _WORKER_PLAN
+    history, workload, options = payload
+    _WORKER_PLAN = PLANS[workload](history, **options)
+
+
+def _run_chunk(args: Tuple[int, int, int, int]) -> Batch:
+    return _analyze_chunk(_WORKER_PLAN, *args)
+
+
+def _make_pool(plan: KeyspacePlan, processes: int):
+    global _WORKER_PLAN
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_PLAN = plan
+        return ctx.Pool(processes)
+    ctx = multiprocessing.get_context("spawn")
+    payload = (plan.history, plan.workload, plan.plan_options)
+    return ctx.Pool(processes, _spawn_init, (payload,))
+
+
+def execute_plan(
+    plan: KeyspacePlan,
+    analysis: Analysis,
+    shards: int = 1,
+    profile: Optional[Profile] = None,
+) -> None:
+    """Run a plan over its keyspace and merge the batches into ``analysis``.
+
+    ``shards=1`` runs inline.  ``shards=N`` fans the per-key work (plus the
+    internal-consistency sweep) across ``N`` worker processes; the merged
+    result is identical to the sequential run by construction.
+    """
+    global _WORKER_PLAN
+    shards = max(1, int(shards))
+    work_units = max(len(plan.keys()), 1)
+    shards = min(shards, work_units)
+    if profile is not None:
+        profile.count("keyspace.keys", len(plan.keys()))
+        profile.count("keyspace.shards", shards)
+
+    if shards == 1:
+        n_txns = len(plan.index.transactions)
+        n_keys = len(plan.keys())
+        with stage(profile, "analyze/keys"):
+            batches = [_analyze_chunk(plan, 0, n_txns, 0, n_keys)]
+    else:
+        pool = _make_pool(plan, shards)
+        bounds = _chunk_bounds(plan, shards)
+        try:
+            with pool, stage(profile, "analyze/keys"):
+                batches = list(pool.imap_unordered(_run_chunk, bounds))
+        finally:
+            _WORKER_PLAN = None
+
+    with stage(profile, "analyze/merge"):
+        _merge(analysis, batches)

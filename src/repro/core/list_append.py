@@ -6,31 +6,36 @@ to exactly one observed write).  Together these let the checker translate
 client observations into an inferred direct serialization graph soundly:
 every edge it emits exists in the DSG of every clean interpretation.
 
-The analysis pipeline:
+The analysis is a keyspace-partitioned plan (:mod:`repro.core.keyspace`)
+over the history's single-pass :class:`~repro.history.index.HistoryIndex`.
+Per key:
 
-1. **Internal consistency** — each transaction's reads versus its own ops.
-2. **Write index** — ``(key, element) -> appender``; duplicate appends in
-   the *observation* are a workload bug and raise, because they destroy
-   recoverability.
-3. **Read checks** — per committed read: duplicate elements (a write applied
+1. **Read checks** — per committed read: duplicate elements (a write applied
    twice by the database), garbage elements (never written by anyone),
-   aborted reads (G1a), dirty updates, and intermediate reads (G1b).
-4. **Version orders** — per key, the longest committed read defines the
-   inferred order; non-prefix reads are ``incompatible-order`` anomalies.
-5. **Dependency edges** — ww along consecutive *installed* versions, wr from
+   aborted reads (G1a), dirty updates, and intermediate reads (G1b), via the
+   shared recoverability checks.  A per-key screen (element / aborted /
+   non-final sets) proves most reads anomaly-free with set operations so the
+   element-by-element walk runs only on suspicious reads.
+2. **Version order** — the longest committed read defines the inferred
+   order; non-prefix reads are ``incompatible-order`` anomalies.
+3. **Dependency edges** — ww along consecutive *installed* versions, wr from
    a version's writer to its readers, rw from a reader to the writer of the
    next installed version.
-6. **Optional session/real-time edges** (§5.1).
+
+Internal consistency (each transaction against its own ops) runs
+transaction-major alongside the plan, and optional session/real-time edges
+(§5.1) are added after the per-key batches merge.  ``shards=N`` fans the
+per-key work across a worker pool with byte-identical results.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
-from ..errors import WorkloadError
-from ..history import History, Transaction, final_writes
-from ..history.ops import APPEND, READ
+from ..history import History, Transaction
+from ..history.index import check_unique_writes, duplicate_write_error
+from ..history.ops import APPEND
 from .analysis import Analysis, Evidence
 from .anomalies import (
     DIRTY_UPDATE,
@@ -38,14 +43,24 @@ from .anomalies import (
     G1A,
     G1B,
     GARBAGE_READ,
+    INCOMPATIBLE_ORDER,
     Anomaly,
 )
 from .deps import RW, WR, WW
-from .internal import check_internal_list_append
+from .keyspace import (
+    PHASE_KEYED,
+    PHASE_READ,
+    Batch,
+    KeyspacePlan,
+    ReadCheckStyle,
+    check_recoverable_read,
+    execute_plan,
+    register_plan,
+)
 from .objects import is_prefix
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .profiling import Profile, stage
 from .validate import validate_workload
-from .version_order import KeyOrder, infer_key_orders
 
 
 def build_append_index(
@@ -67,287 +82,279 @@ def build_append_index(
             slot = (mop.key, mop.value)
             other = index.get(slot)
             if other is not None and other.id != txn.id:
-                raise WorkloadError(
-                    f"element {mop.value!r} appended to key {mop.key!r} by "
-                    f"both T{other.id} and T{txn.id}; list-append histories "
-                    "require globally unique appends"
+                raise duplicate_write_error(
+                    "list-append", mop.key, mop.value, other, txn
                 )
             index[slot] = txn
     return index
 
 
-def _check_read(
-    reader: Transaction,
-    key: Any,
-    value: Tuple,
-    index: Dict[Tuple[Any, Any], Transaction],
-) -> List[Anomaly]:
-    """Non-cycle anomalies witnessed by a single committed read."""
-    anomalies: List[Anomaly] = []
+# ---------------------------------------------------------------------------
+# Anomaly phrasing (the shared checks in keyspace drive the logic)
 
-    # Duplicate elements: some write was applied more than once.
-    seen: Dict[Any, int] = {}
-    for pos, element in enumerate(value):
-        if element in seen:
-            anomalies.append(
-                Anomaly(
-                    name=DUPLICATE_ELEMENTS,
-                    txns=(reader.id,),
-                    message=(
-                        f"T{reader.id} read key {key!r} = {list(value)}, in "
-                        f"which element {element!r} appears at positions "
-                        f"{seen[element]} and {pos}: a write was applied twice"
-                    ),
-                    data={"key": key, "element": element, "value": value},
-                )
-            )
-        else:
-            seen[element] = pos
-
-    # Garbage, aborted reads, dirty updates.
-    first_aborted: Optional[Tuple[int, Any, Transaction]] = None
-    for pos, element in enumerate(value):
-        writer = index.get((key, element))
-        if writer is None:
-            anomalies.append(
-                Anomaly(
-                    name=GARBAGE_READ,
-                    txns=(reader.id,),
-                    message=(
-                        f"T{reader.id} read element {element!r} of key {key!r}, "
-                        "which no observed transaction ever appended"
-                    ),
-                    data={"key": key, "element": element, "value": value},
-                )
-            )
-            continue
-        if writer.aborted:
-            anomalies.append(
-                Anomaly(
-                    name=G1A,
-                    txns=(reader.id, writer.id),
-                    message=(
-                        f"T{reader.id} read element {element!r} of key {key!r}, "
-                        f"which was appended by aborted transaction T{writer.id}"
-                    ),
-                    data={"key": key, "element": element},
-                )
-            )
-            if first_aborted is None:
-                first_aborted = (pos, element, writer)
-        elif first_aborted is not None:
-            # A non-aborted write landed on top of aborted state: the
-            # version containing both leaked information out of an aborted
-            # transaction (dirty update, §4.1.5).
-            apos, aelement, awriter = first_aborted
-            anomalies.append(
-                Anomaly(
-                    name=DIRTY_UPDATE,
-                    txns=(awriter.id, writer.id),
-                    message=(
-                        f"T{writer.id}'s append of {element!r} to key {key!r} "
-                        f"acted on a version containing {aelement!r}, written "
-                        f"by aborted transaction T{awriter.id}"
-                    ),
-                    data={
-                        "key": key,
-                        "aborted_element": aelement,
-                        "element": element,
-                    },
-                )
-            )
-            first_aborted = None  # one report per aborted segment
-
-    # Intermediate read (G1b): the version read was produced by a non-final
-    # append of another transaction.
-    if value:
-        last = value[-1]
-        writer = index.get((key, last))
-        if writer is not None and writer.id != reader.id:
-            finals = final_writes(writer)
-            final = finals.get(key)
-            if final is not None and final.value != last:
-                anomalies.append(
-                    Anomaly(
-                        name=G1B,
-                        txns=(reader.id, writer.id),
-                        message=(
-                            f"T{reader.id} read key {key!r} = {list(value)}, an "
-                            f"intermediate version: T{writer.id} appended "
-                            f"{last!r} before its final append of "
-                            f"{final.value!r}"
-                        ),
-                        data={"key": key, "element": last, "final": final.value},
-                    )
-                )
-    return anomalies
+def _garbage(reader, key, element, value):
+    return Anomaly(
+        name=GARBAGE_READ,
+        txns=(reader.id,),
+        message=(
+            f"T{reader.id} read element {element!r} of key {key!r}, "
+            "which no observed transaction ever appended"
+        ),
+        data={"key": key, "element": element, "value": value},
+    )
 
 
-class _ReadScreen:
-    """Per-key element sets that prove most reads anomaly-free in C speed.
+def _g1a(reader, key, element, writer):
+    return Anomaly(
+        name=G1A,
+        txns=(reader.id, writer.id),
+        message=(
+            f"T{reader.id} read element {element!r} of key {key!r}, "
+            f"which was appended by aborted transaction T{writer.id}"
+        ),
+        data={"key": key, "element": element},
+    )
 
-    :func:`_check_read` walks every element of every read in Python.  On a
-    healthy history that work always concludes "nothing wrong", so the
-    screen precomputes three structures from the append index and answers
-    "could this read possibly witness an anomaly?" with set operations:
 
-    * ``elements[key]`` — every element any transaction appended to the
-      key; a read outside this set contains garbage.
-    * ``aborted[key]`` — elements appended by definitely-aborted
-      transactions; a read intersecting it witnesses G1a (and possibly a
-      dirty update).
-    * ``nonfinal`` — ``(key, element)`` pairs that are a *non-final*
-      append of their writer; a read ending on one may be an intermediate
-      read (G1b).
+def _g1b(reader, key, last, final, value, writer):
+    return Anomaly(
+        name=G1B,
+        txns=(reader.id, writer.id),
+        message=(
+            f"T{reader.id} read key {key!r} = {list(value)}, an "
+            f"intermediate version: T{writer.id} appended "
+            f"{last!r} before its final append of {final!r}"
+        ),
+        data={"key": key, "element": last, "final": final},
+    )
 
-    Duplicate elements are screened by comparing the read's length against
-    its set's.  A read that passes every screen provably yields no
-    anomalies, so the slow path runs only on suspicious reads.
-    """
 
-    __slots__ = ("elements", "aborted", "nonfinal")
+def _dirty(reader, key, element, aelement, awriter, writer):
+    return Anomaly(
+        name=DIRTY_UPDATE,
+        txns=(awriter.id, writer.id),
+        message=(
+            f"T{writer.id}'s append of {element!r} to key {key!r} "
+            f"acted on a version containing {aelement!r}, written "
+            f"by aborted transaction T{awriter.id}"
+        ),
+        data={"key": key, "aborted_element": aelement, "element": element},
+    )
 
-    _EMPTY: frozenset = frozenset()
 
-    def __init__(
-        self,
-        txns: Sequence[Transaction],
-        index: Dict[Tuple[Any, Any], Transaction],
-    ) -> None:
-        elements: Dict[Any, set] = {}
-        aborted: Dict[Any, set] = {}
-        for (key, element), writer in index.items():
-            bucket = elements.get(key)
-            if bucket is None:
-                bucket = elements[key] = set()
-            bucket.add(element)
-            if writer.aborted:
-                bad = aborted.get(key)
-                if bad is None:
-                    bad = aborted[key] = set()
-                bad.add(element)
-        nonfinal: set = set()
-        for txn in txns:
-            finals: Dict[Any, Any] = {}
-            appends = [
-                (mop.key, mop.value) for mop in txn.mops if mop.fn == APPEND
-            ]
-            if not appends:
+def _duplicate(reader, key, element, first_pos, pos, value):
+    return Anomaly(
+        name=DUPLICATE_ELEMENTS,
+        txns=(reader.id,),
+        message=(
+            f"T{reader.id} read key {key!r} = {list(value)}, in "
+            f"which element {element!r} appears at positions "
+            f"{first_pos} and {pos}: a write was applied twice"
+        ),
+        data={"key": key, "element": element, "value": value},
+    )
+
+
+@register_plan
+class ListAppendPlan(KeyspacePlan):
+    """Per-key list-append analysis over the shared history index."""
+
+    workload = "list-append"
+
+    def __init__(self, history: History) -> None:
+        super().__init__(history)
+        check_unique_writes(self.index, "list-append")
+        # Keys in first-committed-read order: only keys somebody read can
+        # define a version order or witness read anomalies.
+        self._keys = self.index.read_key_order
+        # Merge positions must follow the committed-read key order (the
+        # historical emission order), not the all-mops first-appearance
+        # order, or evidence precedence and node interning would drift.
+        self._key_pos = {key: i for i, key in enumerate(self._keys)}
+        self._style = ReadCheckStyle(
+            garbage=_garbage,
+            g1a=_g1a,
+            g1b=_g1b,
+            dirty=_dirty,
+            duplicate=_duplicate,
+            duplicates=True,
+            dirty_updates=True,
+            intermediate=True,
+            intermediate_after_aborted=True,
+        )
+
+    # ------------------------------------------------------------------
+
+    def analyze_key(self, key: Any) -> Batch:
+        slice_ = self.index.slices[key]
+        write_map = slice_.write_map
+        key_pos = self._key_pos[key]
+
+        reads: List[Tuple[Transaction, int, Tuple]] = [
+            (txn, mop_seq, tuple(mop.value))
+            for txn, mop_seq, mop in slice_.committed_reads
+            if mop.value is not None
+        ]
+
+        # Screen sets: most reads are proven anomaly-free in C speed.
+        elements: Set[Any] = set(write_map)
+        aborted: Set[Any] = {
+            value for value, writer in write_map.items() if writer.aborted
+        }
+        nonfinal = self._nonfinal_elements(slice_.writes)
+
+        anomaly_blocks = []
+        for txn, mop_seq, value in reads:
+            if not self._suspicious(value, elements, aborted, nonfinal):
                 continue
-            for key, value in appends:
-                finals[key] = value
-            for key, value in appends:
-                if finals[key] != value:
-                    nonfinal.add((key, value))
-        self.elements = elements
-        self.aborted = aborted
-        self.nonfinal = nonfinal
+            found = self._check_read(txn, key, value, write_map)
+            if found:
+                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
 
-    def suspicious(self, key: Any, value: Tuple) -> bool:
-        """True when ``value`` could witness any anomaly on ``key``."""
+        # Version order: the longest committed read defines the trace.
+        longest_txn, _seq, longest = max(reads, key=lambda r: len(r[2]))
+        order_anomalies = self._order_anomalies(key, reads, longest_txn, longest)
+        if order_anomalies:
+            anomaly_blocks.append(((PHASE_KEYED, key_pos, 0), order_anomalies))
+
+        fragment = self._key_edges(
+            key, reads, longest_txn, longest, write_map, nonfinal
+        )
+        edge_blocks = [((0, key_pos, 0), fragment)] if fragment else []
+        return anomaly_blocks, edge_blocks
+
+    @staticmethod
+    def _nonfinal_elements(writes) -> Set[Any]:
+        """Elements that are a *non-final* append of their transaction."""
+        nonfinal: Set[Any] = set()
+        n = len(writes)
+        i = 0
+        while i < n:
+            txn = writes[i][0]
+            j = i
+            while j + 1 < n and writes[j + 1][0] is txn:
+                j += 1
+            if j > i:
+                final_value = writes[j][2].value
+                for k in range(i, j + 1):
+                    value = writes[k][2].value
+                    if value != final_value:
+                        nonfinal.add(value)
+            i = j + 1
+        return nonfinal
+
+    @staticmethod
+    def _suspicious(value, elements, aborted, nonfinal) -> bool:
+        """True when ``value`` could witness any anomaly on this key."""
         if not value:
             return False
         if len(value) != len(set(value)):
             return True  # duplicate elements
-        empty = self._EMPTY
-        if not self.elements.get(key, empty).issuperset(value):
+        if not elements.issuperset(value):
             return True  # garbage element
-        if not self.aborted.get(key, empty).isdisjoint(value):
+        if not aborted.isdisjoint(value):
             return True  # aborted read (G1a) / dirty update
-        return (key, value[-1]) in self.nonfinal  # intermediate read (G1b)
+        return value[-1] in nonfinal  # intermediate read (G1b)
 
+    def _check_read(self, reader, key, value, write_map) -> List[Anomaly]:
+        return check_recoverable_read(reader, key, value, write_map, self._style)
 
-def _installed_positions(
-    order: KeyOrder,
-    index: Dict[Tuple[Any, Any], Transaction],
-    screen: Optional[_ReadScreen] = None,
-) -> List[Tuple[int, Transaction]]:
-    """Positions in the inferred trace that are *installed* versions.
-
-    A version is installed when its element is its writer's final append to
-    the key (§4.1.2) — intermediate appends don't appear in the version
-    order ``<<``.  Elements with no recovered writer (garbage) break the
-    chain: nothing beyond them can be ordered soundly.
-    """
-    installed = []
-    key = order.key
-    nonfinal = screen.nonfinal if screen is not None else None
-    for pos, element in enumerate(order.elements):
-        writer = index.get((key, element))
-        if writer is None:
-            break  # garbage element: the trace beyond it is unreliable
-        if nonfinal is not None:
-            if (key, element) not in nonfinal:
-                installed.append((pos, writer))
-            continue
-        final = final_writes(writer).get(key)
-        if final is not None and final.value == element:
-            installed.append((pos, writer))
-    return installed
-
-
-def _add_key_edges(
-    analysis: Analysis,
-    order: KeyOrder,
-    reads: List[Tuple[Transaction, Tuple]],
-    index: Dict[Tuple[Any, Any], Transaction],
-    screen: Optional[_ReadScreen] = None,
-) -> None:
-    """ww, wr, and rw edges for one key's inferred version order."""
-    key = order.key
-    installed = _installed_positions(order, index, screen)
-
-    # ww: consecutive installed versions were written by their writers in
-    # version order.  A transaction installs at most one version per key, so
-    # writers along the chain are distinct.
-    for (ppos, pwriter), (npos, nwriter) in zip(installed, installed[1:]):
-        analysis.add_edge(
-            pwriter.id,
-            nwriter.id,
-            Evidence(
-                kind=WW,
-                key=key,
-                value=order.elements[npos],
-                prev_value=order.elements[ppos],
-                via=order.source_txn,
-            ),
-        )
-
-    installed_positions = [pos for pos, _writer in installed]
-    for reader, value in reads:
-        if not is_prefix(value, order.elements):
-            continue  # incompatible read, already reported; no sound edges
-        # wr: the version read was produced by the writer of its last element.
-        producer = index.get((key, value[-1])) if value else None
-        if producer is not None:
-            analysis.add_edge(
-                producer.id,
-                reader.id,
-                Evidence(kind=WR, key=key, value=value[-1]),
-            )
-
-        # rw: the reader saw the version ending at position len(value)-1;
-        # the writer of the next installed version overwrote it.
-        boundary = len(value) - 1
-        nxt = bisect_right(installed_positions, boundary)
-        if nxt < len(installed):
-            pos, writer = installed[nxt]
-            if producer is not None and writer.id == producer.id:
-                # The "next" installed version belongs to the same
-                # transaction that produced the version read (an
-                # intermediate read, flagged as G1b): no sound
-                # anti-dependency follows.
+    @staticmethod
+    def _order_anomalies(key, reads, longest_txn, longest) -> List[Anomaly]:
+        anomalies: List[Anomaly] = []
+        flagged = set()
+        for txn, _seq, value in reads:
+            if is_prefix(value, longest):
                 continue
-            analysis.add_edge(
-                reader.id,
-                writer.id,
-                Evidence(
-                    kind=RW,
-                    key=key,
-                    value=order.elements[pos],
-                    prev_value=tuple(value),
-                ),
+            if value in flagged:
+                continue
+            flagged.add(value)
+            anomalies.append(
+                Anomaly(
+                    name=INCOMPATIBLE_ORDER,
+                    txns=(txn.id, longest_txn.id),
+                    message=(
+                        f"T{txn.id} read {list(value)} of key {key!r}, which is "
+                        f"not a prefix of {list(longest)} as read by "
+                        f"T{longest_txn.id}; these versions cannot lie on one "
+                        "version order"
+                    ),
+                    data={"key": key, "value": value, "longest": longest},
+                )
             )
+        return anomalies
+
+    def _key_edges(
+        self, key, reads, longest_txn, longest, write_map, nonfinal
+    ) -> Dict[Tuple[int, int, int], Evidence]:
+        """ww, wr, and rw edges for one key's inferred version order.
+
+        A version is *installed* when its element is its writer's final
+        append to the key (§4.1.2).  Elements with no recovered writer
+        (garbage) break the chain: nothing beyond them is ordered soundly.
+        """
+        fragment: Dict[Tuple[int, int, int], Evidence] = {}
+        installed: List[Tuple[int, Transaction]] = []
+        for pos, element in enumerate(longest):
+            writer = write_map.get(element)
+            if writer is None:
+                break  # garbage element: the trace beyond it is unreliable
+            if element not in nonfinal:
+                installed.append((pos, writer))
+
+        # ww: consecutive installed versions were written by their writers
+        # in version order.
+        source_txn = longest_txn.id
+        for (ppos, pwriter), (npos, nwriter) in zip(installed, installed[1:]):
+            if pwriter.id != nwriter.id:
+                fragment.setdefault(
+                    (pwriter.id, nwriter.id, WW),
+                    Evidence(
+                        kind=WW,
+                        key=key,
+                        value=longest[npos],
+                        prev_value=longest[ppos],
+                        via=source_txn,
+                    ),
+                )
+
+        installed_positions = [pos for pos, _writer in installed]
+        for reader, _seq, value in reads:
+            if not is_prefix(value, longest):
+                continue  # incompatible read, already reported; no sound edges
+            # wr: the version read was produced by the writer of its last
+            # element.
+            producer = write_map.get(value[-1]) if value else None
+            if producer is not None and producer.id != reader.id:
+                fragment.setdefault(
+                    (producer.id, reader.id, WR),
+                    Evidence(kind=WR, key=key, value=value[-1]),
+                )
+
+            # rw: the reader saw the version ending at position
+            # len(value)-1; the writer of the next installed version
+            # overwrote it.
+            boundary = len(value) - 1
+            nxt = bisect_right(installed_positions, boundary)
+            if nxt < len(installed):
+                pos, writer = installed[nxt]
+                if producer is not None and writer.id == producer.id:
+                    # The "next" installed version belongs to the same
+                    # transaction that produced the version read (an
+                    # intermediate read, flagged as G1b): no sound
+                    # anti-dependency follows.
+                    continue
+                if reader.id != writer.id:
+                    fragment.setdefault(
+                        (reader.id, writer.id, RW),
+                        Evidence(
+                            kind=RW,
+                            key=key,
+                            value=longest[pos],
+                            prev_value=tuple(value),
+                        ),
+                    )
+        return fragment
 
 
 def analyze_list_append(
@@ -355,49 +362,27 @@ def analyze_list_append(
     process_edges: bool = True,
     realtime_edges: bool = True,
     timestamp_edges: bool = False,
+    shards: int = 1,
+    profile: Profile = None,
 ) -> Analysis:
     """Full list-append analysis of an observation.
 
     Returns an :class:`Analysis` whose graph is the inferred direct
     serialization graph and whose anomaly list carries every non-cycle
     anomaly.  Cycle anomalies are found from the graph by
-    :mod:`repro.core.cycle_search`.
+    :mod:`repro.core.cycle_search`.  ``shards`` fans the per-key work
+    across a process pool (``1`` = inline) with identical results.
     """
     analysis = Analysis(history=history, workload="list-append")
-    txns = history.transactions
-    validate_workload(txns, "list-append")
-
-    analysis.anomalies.extend(
-        a for txn in txns if txn.committed
-        for a in check_internal_list_append(txn)
-    )
-
-    index = build_append_index(txns)
-    screen = _ReadScreen(txns, index)
-
-    reads_by_key: Dict[Any, List[Tuple[Transaction, Tuple]]] = {}
-    for txn in txns:
-        if not txn.committed:
-            continue
-        for mop in txn.mops:
-            if mop.fn == READ and mop.value is not None:
-                value = tuple(mop.value)
-                reads_by_key.setdefault(mop.key, []).append((txn, value))
-                if screen.suspicious(mop.key, value):
-                    analysis.anomalies.extend(
-                        _check_read(txn, mop.key, value, index)
-                    )
-
-    orders, order_anomalies = infer_key_orders(txns)
-    analysis.anomalies.extend(order_anomalies)
-
-    for key, order in orders.items():
-        _add_key_edges(analysis, order, reads_by_key.get(key, []), index, screen)
-
-    if process_edges:
-        add_process_edges(analysis)
-    if realtime_edges:
-        add_realtime_edges(analysis)
-    if timestamp_edges:
-        add_timestamp_edges(analysis)
+    validate_workload(history.transactions, "list-append")
+    with stage(profile, "analyze/index"):
+        plan = ListAppendPlan(history)
+    execute_plan(plan, analysis, shards=shards, profile=profile)
+    with stage(profile, "analyze/orders"):
+        if process_edges:
+            add_process_edges(analysis)
+        if realtime_edges:
+            add_realtime_edges(analysis)
+        if timestamp_edges:
+            add_timestamp_edges(analysis)
     return analysis

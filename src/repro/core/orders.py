@@ -5,17 +5,19 @@ from values:
 
 * **Process order** — a single-threaded client executed T1 before T2, so any
   serialization honouring session guarantees must order them.  Chains link
-  successive non-aborted transactions of each process.
+  each process's transactions through its committed ones.
 * **Real-time order** — T1 completed before T2 was invoked, so under strict
   serializability T2 must appear to take effect after T1.  Edges come from
   the O(n·p) transitive reduction in :mod:`repro.graph.intervals`.
 
 Aborted transactions never participate (they are absent from any
 serialization).  Indeterminate transactions may *receive* edges — their
-invocation time is known — but never *emit* real-time edges, since their
-completion was never observed.  Cycles built through these edges are sound:
-an indeterminate transaction only appears in a value cycle if some read
-proved it committed.
+invocation time is known — but never *emit* either kind of edge: a timeout
+or crash response bounds when the client gave up, not when (or whether) the
+commit took effect, so the pending effect races everything that follows,
+even on its own process.  Cycles built through these edges are sound: an
+indeterminate transaction only appears in a value cycle if some read proved
+it committed.
 """
 
 from __future__ import annotations
@@ -29,34 +31,52 @@ from .deps import PROCESS, REALTIME, TIMESTAMP
 
 
 def add_process_edges(analysis: Analysis) -> None:
-    """Chain successive non-aborted transactions of each logical process."""
-    by_process = {}
-    for txn in analysis.history.transactions:
-        if txn.aborted:
-            continue
-        by_process.setdefault(txn.process, []).append(txn)
-    for process, txns in by_process.items():
-        txns.sort(key=lambda t: t.invoke_index)
+    """Chain each process's transactions in session (program) order.
+
+    Per-process orderings come from the history's single-pass index (they
+    are already in invocation order there), so no re-grouping pass runs.
+    Only *committed* transactions emit edges: after a timeout the client
+    moves on while the indeterminate commit races its successors, so an
+    ``info`` transaction is concurrent with everything that follows it —
+    even on its own process — and may only receive edges.  Each non-aborted
+    transaction is therefore ordered after the nearest preceding committed
+    transaction of its process.
+    """
+    for process, txns in analysis.history.index().by_process.items():
         evidence = Evidence(kind=PROCESS, process=process)
-        analysis.add_order_edges(
-            ((prev.id, nxt.id) for prev, nxt in zip(txns, txns[1:])),
-            evidence,
-        )
+        pairs = []
+        last_committed = None
+        for txn in txns:
+            if txn.aborted:
+                continue
+            if last_committed is not None:
+                pairs.append((last_committed.id, txn.id))
+            if txn.committed:
+                last_committed = txn
+        analysis.add_order_edges(pairs, evidence)
 
 
 def add_realtime_edges(analysis: Analysis) -> None:
-    """Add transitive-reduction edges of the real-time precedence order."""
+    """Add transitive-reduction edges of the real-time precedence order.
+
+    Only *committed* transactions emit edges.  An indeterminate
+    transaction's completion event (a timeout, say) bounds when the client
+    gave up, not when the commit took effect — the effect may land
+    arbitrarily later, so treating that index as a completion fabricates
+    real-time edges (and, from them, false G-*-realtime cycles on
+    perfectly serializable runs).  Its interval therefore extends past
+    every observed event: it may receive edges, never emit them.
+    """
     history = analysis.history
     sentinel = history.max_index + 1
     intervals: List[Tuple[int, int, int]] = []
     for txn in history.transactions:
         if txn.aborted:
             continue
-        if txn.complete_index is not None:
+        if txn.committed and txn.complete_index is not None:
             intervals.append((txn.id, txn.invoke_index, txn.complete_index))
         else:
-            # Indeterminate: completion unobserved.  The interval extends
-            # past every event, so the transaction never precedes anything.
+            # Indeterminate: the true completion is unobserved.
             sentinel += 1
             intervals.append((txn.id, txn.invoke_index, sentinel))
     analysis.add_order_edges(

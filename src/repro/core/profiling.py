@@ -15,9 +15,9 @@ back to per-pass full decompositions is visible in the numbers.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 
 class Profile:
@@ -79,3 +79,14 @@ class Profile:
             },
             "counters": dict(self.counters),
         }
+
+
+def stage(profile: Optional[Profile], name: str):
+    """``profile.stage(name)`` or a no-op context when profiling is off.
+
+    Hot paths thread an *optional* profile; this keeps their ``with``
+    blocks unconditional.
+    """
+    if profile is None:
+        return nullcontext()
+    return profile.stage(name)

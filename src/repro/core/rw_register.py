@@ -34,15 +34,27 @@ edges, and transitive rw edges preserve the anti-dependency count).
 Writes participate only when provably committed — the writer returned ok, or
 some committed read observed the value.  Lost updates surface when two
 committed read-modify-write transactions hang off the same version.
+
+The analysis runs as a keyspace-partitioned plan over the history's
+single-pass :class:`~repro.history.index.HistoryIndex`: each key's version
+DAG, read checks, and dependency edges derive from that key's
+:class:`~repro.history.index.KeySlice` alone.  In particular the process /
+realtime version-order sources read each key's *interacting* transactions
+straight off the slice instead of rescanning every transaction once per key
+— the historical O(keys × txns) hotspot is now O(ops) total.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import WorkloadError
 from ..graph import LabeledDiGraph, cyclic_components, interval_precedence_edges
-from ..history import History, Transaction, final_writes
+from ..history import History, Transaction
+from ..history.index import (
+    check_unique_writes,
+    duplicate_write_error,
+    none_write_error,
+)
 from ..history.ops import READ, WRITE
 from .analysis import Analysis, Evidence
 from .anomalies import (
@@ -54,8 +66,19 @@ from .anomalies import (
     Anomaly,
 )
 from .deps import RW, WR, WW
-from .internal import check_internal_register
+from .keyspace import (
+    PHASE_KEYED,
+    PHASE_LATE,
+    PHASE_READ,
+    Batch,
+    KeyspacePlan,
+    ReadCheckStyle,
+    check_recoverable_read,
+    execute_plan,
+    register_plan,
+)
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
+from .profiling import Profile, stage
 from .validate import validate_workload
 
 #: Version-order inference sources enabled by default.  ``process`` and
@@ -69,6 +92,18 @@ KNOWN_SOURCES = frozenset(
 
 #: Marker for the initial version in version graphs (registers start nil).
 INIT = None
+
+#: Distinguishes "no pinned version yet" from a pinned ``None`` (= INIT).
+_UNPINNED = object()
+
+
+def _validate_sources(sources: Sequence[str]) -> None:
+    unknown = set(sources) - KNOWN_SOURCES
+    if unknown:
+        raise ValueError(
+            f"unknown version-order sources {sorted(unknown)}; "
+            f"known: {sorted(KNOWN_SOURCES)}"
+        )
 
 
 def build_write_index(
@@ -86,42 +121,15 @@ def build_write_index(
             if mop.fn != WRITE:
                 continue
             if mop.value is None:
-                raise WorkloadError(
-                    f"T{txn.id} writes None to key {mop.key!r}; None denotes "
-                    "the initial version and may not be written"
-                )
+                raise none_write_error(mop.key, txn)
             slot = (mop.key, mop.value)
             other = index.get(slot)
             if other is not None and other.id != txn.id:
-                raise WorkloadError(
-                    f"value {mop.value!r} written to key {mop.key!r} by both "
-                    f"T{other.id} and T{txn.id}; rw-register histories "
-                    "require unique writes per key"
+                raise duplicate_write_error(
+                    "rw-register", mop.key, mop.value, other, txn
                 )
             index[slot] = txn
     return index
-
-
-class _KeyVersions:
-    """The per-key version DAG plus who read and wrote each version."""
-
-    __slots__ = ("key", "graph", "edges", "readers", "cyclic")
-
-    def __init__(self, key: Any) -> None:
-        self.key = key
-        self.graph = LabeledDiGraph()
-        self.edges: Dict[Tuple[Any, Any], Set[str]] = {}  # (v1,v2) -> tags
-        self.readers: Dict[Any, List[Transaction]] = {}
-        self.cyclic = False
-
-    def add_version_edge(self, v1: Any, v2: Any, source: str) -> None:
-        if v1 == v2:
-            return
-        self.graph.add_edge(v1, v2, 1)
-        self.edges.setdefault((v1, v2), set()).add(source)
-
-    def add_reader(self, value: Any, txn: Transaction) -> None:
-        self.readers.setdefault(value, []).append(txn)
 
 
 def _interaction_values(txn: Transaction, key: Any) -> Optional[Tuple[Any, Any]]:
@@ -141,247 +149,242 @@ def _interaction_values(txn: Transaction, key: Any) -> Optional[Tuple[Any, Any]]
     return values[0], values[-1]
 
 
-def analyze_rw_register(
-    history: History,
-    process_edges: bool = True,
-    realtime_edges: bool = True,
-    timestamp_edges: bool = False,
-    sources: Sequence[str] = DEFAULT_SOURCES,
-) -> Analysis:
-    """Full rw-register analysis of an observation.
+# ---------------------------------------------------------------------------
+# Anomaly phrasing (the shared checks in keyspace drive the logic)
 
-    ``sources`` selects the version-order inference rules (§5.2); see
-    :data:`DEFAULT_SOURCES`.  ``process_edges`` / ``realtime_edges`` control
-    the *transaction*-level session and real-time edges, independent of
-    whether those orders also feed version inference.
-    """
-    unknown = set(sources) - KNOWN_SOURCES
-    if unknown:
-        raise ValueError(
-            f"unknown version-order sources {sorted(unknown)}; "
-            f"known: {sorted(KNOWN_SOURCES)}"
-        )
-    sources = frozenset(sources)
-
-    analysis = Analysis(history=history, workload="rw-register")
-    txns = history.transactions
-    validate_workload(txns, "rw-register")
-
-    analysis.anomalies.extend(
-        a for txn in txns if txn.committed
-        for a in check_internal_register(txn)
+def _garbage(reader, key, value, _elements):
+    return Anomaly(
+        name=GARBAGE_READ,
+        txns=(reader.id,),
+        message=(
+            f"T{reader.id} read value {value!r} of key "
+            f"{key!r}, which no observed transaction wrote"
+        ),
+        data={"key": key, "value": value},
     )
 
-    index = build_write_index(txns)
 
-    # Values proven committed by observation: read by a committed txn.
-    observed: Set[Tuple[Any, Any]] = set()
-    for txn in txns:
-        if not txn.committed:
-            continue
-        for mop in txn.mops:
-            if mop.fn == READ and mop.value is not None:
-                observed.add((mop.key, mop.value))
+def _g1a(reader, key, value, writer):
+    return Anomaly(
+        name=G1A,
+        txns=(reader.id, writer.id),
+        message=(
+            f"T{reader.id} read value {value!r} of key "
+            f"{key!r}, written by aborted transaction "
+            f"T{writer.id}"
+        ),
+        data={"key": key, "value": value},
+    )
 
-    def anchored(txn: Transaction, key: Any, value: Any) -> bool:
-        """Is this write provably committed in every interpretation?"""
-        return txn.committed or (key, value) in observed
 
-    keys = {m.key for t in txns for m in t.mops}
-    versions: Dict[Any, _KeyVersions] = {k: _KeyVersions(k) for k in keys}
+def _g1b(reader, key, value, final, _elements, writer):
+    return Anomaly(
+        name=G1B,
+        txns=(reader.id, writer.id),
+        message=(
+            f"T{reader.id} read intermediate value "
+            f"{value!r} of key {key!r}: "
+            f"T{writer.id} later wrote {final!r}"
+        ),
+        data={"key": key, "value": value},
+    )
 
-    # ------------------------------------------------------------------
-    # Read checks: garbage, G1a, G1b; collect readers per version.
-    for txn in txns:
-        if not txn.committed:
-            continue
-        for mop in txn.mops:
-            if mop.fn != READ:
-                continue
-            kv = versions[mop.key]
-            if mop.value is None:
-                kv.add_reader(INIT, txn)
-                continue
-            writer = index.get((mop.key, mop.value))
-            if writer is None:
-                analysis.anomalies.append(
-                    Anomaly(
-                        name=GARBAGE_READ,
-                        txns=(txn.id,),
-                        message=(
-                            f"T{txn.id} read value {mop.value!r} of key "
-                            f"{mop.key!r}, which no observed transaction wrote"
-                        ),
-                        data={"key": mop.key, "value": mop.value},
-                    )
-                )
-                continue
-            kv.add_reader(mop.value, txn)
-            if writer.aborted:
-                analysis.anomalies.append(
-                    Anomaly(
-                        name=G1A,
-                        txns=(txn.id, writer.id),
-                        message=(
-                            f"T{txn.id} read value {mop.value!r} of key "
-                            f"{mop.key!r}, written by aborted transaction "
-                            f"T{writer.id}"
-                        ),
-                        data={"key": mop.key, "value": mop.value},
-                    )
-                )
-            elif writer.id != txn.id:
-                final = final_writes(writer).get(mop.key)
-                if final is not None and final.value != mop.value:
-                    analysis.anomalies.append(
-                        Anomaly(
-                            name=G1B,
-                            txns=(txn.id, writer.id),
-                            message=(
-                                f"T{txn.id} read intermediate value "
-                                f"{mop.value!r} of key {mop.key!r}: "
-                                f"T{writer.id} later wrote {final.value!r}"
-                            ),
-                            data={"key": mop.key, "value": mop.value},
-                        )
-                    )
+
+@register_plan
+class RwRegisterPlan(KeyspacePlan):
+    """Per-key rw-register analysis over the shared history index."""
+
+    workload = "rw-register"
+
+    def __init__(
+        self, history: History, sources: Sequence[str] = DEFAULT_SOURCES
+    ) -> None:
+        _validate_sources(sources)
+        super().__init__(history, sources=tuple(sources))
+        check_unique_writes(self.index, "rw-register")
+        self._sources = frozenset(sources)
+        self._keys = self.index.key_order
+        self._style = ReadCheckStyle(
+            garbage=_garbage,
+            g1a=_g1a,
+            g1b=_g1b,
+            intermediate=True,
+            intermediate_after_aborted=False,
+        )
 
     # ------------------------------------------------------------------
-    # Version edges from each enabled source.
-    if "initial-state" in sources:
-        for (key, value), writer in index.items():
-            if anchored(writer, key, value):
-                versions[key].add_version_edge(INIT, value, "initial-state")
 
-    if "write-follows-read" in sources:
-        for txn in txns:
-            if not txn.committed:
+    def analyze_key(self, key: Any) -> Batch:
+        slice_ = self.index.slices[key]
+        write_map = slice_.write_map
+        key_pos = slice_.pos
+        sources = self._sources
+        anomaly_blocks = []
+
+        # Values proven committed by observation: read by a committed txn.
+        observed: Set[Any] = {
+            mop.value
+            for _txn, _seq, mop in slice_.committed_reads
+            if mop.value is not None
+        }
+
+        def anchored(txn: Transaction, value: Any) -> bool:
+            """Is this write provably committed in every interpretation?"""
+            return txn.committed or value in observed
+
+        # --------------------------------------------------------------
+        # Read checks: garbage, G1a, G1b; collect readers per version.
+        readers: Dict[Any, List[Transaction]] = {}
+        for txn, mop_seq, mop in slice_.committed_reads:
+            value = mop.value
+            if value is None:
+                readers.setdefault(INIT, []).append(txn)
                 continue
-            current: Dict[Any, Any] = {}
-            for mop in txn.mops:
-                if mop.fn == READ:
-                    current[mop.key] = mop.value  # None = INIT
-                elif mop.fn == WRITE:
-                    if mop.key in current:
-                        versions[mop.key].add_version_edge(
-                            current[mop.key], mop.value, "write-follows-read"
-                        )
-                    current[mop.key] = mop.value
+            found = check_recoverable_read(
+                txn, key, (value,), write_map, self._style
+            )
+            if value in write_map:
+                readers.setdefault(value, []).append(txn)
+            if found:
+                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
 
-    def order_source_edges(pairs, tag: str, key: Any) -> None:
-        for t1, t2 in pairs:
-            last = _interaction_values(t1, key)
-            first = _interaction_values(t2, key)
-            if last is None or first is None:
-                continue
-            versions[key].add_version_edge(last[1], first[0], tag)
+        # --------------------------------------------------------------
+        # The per-key version DAG from each enabled source.
+        version_graph = LabeledDiGraph()
+        version_edges: Dict[Tuple[Any, Any], Set[str]] = {}
 
-    if "process" in sources or "realtime" in sources:
-        for key in keys:
-            interacting = [
-                t
-                for t in txns
-                if t.committed
-                and any(m.key == key and m.fn in (READ, WRITE) for m in t.mops)
-            ]
-            if "process" in sources:
-                by_process: Dict[int, List[Transaction]] = {}
-                for t in interacting:
-                    by_process.setdefault(t.process, []).append(t)
-                for ts in by_process.values():
-                    ts.sort(key=lambda t: t.invoke_index)
-                    order_source_edges(zip(ts, ts[1:]), "process", key)
-            if "realtime" in sources:
-                intervals = [
-                    (t, t.invoke_index, t.complete_index)
-                    for t in interacting
-                    if t.complete_index is not None
-                ]
-                order_source_edges(
-                    interval_precedence_edges(intervals), "realtime", key
-                )
+        def add_version_edge(v1: Any, v2: Any, source: str) -> None:
+            if v1 == v2:
+                return
+            version_graph.add_edge(v1, v2, 1)
+            version_edges.setdefault((v1, v2), set()).add(source)
 
-    # ------------------------------------------------------------------
-    # Cyclic version orders: report and discard (§7.4).
-    for key, kv in versions.items():
-        components = cyclic_components(kv.graph)
-        if not components:
-            continue
-        kv.cyclic = True
-        for component in components:
-            involved = set()
-            for value in component:
-                writer = index.get((key, value))
-                if writer is not None:
-                    involved.add(writer.id)
-                involved.update(t.id for t in kv.readers.get(value, ()))
-            implicated = sorted(involved)
-            analysis.anomalies.append(
-                Anomaly(
-                    name=CYCLIC_VERSIONS,
-                    txns=tuple(implicated),
-                    message=(
-                        f"inferred version order for key {key!r} is cyclic "
-                        f"over values {sorted(component, key=repr)}; the "
-                        "order is discarded for dependency inference"
-                    ),
-                    data={"key": key, "values": tuple(component)},
-                )
+        if "initial-state" in sources:
+            for value, writer in write_map.items():
+                if anchored(writer, value):
+                    add_version_edge(INIT, value, "initial-state")
+
+        if "write-follows-read" in sources:
+            ops = slice_.ops
+            n = len(ops)
+            i = 0
+            while i < n:
+                txn = ops[i][0]
+                if not txn.committed:
+                    while i < n and ops[i][0] is txn:
+                        i += 1
+                    continue
+                current: Any = _UNPINNED
+                while i < n and ops[i][0] is txn:
+                    mop = ops[i][2]
+                    if mop.is_read:
+                        current = mop.value  # None = INIT
+                    else:
+                        if current is not _UNPINNED:
+                            add_version_edge(
+                                current, mop.value, "write-follows-read"
+                            )
+                        current = mop.value
+                    i += 1
+
+        def order_source_edges(pairs, tag: str) -> None:
+            for t1, t2 in pairs:
+                last = _interaction_values(t1, key)
+                first = _interaction_values(t2, key)
+                if last is None or first is None:
+                    continue
+                add_version_edge(last[1], first[0], tag)
+
+        if "process" in sources:
+            for txns in slice_.interacting_by_process().values():
+                order_source_edges(zip(txns, txns[1:]), "process")
+        if "realtime" in sources:
+            order_source_edges(
+                interval_precedence_edges(slice_.intervals), "realtime"
             )
 
-    # ------------------------------------------------------------------
-    # Transaction dependency edges.
-    for key, kv in versions.items():
+        # --------------------------------------------------------------
+        # Cyclic version orders: report and discard (§7.4).
+        components = cyclic_components(version_graph)
+        cyclic = bool(components)
+        if components:
+            keyed = []
+            for component in components:
+                involved = set()
+                for value in component:
+                    writer = write_map.get(value)
+                    if writer is not None:
+                        involved.add(writer.id)
+                    involved.update(t.id for t in readers.get(value, ()))
+                implicated = sorted(involved)
+                keyed.append(
+                    Anomaly(
+                        name=CYCLIC_VERSIONS,
+                        txns=tuple(implicated),
+                        message=(
+                            f"inferred version order for key {key!r} is cyclic "
+                            f"over values {sorted(component, key=repr)}; the "
+                            "order is discarded for dependency inference"
+                        ),
+                        data={"key": key, "values": tuple(component)},
+                    )
+                )
+            anomaly_blocks.append(((PHASE_KEYED, key_pos, 0), keyed))
+
+        # --------------------------------------------------------------
+        # Transaction dependency edges.
+        fragment: Dict[Tuple[int, int, int], Evidence] = {}
+
+        def emit(u: int, v: int, evidence: Evidence) -> None:
+            if u != v:
+                fragment.setdefault((u, v, evidence.kind), evidence)
+
         # wr edges need no version order; they survive cyclic keys.
-        for value, readers in kv.readers.items():
+        for value, value_readers in readers.items():
             if value is INIT:
                 continue
-            writer = index.get((key, value))
+            writer = write_map.get(value)
             if writer is None:
                 continue
-            for reader in readers:
-                analysis.add_edge(
-                    writer.id,
-                    reader.id,
-                    Evidence(kind=WR, key=key, value=value),
-                )
-        if kv.cyclic:
-            continue
-        for (v1, v2), _sources in kv.edges.items():
-            writer2 = index.get((key, v2))
-            if writer2 is None or not anchored(writer2, key, v2):
-                continue
-            if v1 is not INIT:
-                writer1 = index.get((key, v1))
-                if writer1 is not None and anchored(writer1, key, v1):
-                    analysis.add_edge(
-                        writer1.id,
+            for reader in value_readers:
+                emit(writer.id, reader.id, Evidence(kind=WR, key=key, value=value))
+        if not cyclic:
+            for (v1, v2), _sources_seen in version_edges.items():
+                writer2 = write_map.get(v2)
+                if writer2 is None or not anchored(writer2, v2):
+                    continue
+                if v1 is not INIT:
+                    writer1 = write_map.get(v1)
+                    if writer1 is not None and anchored(writer1, v1):
+                        emit(
+                            writer1.id,
+                            writer2.id,
+                            Evidence(kind=WW, key=key, value=v2, prev_value=v1),
+                        )
+                for reader in readers.get(v1, ()):
+                    emit(
+                        reader.id,
                         writer2.id,
-                        Evidence(kind=WW, key=key, value=v2, prev_value=v1),
+                        Evidence(kind=RW, key=key, value=v2, prev_value=v1),
                     )
-            for reader in kv.readers.get(v1, ()):
-                analysis.add_edge(
-                    reader.id,
-                    writer2.id,
-                    Evidence(kind=RW, key=key, value=v2, prev_value=v1),
-                )
+        edge_blocks = [((0, key_pos, 0), fragment)] if fragment else []
 
-    # ------------------------------------------------------------------
-    # Lost updates: two committed read-modify-writes off one version.
-    for key, kv in versions.items():
+        # --------------------------------------------------------------
+        # Lost updates: two committed read-modify-writes off one version.
         rmw_writers: Dict[Any, List[Tuple[Any, Transaction]]] = {}
-        for (v1, v2), sources_seen in kv.edges.items():
+        for (v1, v2), sources_seen in version_edges.items():
             if "write-follows-read" not in sources_seen:
                 continue
-            writer = index.get((key, v2))
+            writer = write_map.get(v2)
             if writer is not None and writer.committed:
                 rmw_writers.setdefault(v1, []).append((v2, writer))
+        late = []
         for v1, writers in rmw_writers.items():
             distinct = {w.id: (v2, w) for v2, w in writers}
             if len(distinct) >= 2:
                 ids = tuple(sorted(distinct))
                 values = sorted((v2 for v2, _w in distinct.values()), key=repr)
-                analysis.anomalies.append(
+                late.append(
                     Anomaly(
                         name=LOST_UPDATE,
                         txns=ids,
@@ -393,11 +396,42 @@ def analyze_rw_register(
                         data={"key": key, "base": v1, "values": tuple(values)},
                     )
                 )
+        if late:
+            anomaly_blocks.append(((PHASE_LATE, key_pos, 0), late))
 
-    if process_edges:
-        add_process_edges(analysis)
-    if realtime_edges:
-        add_realtime_edges(analysis)
-    if timestamp_edges:
-        add_timestamp_edges(analysis)
+        return anomaly_blocks, edge_blocks
+
+
+def analyze_rw_register(
+    history: History,
+    process_edges: bool = True,
+    realtime_edges: bool = True,
+    timestamp_edges: bool = False,
+    sources: Sequence[str] = DEFAULT_SOURCES,
+    shards: int = 1,
+    profile: Profile = None,
+) -> Analysis:
+    """Full rw-register analysis of an observation.
+
+    ``sources`` selects the version-order inference rules (§5.2); see
+    :data:`DEFAULT_SOURCES`.  ``process_edges`` / ``realtime_edges`` control
+    the *transaction*-level session and real-time edges, independent of
+    whether those orders also feed version inference.  ``shards`` fans the
+    per-key work across a process pool (``1`` = inline).
+    """
+    # Validated here too (not just in the plan) so the historical error
+    # ordering holds: bad sources outrank workload-validation errors.
+    _validate_sources(sources)
+    analysis = Analysis(history=history, workload="rw-register")
+    validate_workload(history.transactions, "rw-register")
+    with stage(profile, "analyze/index"):
+        plan = RwRegisterPlan(history, sources=sources)
+    execute_plan(plan, analysis, shards=shards, profile=profile)
+    with stage(profile, "analyze/orders"):
+        if process_edges:
+            add_process_edges(analysis)
+        if realtime_edges:
+            add_realtime_edges(analysis)
+        if timestamp_edges:
+            add_timestamp_edges(analysis)
     return analysis

@@ -39,7 +39,7 @@ def _coerce_type(value: Union[str, OpType]) -> OpType:
 class History:
     """An observation: operations in index order plus their transaction views."""
 
-    __slots__ = ("ops", "transactions", "_by_id")
+    __slots__ = ("ops", "transactions", "_by_id", "_index")
 
     def __init__(self, ops: Sequence[Op]) -> None:
         self.ops: Tuple[Op, ...] = tuple(ops)
@@ -48,6 +48,7 @@ class History:
         self._by_id: Dict[int, Transaction] = {
             t.id: t for t in self.transactions
         }
+        self._index = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -202,6 +203,19 @@ class History:
     @property
     def max_index(self) -> int:
         return self.ops[-1].index if self.ops else -1
+
+    def index(self):
+        """The cached single-pass :class:`~repro.history.index.HistoryIndex`.
+
+        Built lazily on first use and shared by every analyzer, so the
+        per-key regrouping of the observation happens exactly once per
+        history (and, under fork-based sharding, once per *check*).
+        """
+        if self._index is None:
+            from .index import HistoryIndex
+
+            self._index = HistoryIndex(self.transactions)
+        return self._index
 
     def __repr__(self) -> str:
         return f"History({len(self.transactions)} txns, {len(self.ops)} ops)"

@@ -1,0 +1,238 @@
+"""A single-pass, per-key index over a history: the analyzers' shared substrate.
+
+Elle's dependency inference (§4–§5) is per-key by construction — version
+orders, write indexes, and wr/ww/rw edges are all derived key by key — yet
+the raw :class:`~repro.history.history.History` is transaction-major.  Every
+analyzer used to re-walk the full transaction list several times to regroup
+it (and the rw-register process/realtime version sources rescanned *all*
+transactions once *per key*, an O(keys × txns) pass).
+
+A :class:`HistoryIndex` makes one pass over the transactions and materializes
+everything the per-key analysis plans in :mod:`repro.core.keyspace` consume:
+
+* ``key_order`` / ``read_key_order`` — deterministic key orderings (first
+  appearance over all micro-ops, and over committed value-bearing reads);
+* one :class:`KeySlice` per key with the key's micro-op stream, write
+  stream, first-writer-wins ``write_map``, committed reads, committed
+  *interacting* transactions, and their real-time interaction intervals;
+* ``by_process`` — each logical process's transactions in invocation order;
+* the first write-uniqueness violations (duplicate writes, ``None`` register
+  writes), recorded rather than raised so each workload can apply its own
+  recoverability contract.
+
+The index is cached on the history (``history.index()``), so the checker,
+plans, and any future streaming/incremental layers share one build.  Because
+a fork-based worker pool inherits the parent's memory, sharded analysis
+reuses the same index without re-scanning per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .ops import MicroOp, Transaction
+
+#: One positioned micro-op: (transaction, mop position within it, micro-op).
+Slotted = Tuple[Transaction, int, MicroOp]
+
+
+class KeySlice:
+    """Everything one key contributed to a history, in observation order.
+
+    ``ops`` is the key's full micro-op stream — ``(txn, mop_seq, mop)``
+    triples in transaction-major order, all completion types included.
+    ``writes`` and ``committed_reads`` are the filtered substreams the
+    analyzers consume most.  ``write_map`` maps written value -> first
+    writing transaction (the per-key restriction of the global write index).
+    ``interacting`` lists the committed transactions that touched the key,
+    in invocation order, and ``intervals`` their real-time occupation
+    ``(txn, invoke_index, complete_index)`` triples — the inputs to the
+    per-key process/realtime version-order sources (§5.2).
+    """
+
+    __slots__ = (
+        "key",
+        "pos",
+        "ops",
+        "writes",
+        "committed_reads",
+        "write_map",
+        "interacting",
+    )
+
+    def __init__(self, key: Any, pos: int) -> None:
+        self.key = key
+        self.pos = pos
+        self.ops: List[Slotted] = []
+        self.writes: List[Slotted] = []
+        self.committed_reads: List[Slotted] = []
+        self.write_map: Dict[Any, Transaction] = {}
+        self.interacting: List[Transaction] = []
+
+    @property
+    def intervals(self) -> List[Tuple[Transaction, int, int]]:
+        """Real-time intervals of committed interacting transactions."""
+        return [
+            (t, t.invoke_index, t.complete_index)
+            for t in self.interacting
+            if t.complete_index is not None
+        ]
+
+    def interacting_by_process(self) -> Dict[int, List[Transaction]]:
+        """Committed interacting transactions grouped by process, in order."""
+        by_process: Dict[int, List[Transaction]] = {}
+        for txn in self.interacting:
+            by_process.setdefault(txn.process, []).append(txn)
+        return by_process
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeySlice({self.key!r}, ops={len(self.ops)}, "
+            f"writes={len(self.writes)}, reads={len(self.committed_reads)})"
+        )
+
+
+class HistoryIndex:
+    """Per-key views of a history, computed in one pass and shared."""
+
+    __slots__ = (
+        "transactions",
+        "slices",
+        "key_order",
+        "read_key_order",
+        "by_process",
+        "first_duplicate",
+        "first_none_write",
+    )
+
+    def __init__(self, transactions: Sequence[Transaction]) -> None:
+        self.transactions: Tuple[Transaction, ...] = tuple(transactions)
+        self.slices: Dict[Any, KeySlice] = {}
+        self.key_order: List[Any] = []
+        self.read_key_order: List[Any] = []
+        #: First (seq, key, value, first_writer, second_writer) write
+        #: collision between two distinct transactions, if any.
+        self.first_duplicate: Optional[Tuple[int, Any, Any, Transaction, Transaction]] = None
+        #: First (seq, key, txn) write of ``None``, if any (registers reserve
+        #: ``None`` for the initial version).
+        self.first_none_write: Optional[Tuple[int, Any, Transaction]] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def _build(self) -> None:
+        slices = self.slices
+        key_order = self.key_order
+        read_key_order = self.read_key_order
+        read_keys_seen = set()
+        by_process: Dict[int, List[Transaction]] = {}
+        seq = 0
+        for txn in self.transactions:
+            by_process.setdefault(txn.process, []).append(txn)
+            committed = txn.committed
+            for mop_seq, mop in enumerate(txn.mops):
+                key = mop.key
+                entry = slices.get(key)
+                if entry is None:
+                    entry = slices[key] = KeySlice(key, len(key_order))
+                    key_order.append(key)
+                slot = (txn, mop_seq, mop)
+                entry.ops.append(slot)
+                if mop.is_read:
+                    if committed:
+                        entry.committed_reads.append(slot)
+                        if mop.value is not None and key not in read_keys_seen:
+                            read_keys_seen.add(key)
+                            read_key_order.append(key)
+                else:
+                    entry.writes.append(slot)
+                    value = mop.value
+                    if value is None and self.first_none_write is None:
+                        self.first_none_write = (seq, key, txn)
+                    other = entry.write_map.setdefault(value, txn)
+                    if other is not txn and other.id != txn.id:
+                        if self.first_duplicate is None:
+                            self.first_duplicate = (seq, key, value, other, txn)
+                if committed and (
+                    not entry.interacting or entry.interacting[-1] is not txn
+                ):
+                    entry.interacting.append(txn)
+                seq += 1
+        self.by_process = by_process
+
+    # ------------------------------------------------------------------
+    # Access
+
+    def slice(self, key: Any) -> KeySlice:
+        return self.slices[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.slices
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HistoryIndex({len(self.transactions)} txns, "
+            f"{len(self.slices)} keys)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Write-uniqueness contracts (recoverability, §4.1.1)
+
+#: Per-workload phrasing for the duplicate-write error: (noun, verb, tail).
+_UNIQUENESS_STYLE = {
+    "list-append": (
+        "element", "appended",
+        "list-append histories require globally unique appends",
+    ),
+    "rw-register": (
+        "value", "written",
+        "rw-register histories require unique writes per key",
+    ),
+    "grow-set": (
+        "element", "added",
+        "grow-set histories require globally unique adds",
+    ),
+}
+
+
+def duplicate_write_error(
+    workload: str, key: Any, value: Any, first: Transaction, second: Transaction
+) -> WorkloadError:
+    """The workload-specific broken-recoverability error for one collision."""
+    noun, verb, tail = _UNIQUENESS_STYLE[workload]
+    return WorkloadError(
+        f"{noun} {value!r} {verb} to key {key!r} by "
+        f"both T{first.id} and T{second.id}; {tail}"
+    )
+
+
+def none_write_error(key: Any, txn: Transaction) -> WorkloadError:
+    """Registers reserve ``None`` for the initial version (§5.2)."""
+    return WorkloadError(
+        f"T{txn.id} writes None to key {key!r}; None denotes "
+        "the initial version and may not be written"
+    )
+
+
+def check_unique_writes(index: HistoryIndex, workload: str) -> None:
+    """Raise the first recoverability violation, in observation order.
+
+    ``rw-register`` additionally rejects writes of ``None``; whichever
+    violation appears first in the history wins, matching the historical
+    transaction-major write-index build.
+    """
+    dup = index.first_duplicate
+    if workload == "rw-register":
+        none = index.first_none_write
+        if none is not None and (dup is None or none[0] < dup[0]):
+            _seq, key, txn = none
+            raise none_write_error(key, txn)
+    if dup is not None:
+        _seq, key, value, first, second = dup
+        raise duplicate_write_error(workload, key, value, first, second)

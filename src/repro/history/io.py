@@ -1,0 +1,152 @@
+"""JSON-lines serialization of histories: real observations in, verdicts out.
+
+The built-in simulator is one source of histories; real Jepsen-style test
+harnesses are another.  This module gives both a common interchange format:
+one operation per line, in history-index order, so files stream and diff
+naturally and a partially-written file is still a readable prefix::
+
+    {"index": 0, "type": "invoke", "process": 0, "value": [["append", "x", 1]]}
+    {"index": 1, "type": "ok", "process": 0, "value": [["append", "x", 1]]}
+
+Each line carries ``index``, ``type`` (``invoke`` / ``ok`` / ``fail`` /
+``info``), ``process``, ``value`` (the micro-op list, or ``null`` when an
+indeterminate completion lost its results), and optionally ``ts`` (the
+database-exposed timestamp of §5.1).  Micro-ops serialize as ``[fn, key,
+value]`` triples, mirroring the EDN micro-op vectors Jepsen histories use.
+
+JSON has no tuples or sets, so two observed-value forms get tagged on the
+wire: grow-set reads (``{"set": [...]}``, restored as ``frozenset``) and —
+for completeness — nested tuples (``{"tuple": [...]}``).  List-append read
+values round-trip as plain JSON arrays and come back as tuples, the
+canonical in-memory form.
+
+``python -m repro --in history.jsonl`` checks a file instead of generating
+a workload; ``--dump-history`` writes the generated observation out.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Union
+
+from ..errors import HistoryError
+from .history import History
+from .ops import MicroOp, Op, OpType
+
+PathOrFile = Union[str, Path, io.IOBase]
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+
+def _encode_value(value: Any) -> Any:
+    """JSON-encode one micro-op argument / observed value."""
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {"set": sorted((_encode_value(v) for v in value), key=repr)}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Invert :func:`_encode_value`; sequences come back as tuples."""
+    if isinstance(value, list):
+        return tuple(_decode_value(v) for v in value)
+    if isinstance(value, dict):
+        if set(value) == {"set"}:
+            return frozenset(_decode_value(v) for v in value["set"])
+        if set(value) == {"tuple"}:
+            return tuple(_decode_value(v) for v in value["tuple"])
+        raise HistoryError(f"unrecognized tagged value {value!r}")
+    return value
+
+
+def _encode_op(op: Op) -> dict:
+    record = {
+        "index": op.index,
+        "type": op.type.value,
+        "process": op.process,
+        "value": None
+        if op.value is None
+        else [[m.fn, _encode_value(m.key), _encode_value(m.value)] for m in op.value],
+    }
+    if op.ts is not None:
+        record["ts"] = op.ts
+    return record
+
+
+def _decode_op(record: dict, line_number: int) -> Op:
+    try:
+        mops = record["value"]
+        if mops is not None:
+            mops = tuple(
+                MicroOp(fn, _decode_value(key), _decode_value(value))
+                for fn, key, value in mops
+            )
+        return Op(
+            index=record["index"],
+            type=OpType(record["type"]),
+            process=record["process"],
+            value=mops,
+            ts=record.get("ts"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise HistoryError(
+            f"line {line_number}: malformed operation record: {exc}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Public API
+
+def dump_ops(ops: Iterable[Op], fh) -> int:
+    """Write operations to an open text file; returns the count written."""
+    count = 0
+    for op in ops:
+        fh.write(json.dumps(_encode_op(op), separators=(", ", ": ")))
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def load_ops(fh) -> Iterator[Op]:
+    """Yield operations from an open text file (blank lines ignored)."""
+    for line_number, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise HistoryError(f"line {line_number}: not JSON: {exc}") from None
+        yield _decode_op(record, line_number)
+
+
+def dump_history(history: History, target: PathOrFile) -> int:
+    """Serialize a history to JSON lines; returns the operation count."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            return dump_ops(history.ops, fh)
+    return dump_ops(history.ops, target)
+
+
+def load_history(source: PathOrFile) -> History:
+    """Load a history from JSON lines (validating pairing as usual)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return History(list(load_ops(fh)))
+    return History(list(load_ops(source)))
+
+
+def dumps_history(history: History) -> str:
+    """The JSON-lines text of a history (round-trip: :func:`loads_history`)."""
+    buffer = io.StringIO()
+    dump_ops(history.ops, buffer)
+    return buffer.getvalue()
+
+
+def loads_history(text: str) -> History:
+    """Parse a history from JSON-lines text."""
+    return History(list(load_ops(io.StringIO(text))))

@@ -11,20 +11,31 @@ from typing import Dict, Tuple
 
 from .history import History, HistoryBuilder, append, r
 
-_FIG4_CACHE: Dict[Tuple[int, int, int], History] = {}
+_FIG4_CACHE: Dict[Tuple[int, int, int, str, int], History] = {}
 
 
-def figure4_history(length: int, concurrency: int, seed: int = 42) -> History:
+def figure4_history(
+    length: int,
+    concurrency: int,
+    seed: int = 42,
+    workload: str = "list-append",
+    active_keys: int = 100,
+    max_writes_per_key: int = 100,
+) -> History:
     """A serializable history in the Figure 4 configuration (§7.5).
 
-    100 active keys, up to 100 appends per key, transactions of 1-5
-    operations, run against the serializable MVCC simulator.  Results are
-    cached per (length, concurrency, seed): benchmarks reuse them freely.
+    100 active keys by default, up to 100 writes per key, transactions of
+    1-5 operations, run against the serializable MVCC simulator.
+    ``workload`` selects the datatype (the paper's scale experiment used
+    list-append; the rw-register benchmark reuses the same shape), and the
+    key knobs reshape the keyspace (lowering ``max_writes_per_key``
+    multiplies the number of distinct keys the run touches).  Results are
+    cached per configuration: benchmarks reuse them freely.
     """
     from .db import Isolation
     from .generator import RunConfig, WorkloadConfig, run_workload
 
-    key = (length, concurrency, seed)
+    key = (length, concurrency, seed, workload, active_keys, max_writes_per_key)
     if key not in _FIG4_CACHE:
         _FIG4_CACHE[key] = run_workload(
             RunConfig(
@@ -32,7 +43,10 @@ def figure4_history(length: int, concurrency: int, seed: int = 42) -> History:
                 concurrency=concurrency,
                 isolation=Isolation.SERIALIZABLE,
                 workload=WorkloadConfig(
-                    active_keys=100, max_writes_per_key=100, max_txn_len=5
+                    workload=workload,
+                    active_keys=active_keys,
+                    max_writes_per_key=max_writes_per_key,
+                    max_txn_len=5,
                 ),
                 seed=seed,
             )

@@ -1,0 +1,156 @@
+"""The single-pass HistoryIndex versus brute-force regroupings."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.history import History, HistoryBuilder, append, r, w
+from repro.history.index import HistoryIndex, check_unique_writes
+from repro.history.ops import READ
+
+
+def generated(workload="list-append", seed=21, txns=200):
+    return run_workload(
+        RunConfig(
+            txns=txns,
+            concurrency=6,
+            workload=WorkloadConfig(workload=workload, active_keys=5),
+            seed=seed,
+            crash_probability=0.05,
+        )
+    )
+
+
+class TestIndexContents:
+    def test_cached_on_history(self):
+        history = History.of(("ok", 0, [append("x", 1)]))
+        assert history.index() is history.index()
+
+    def test_key_order_is_first_appearance(self):
+        history = History.of(
+            ("ok", 0, [append("b", 1), append("a", 2)]),
+            ("ok", 1, [append("c", 3), r("a", [2])]),
+        )
+        assert history.index().key_order == ["b", "a", "c"]
+
+    def test_read_key_order_requires_committed_valued_read(self):
+        history = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("fail", 1, [r("y", [9])]),        # aborted read doesn't count
+            ("ok", 2, [r("z", None)]),          # unknown value doesn't count
+            ("ok", 3, [r("y", []), r("x", [1])]),
+        )
+        assert history.index().read_key_order == ["y", "x"]
+
+    def test_slices_partition_every_mop(self):
+        history = generated()
+        index = history.index()
+        total = sum(len(s.ops) for s in index.slices.values())
+        assert total == sum(len(t.mops) for t in history.transactions)
+        for key, slice_ in index.slices.items():
+            for txn, mop_seq, mop in slice_.ops:
+                assert mop.key == key
+                assert txn.mops[mop_seq] is mop
+
+    def test_writes_and_committed_reads_match_brute_force(self):
+        history = generated(seed=3)
+        index = history.index()
+        for key, slice_ in index.slices.items():
+            expected_writes = [
+                (t.id, seq)
+                for t in history.transactions
+                for seq, m in enumerate(t.mops)
+                if m.key == key and m.is_write
+            ]
+            assert [(t.id, seq) for t, seq, _m in slice_.writes] == expected_writes
+            expected_reads = [
+                (t.id, seq)
+                for t in history.transactions
+                if t.committed
+                for seq, m in enumerate(t.mops)
+                if m.key == key and m.fn == READ
+            ]
+            assert [
+                (t.id, seq) for t, seq, _m in slice_.committed_reads
+            ] == expected_reads
+
+    def test_interacting_matches_brute_force(self):
+        history = generated(seed=8)
+        index = history.index()
+        for key, slice_ in index.slices.items():
+            expected = [
+                t.id
+                for t in history.transactions
+                if t.committed and any(m.key == key for m in t.mops)
+            ]
+            assert [t.id for t in slice_.interacting] == expected
+
+    def test_write_map_keeps_first_writer(self):
+        history = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("fail", 1, [append("x", 2)]),
+        )
+        write_map = history.index().slices["x"].write_map
+        assert write_map[1].id == 0
+        assert write_map[2].aborted
+
+    def test_by_process_in_invocation_order(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.invoke(1, [append("x", 2)])
+        b.ok(1, [append("x", 2)])
+        b.ok(0, [append("x", 1)])
+        b.invoke(0, [append("x", 3)])
+        b.ok(0, [append("x", 3)])
+        index = b.build().index()
+        assert [t.id for t in index.by_process[0]] == [0, 4]
+        assert [t.id for t in index.by_process[1]] == [1]
+
+    def test_intervals_exclude_indeterminate(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.ok(0, [append("x", 1)])
+        b.invoke(1, [append("x", 2)])  # never completes
+        history = b.build()
+        # the indeterminate transaction is not committed, so it is not
+        # interacting at all
+        assert [t.id for t in history.index().slices["x"].interacting] == [0]
+
+
+class TestUniquenessContracts:
+    def test_duplicate_across_transactions_detected(self):
+        history = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 1)]),
+        )
+        index = history.index()
+        assert index.first_duplicate is not None
+        with pytest.raises(WorkloadError, match="globally unique appends"):
+            check_unique_writes(index, "list-append")
+        with pytest.raises(WorkloadError, match="unique writes per key"):
+            check_unique_writes(index, "rw-register")
+
+    def test_same_transaction_rewrite_allowed(self):
+        history = History.of(("ok", 0, [append("x", 1), append("x", 1)]))
+        index = history.index()
+        assert index.first_duplicate is None
+        check_unique_writes(index, "list-append")
+
+    def test_none_write_rejected_for_registers_only(self):
+        history = History.of(("ok", 0, [w("x", None)]))
+        index = history.index()
+        with pytest.raises(WorkloadError, match="initial version"):
+            check_unique_writes(index, "rw-register")
+
+    def test_earlier_violation_wins(self):
+        history = History.of(
+            ("ok", 0, [w("x", None)]),
+            ("ok", 1, [w("y", 1)]),
+            ("ok", 2, [w("y", 1)]),
+        )
+        with pytest.raises(WorkloadError, match="initial version"):
+            check_unique_writes(history.index(), "rw-register")
+
+    def test_clean_histories_pass(self):
+        history = generated(seed=4)
+        check_unique_writes(history.index(), "list-append")

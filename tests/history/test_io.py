@@ -1,0 +1,160 @@
+"""JSON-lines history serialization: round trips and the CLI path."""
+
+import io
+
+import pytest
+
+from repro import check
+from repro.errors import HistoryError
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.history import (
+    History,
+    HistoryBuilder,
+    add,
+    append,
+    dump_history,
+    dumps_history,
+    inc,
+    load_history,
+    loads_history,
+    r,
+    w,
+)
+from repro.history.ops import OpType
+
+
+def builder_history():
+    b = HistoryBuilder()
+    b.invoke(0, [append("x", 1), r("y", None)], ts=3)
+    b.invoke(1, [r("x", None)])
+    b.ok(0, [append("x", 1), r("y", [])], ts=7)
+    b.fail(1)
+    b.invoke(2, [append("x", 2)])  # never completes: info
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_text_round_trip_is_stable(self):
+        history = builder_history()
+        text = dumps_history(history)
+        assert dumps_history(loads_history(text)) == text
+
+    def test_transactions_survive(self):
+        history = builder_history()
+        back = loads_history(dumps_history(history))
+        assert len(back) == len(history)
+        for orig, loaded in zip(history.transactions, back.transactions):
+            assert loaded.id == orig.id
+            assert loaded.process == orig.process
+            assert loaded.type == orig.type
+            assert loaded.invoke_index == orig.invoke_index
+            assert loaded.complete_index == orig.complete_index
+            assert loaded.start_ts == orig.start_ts
+            assert loaded.commit_ts == orig.commit_ts
+            assert [(m.fn, m.key, m.value) for m in loaded.mops] == [
+                (m.fn, m.key, tuple(m.value) if isinstance(m.value, list) else m.value)
+                for m in orig.mops
+            ]
+
+    def test_file_round_trip(self, tmp_path):
+        history = builder_history()
+        path = tmp_path / "history.jsonl"
+        count = dump_history(history, path)
+        assert count == history.op_count
+        assert load_history(path).op_count == history.op_count
+
+    def test_open_file_objects_work(self):
+        history = builder_history()
+        buffer = io.StringIO()
+        dump_history(history, buffer)
+        buffer.seek(0)
+        assert load_history(buffer).op_count == history.op_count
+
+    @pytest.mark.parametrize(
+        "workload", ["list-append", "rw-register", "grow-set", "counter"]
+    )
+    def test_generated_histories_check_identically(self, workload):
+        history = run_workload(
+            RunConfig(
+                txns=150,
+                concurrency=5,
+                workload=WorkloadConfig(workload=workload, active_keys=4),
+                seed=13,
+            )
+        )
+        reloaded = loads_history(dumps_history(history))
+        original = check(history, workload=workload)
+        again = check(reloaded, workload=workload)
+        assert again.valid == original.valid
+        assert again.anomaly_types == original.anomaly_types
+        assert [a.message for a in again.anomalies] == [
+            a.message for a in original.anomalies
+        ]
+
+    def test_grow_set_read_values_round_trip_as_frozensets(self):
+        history = History.of(
+            ("ok", 0, [add("s", 1), add("s", 2)]),
+            ("ok", 1, [r("s", frozenset({1, 2}))]),
+        )
+        back = loads_history(dumps_history(history))
+        observed = back.transactions[1].mops[0].value
+        assert observed == frozenset({1, 2})
+
+    def test_register_and_counter_values(self):
+        history = History.of(
+            ("ok", 0, [w("k", 5), inc("c", 2)]),
+            ("ok", 1, [r("k", 5), r("c", 2)]),
+        )
+        back = loads_history(dumps_history(history))
+        assert [m.value for m in back.transactions[1].mops] == [5, 2]
+
+
+class TestMalformedInput:
+    def test_not_json(self):
+        with pytest.raises(HistoryError, match="not JSON"):
+            loads_history("not json at all\n")
+
+    def test_missing_fields(self):
+        with pytest.raises(HistoryError, match="malformed"):
+            loads_history('{"index": 0}\n')
+
+    def test_unknown_type(self):
+        with pytest.raises(HistoryError, match="malformed"):
+            loads_history(
+                '{"index": 0, "type": "explode", "process": 0, "value": []}\n'
+            )
+
+    def test_unknown_tag(self):
+        with pytest.raises(HistoryError):
+            loads_history(
+                '{"index": 0, "type": "invoke", "process": 0, '
+                '"value": [["r", 1, {"mystery": []}]]}\n'
+            )
+
+    def test_blank_lines_ignored(self):
+        history = builder_history()
+        text = "\n" + dumps_history(history).replace("\n", "\n\n")
+        assert loads_history(text).op_count == history.op_count
+
+    def test_pairing_still_validated(self):
+        # A completion with no invocation is rejected by History itself.
+        with pytest.raises(HistoryError):
+            loads_history(
+                '{"index": 0, "type": "ok", "process": 0, "value": []}\n'
+            )
+
+
+class TestOpEncoding:
+    def test_ts_preserved_only_when_present(self):
+        history = builder_history()
+        text = dumps_history(history)
+        lines = text.strip().split("\n")
+        assert '"ts": 3' in lines[0]
+        assert "ts" not in lines[1]
+
+    def test_info_completion_with_lost_values(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1)])
+        b.info(0, None)
+        back = loads_history(dumps_history(b.build()))
+        assert back.transactions[0].type is OpType.INFO

@@ -1,0 +1,170 @@
+"""The sharding oracle: ``shards=N`` is byte-identical to sequential.
+
+The keyspace-partitioned analysis pipeline promises that partitioning is
+purely an execution strategy — every batch merge is deterministic, so a
+sharded run must reproduce the sequential analysis *exactly*: same
+anomalies in the same order with the same messages, same graph (including
+node interning order, which cycle-witness selection depends on), same
+evidence, same verdict.  These tests pin that across all four workloads,
+multiple fault injectors, and randomized generator configurations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import check
+from repro.core import analyze
+from repro.db import FaunaInternal, Isolation, TiDBRetry, YugaByteStaleRead
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+
+WORKLOADS = ["list-append", "rw-register", "grow-set", "counter"]
+
+FAULTS = {
+    "none": None,
+    "tidb-retry": lambda rng: TiDBRetry(rng),
+    "yugabyte-stale-read": lambda rng: YugaByteStaleRead(
+        rng, probability=0.4, staleness=3
+    ),
+    "fauna-internal": lambda rng: FaunaInternal(rng, probability=0.4, staleness=2),
+}
+
+
+def make_history(workload, fault, seed, txns=250):
+    return run_workload(
+        RunConfig(
+            txns=txns,
+            concurrency=8,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(workload=workload, active_keys=6),
+            seed=seed,
+            crash_probability=0.02,
+            faults=FAULTS[fault],
+        )
+    )
+
+
+def analysis_signature(analysis):
+    """Everything inference produced, in order."""
+    return (
+        [(a.name, a.txns, a.message, tuple(sorted(a.data.items(), key=repr)))
+         for a in analysis.anomalies],
+        list(analysis.graph.nodes()),          # interning order matters
+        sorted(analysis.graph.edges()),
+        sorted(analysis.evidence.items()),
+    )
+
+
+def result_signature(result):
+    """The full verdict, including rendered cycle witnesses."""
+    return (
+        result.valid,
+        result.consistency_model,
+        result.anomaly_types,
+        tuple((a.name, a.txns, a.message) for a in result.anomalies),
+        frozenset(result.impossible),
+        frozenset(result.not_),
+        frozenset(result.but_possibly),
+    ) + analysis_signature(result.analysis)
+
+
+def check_options(workload):
+    if workload == "rw-register":
+        # Exercise every version-order source, including the per-key
+        # process/realtime streams.
+        return {
+            "sources": (
+                "initial-state",
+                "write-follows-read",
+                "process",
+                "realtime",
+            )
+        }
+    return {}
+
+
+class TestShardedCheckEquivalence:
+    """check(shards=N) == check(shards=1), everywhere."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("fault", ["tidb-retry", "fauna-internal"])
+    def test_faulty_histories(self, workload, fault):
+        history = make_history(workload, fault, seed=11)
+        kwargs = dict(
+            workload=workload,
+            consistency_model="serializable",
+            **check_options(workload),
+        )
+        sequential = check(history, shards=1, **kwargs)
+        for shards in (2, 3):
+            sharded = check(history, shards=shards, **kwargs)
+            assert result_signature(sharded) == result_signature(sequential)
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_clean_histories(self, workload):
+        history = make_history(workload, "none", seed=5)
+        sequential = check(history, workload=workload, shards=1)
+        sharded = check(history, workload=workload, shards=2)
+        assert result_signature(sharded) == result_signature(sequential)
+
+    def test_yugabyte_stale_read_list_append(self):
+        history = make_history("list-append", "yugabyte-stale-read", seed=3)
+        sequential = check(history, shards=1)
+        sharded = check(history, shards=4)
+        assert result_signature(sharded) == result_signature(sequential)
+
+    def test_more_shards_than_keys(self):
+        history = make_history("list-append", "none", seed=2, txns=40)
+        sequential = check(history, shards=1)
+        sharded = check(history, shards=64)
+        assert result_signature(sharded) == result_signature(sequential)
+
+
+class TestShardedAnalyzeEquivalence:
+    """The raw Analysis (pre-cycle-search) is identical too."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_analysis_identical(self, workload):
+        history = make_history(workload, "tidb-retry", seed=29)
+        sequential = analyze(history, workload=workload, shards=1)
+        sharded = analyze(history, workload=workload, shards=2)
+        assert analysis_signature(sharded) == analysis_signature(sequential)
+
+
+class TestRandomizedEquivalence:
+    """Hypothesis-driven sweep over generator configurations."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        workload=st.sampled_from(WORKLOADS),
+        fault=st.sampled_from(sorted(FAULTS)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        shards=st.integers(min_value=2, max_value=4),
+        isolation=st.sampled_from(
+            [
+                Isolation.SERIALIZABLE,
+                Isolation.SNAPSHOT_ISOLATION,
+                Isolation.READ_COMMITTED,
+            ]
+        ),
+    )
+    def test_random_runs(self, workload, fault, seed, shards, isolation):
+        history = run_workload(
+            RunConfig(
+                txns=120,
+                concurrency=5,
+                isolation=isolation,
+                workload=WorkloadConfig(workload=workload, active_keys=4),
+                seed=seed,
+                crash_probability=0.05,
+                faults=FAULTS[fault],
+            )
+        )
+        kwargs = dict(workload=workload, **check_options(workload))
+        sequential = check(history, shards=1, **kwargs)
+        sharded = check(history, shards=shards, **kwargs)
+        assert result_signature(sharded) == result_signature(sequential)

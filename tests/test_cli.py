@@ -84,3 +84,52 @@ class TestMain:
             "--seed", "7",
         ])
         assert code == 0
+
+    def test_shards_flag_same_verdict(self, capsys):
+        args = [
+            "--quiet",
+            "--txns", "400",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ]
+        code = main(args)
+        sequential = capsys.readouterr().out
+        code_sharded = main(args + ["--shards", "2"])
+        sharded = capsys.readouterr().out
+        assert code == code_sharded == 1
+        assert sharded == sequential
+
+    def test_dump_and_reload_history(self, tmp_path, capsys):
+        path = tmp_path / "observation.jsonl"
+        code = main([
+            "--quiet",
+            "--txns", "150",
+            "--seed", "9",
+            "--dump-history", str(path),
+        ])
+        generated = capsys.readouterr().out
+        assert code == 0
+        assert path.exists()
+        code = main(["--quiet", "--in", str(path)])
+        reloaded = capsys.readouterr().out
+        assert code == 0
+        assert reloaded == generated
+
+    def test_faulty_history_survives_the_wire(self, tmp_path, capsys):
+        path = tmp_path / "faulty.jsonl"
+        args = [
+            "--txns", "500",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ]
+        code = main(args + ["--dump-history", str(path)])
+        direct = capsys.readouterr().out
+        assert code == 1
+        code = main(["--in", str(path), "--model", "snapshot-isolation"])
+        reloaded = capsys.readouterr().out
+        assert code == 1
+        assert reloaded == direct
