@@ -6,7 +6,6 @@ output contains the paper's clauses.  ``python
 benchmarks/bench_fig2_explanation.py`` prints both artifacts.
 """
 
-import pytest
 
 from repro import check, cycle_dot
 from repro.core.anomalies import CycleAnomaly

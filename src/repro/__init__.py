@@ -32,8 +32,11 @@ from .core import (
     Anomaly,
     CheckResult,
     CycleAnomaly,
+    StreamingChecker,
+    StreamUpdate,
     analyze,
     check,
+    check_stream,
     cycle_dot,
     render_cycle,
 )
@@ -67,12 +70,15 @@ __all__ = [
     "Op",
     "OpType",
     "ReproError",
+    "StreamUpdate",
+    "StreamingChecker",
     "Transaction",
     "WorkloadError",
     "add",
     "analyze",
     "append",
     "check",
+    "check_stream",
     "cycle_dot",
     "inc",
     "r",

@@ -11,10 +11,18 @@ counterexample, and exits non-zero when the requested model is violated —
 suitable for CI pipelines the way Jepsen tests are.
 
 Real observations work too: ``--in history.jsonl`` checks a JSON-lines
-history captured from an actual system instead of generating one, and
-``--dump-history out.jsonl`` saves whatever was checked for replay.
-``--shards N`` fans the per-key dependency inference across N worker
-processes (identical verdicts; pays off in proportion to available cores).
+history captured from an actual system instead of generating one (``--in -``
+reads stdin), and ``--dump-history out.jsonl`` saves whatever was checked
+for replay.  ``--shards N`` fans the per-key dependency inference across N
+worker processes (identical verdicts; pays off in proportion to available
+cores).
+
+``--follow`` switches to the streaming incremental checker: operations are
+consumed in chunks of ``--chunk`` (from ``--in``/stdin, or from the
+generated workload), each chunk re-checks the observed prefix incrementally
+— only keys whose slices changed are re-analyzed — and a one-line verdict
+delta is printed per chunk.  The final verdict is byte-identical to the
+batch check of the same operations.
 """
 
 from __future__ import annotations
@@ -23,11 +31,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import Profile, check
+from .core import Profile, StreamingChecker, check
 from .core.consistency import ALL_MODELS, SERIALIZABLE
 from .db import INJECTORS, Isolation, Windowed
 from .generator import RunConfig, WorkloadConfig, run_workload
-from .history import dump_history, load_history
+from .history import dump_history, iter_op_chunks, load_history
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="check a JSON-lines history file instead of generating a "
-        "workload (generator options are ignored)",
+        "workload ('-' reads stdin; generator options are ignored)",
     )
     parser.add_argument(
         "--dump-history",
@@ -108,52 +116,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the checked history to PATH as JSON lines",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the history through the incremental checker, "
+        "re-checking the observed prefix after every chunk and printing "
+        "per-chunk verdict deltas (final verdict identical to batch)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=1000,
+        metavar="OPS",
+        help="operations per streaming chunk in --follow mode "
+        "(default: 1000)",
+    )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-
-    fault_factory = None
-    if args.fault is not None:
-        injector_cls = INJECTORS[args.fault]
-        if args.fault_window:
-            def fault_factory(rng, _cls=injector_cls):
-                return Windowed(_cls(rng), period=args.fault_window)
-        else:
-            def fault_factory(rng, _cls=injector_cls):
-                return _cls(rng)
-
-    if args.in_path is not None:
-        history = load_history(args.in_path)
-    else:
-        config = RunConfig(
-            txns=args.txns,
-            concurrency=args.concurrency,
-            isolation=Isolation(args.isolation),
-            workload=WorkloadConfig(
-                workload=args.workload,
-                active_keys=args.keys,
-                max_writes_per_key=args.writes_per_key,
-            ),
-            seed=args.seed,
-            crash_probability=args.crash_probability,
-            expose_timestamps=args.timestamps,
-            faults=fault_factory,
-        )
-        history = run_workload(config)
-    if args.dump_history is not None:
-        dump_history(history, args.dump_history)
-    profile = Profile() if args.profile else None
-    result = check(
-        history,
-        workload=args.workload,
-        consistency_model=args.model,
-        timestamp_edges=args.timestamps,
-        shards=args.shards,
-        profile=profile,
+def _generate(args, fault_factory):
+    """Run the simulated workload the generator options describe."""
+    config = RunConfig(
+        txns=args.txns,
+        concurrency=args.concurrency,
+        isolation=Isolation(args.isolation),
+        workload=WorkloadConfig(
+            workload=args.workload,
+            active_keys=args.keys,
+            max_writes_per_key=args.writes_per_key,
+        ),
+        seed=args.seed,
+        crash_probability=args.crash_probability,
+        expose_timestamps=args.timestamps,
+        faults=fault_factory,
     )
+    return run_workload(config)
 
+
+def _report(result, args, profile) -> int:
+    """Print the final verdict (shared by batch and follow modes)."""
     if args.quiet:
         verdict = "VALID" if result.valid else "INVALID"
         print(
@@ -166,6 +167,91 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(profile.report())
     return 0 if result.valid else 1
+
+
+def _follow(args, fault_factory, profile) -> int:
+    """Streaming mode: chunked ingest, per-chunk verdict deltas."""
+    checker = StreamingChecker(
+        workload=args.workload,
+        consistency_model=args.model,
+        timestamp_edges=args.timestamps,
+        profile=profile,
+    )
+    opened = None
+    if args.in_path is not None:
+        if args.in_path == "-":
+            chunks = iter_op_chunks(sys.stdin, args.chunk)
+        else:
+            opened = open(args.in_path, "r", encoding="utf-8")
+            chunks = iter_op_chunks(opened, args.chunk)
+    else:
+        ops = _generate(args, fault_factory).ops
+        chunks = (
+            list(ops[i:i + args.chunk])
+            for i in range(0, len(ops), args.chunk)
+        )
+    update = None
+    try:
+        for chunk in chunks:
+            update = checker.extend(chunk)
+            if not args.quiet:
+                print(update.summary(), flush=True)
+    finally:
+        if opened is not None:
+            opened.close()
+        # Dump whatever was ingested even when a chunk raised — the replay
+        # artifact matters most when something went wrong (batch mode
+        # likewise dumps before checking).
+        if args.dump_history is not None:
+            dump_history(checker.history, args.dump_history)
+    if update is None:  # empty stream: verdict on the empty observation
+        update = checker.extend(())
+    if not args.quiet:
+        print()
+    return _report(update.result, args, profile)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.follow and args.shards != 1:
+        parser.error("--shards is not supported with --follow "
+                     "(streaming analysis runs inline)")
+    if args.chunk <= 0:
+        parser.error("--chunk must be positive")
+
+    fault_factory = None
+    if args.fault is not None:
+        injector_cls = INJECTORS[args.fault]
+        if args.fault_window:
+            def fault_factory(rng, _cls=injector_cls):
+                return Windowed(_cls(rng), period=args.fault_window)
+        else:
+            def fault_factory(rng, _cls=injector_cls):
+                return _cls(rng)
+
+    profile = Profile() if args.profile else None
+    if args.follow:
+        return _follow(args, fault_factory, profile)
+
+    if args.in_path is not None:
+        if args.in_path == "-":
+            history = load_history(sys.stdin)
+        else:
+            history = load_history(args.in_path)
+    else:
+        history = _generate(args, fault_factory)
+    if args.dump_history is not None:
+        dump_history(history, args.dump_history)
+    result = check(
+        history,
+        workload=args.workload,
+        consistency_model=args.model,
+        timestamp_edges=args.timestamps,
+        shards=args.shards,
+        profile=profile,
+    )
+    return _report(result, args, profile)
 
 
 if __name__ == "__main__":

@@ -28,13 +28,12 @@ brute-force oracle used by the property-based soundness tests.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.objects import model_for
-from ..errors import WorkloadError
 from ..history import History, Transaction
-from ..history.ops import READ, OpType
+from ..history.ops import READ
 
 
 @dataclass

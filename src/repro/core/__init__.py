@@ -3,7 +3,13 @@
 from . import anomalies, consistency
 from .analysis import Analysis, Evidence
 from .anomalies import Anomaly, CycleAnomaly, sort_anomalies
-from .checker import CheckResult, analyze, check, register_analyzer
+from .checker import (
+    CheckResult,
+    analyze,
+    check,
+    finish_analysis,
+    register_analyzer,
+)
 from .cycle_search import classify_cycle, find_cycle_anomalies
 from .deps import (
     ALL_DEPS,
@@ -22,6 +28,7 @@ from .deps import (
 )
 from .counter_set import analyze_counter, analyze_grow_set, build_add_index
 from .explain import cycle_dot, explain_edge, render_cycle
+from .incremental import StreamingChecker, StreamUpdate, check_stream
 from .keyspace import (
     KeyspacePlan,
     ReadCheckStyle,
@@ -62,6 +69,8 @@ __all__ = [
     "KeyspacePlan",
     "ORDER_EDGES",
     "ReadCheckStyle",
+    "StreamUpdate",
+    "StreamingChecker",
     "ObjectModel",
     "PROCESS",
     "Profile",
@@ -85,6 +94,7 @@ __all__ = [
     "build_append_index",
     "build_write_index",
     "check",
+    "check_stream",
     "check_recoverable_read",
     "classify_cycle",
     "execute_plan",
@@ -95,6 +105,7 @@ __all__ = [
     "dep_name",
     "explain_edge",
     "find_cycle_anomalies",
+    "finish_analysis",
     "infer_key_orders",
     "is_prefix",
     "label_names",

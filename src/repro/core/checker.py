@@ -179,8 +179,7 @@ def check(
     ``sources`` for rw-register).
     """
     _validate_model(consistency_model)
-    stage = lambda name: _stage(profile, name)  # noqa: E731
-    with stage("analyze"):
+    with _stage(profile, "analyze"):
         analysis = analyze(
             history,
             workload=workload,
@@ -190,6 +189,23 @@ def check(
             profile=profile,
             **options,
         )
+    return finish_analysis(analysis, consistency_model, profile=profile)
+
+
+def finish_analysis(
+    analysis: Analysis,
+    consistency_model: str,
+    profile: Optional[Profile] = None,
+) -> CheckResult:
+    """Turn a completed analysis into a verdict: the checker's back half.
+
+    Freezes the inferred graph, runs the cycle search, renders Figure-2
+    explanations, and interprets every anomaly against the requested model.
+    Shared by :func:`check` and the streaming checker
+    (:mod:`repro.core.incremental`), so a streamed prefix's verdict is
+    assembled by exactly the batch code path.
+    """
+    stage = lambda name: _stage(profile, name)  # noqa: E731
     with stage("freeze"):
         csr = analysis.graph.freeze()
     if profile is not None:

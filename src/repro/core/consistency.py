@@ -16,7 +16,7 @@ be perfectly serializable while failing strict serializability.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 from . import anomalies as A
 

@@ -187,8 +187,12 @@ class CounterPlan(KeyspacePlan):
                                     f"{mop.value!r}, outside the feasible range "
                                     f"[{lo}, {hi}] of observed increments"
                                 ),
-                                data={"key": key, "value": mop.value,
-                                      "lo": lo, "hi": hi},
+                                data={
+                                    "key": key,
+                                    "value": mop.value,
+                                    "lo": lo,
+                                    "hi": hi,
+                                },
                             )
                         ],
                     )

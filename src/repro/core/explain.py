@@ -16,11 +16,11 @@ ordering, ending with the contradiction:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..graph import cycle_to_dot
 from ..history import Transaction
-from .analysis import Analysis, Evidence
+from .analysis import Analysis
 from .anomalies import CycleAnomaly
 from .deps import DEP_NAMES, PROCESS, REALTIME, RW, TIMESTAMP, WR, WW
 
@@ -70,7 +70,10 @@ def explain_edge(analysis: Analysis, u: int, v: int, bit: int) -> str:
 
 def _txn_line(txn: Transaction) -> str:
     mops = " ".join(repr(m) for m in txn.mops)
-    return f"T{txn.id} = {{:type :{txn.type.value}, :process {txn.process}, :value [{mops}]}}"
+    return (
+        f"T{txn.id} = {{:type :{txn.type.value}, "
+        f":process {txn.process}, :value [{mops}]}}"
+    )
 
 
 def render_cycle(analysis: Analysis, anomaly: CycleAnomaly) -> str:

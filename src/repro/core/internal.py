@@ -23,7 +23,7 @@ alone a mid-transaction shift of underlying state is legal, which is why
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..history.ops import ADD, APPEND, INCREMENT, READ, WRITE, Transaction
 from .anomalies import INTERNAL, Anomaly
@@ -115,7 +115,6 @@ def check_internal_grow_set(txn: Transaction) -> List[Anomaly]:
             if entry is not None:
                 kind, value = entry
                 if not value <= observed:
-                    missing = sorted(value - observed, key=repr)
                     anomalies.append(
                         _internal_anomaly(
                             txn, i, f"a superset of {set(value)}", set(observed)

@@ -200,6 +200,16 @@ class KeyspacePlan:
         """Keys to analyze, in the canonical (merge-defining) order."""
         return self._keys
 
+    def key_pos(self, key: Any) -> int:
+        """The merge position ``analyze_key`` tags this key's batches with.
+
+        The streaming checker caches per-key batches across history
+        extensions; a cached batch is reusable only while both the key's
+        slice *and* this position are unchanged (tags encode the position,
+        and the deterministic merge sorts by tag).
+        """
+        return self.index.slices[key].pos
+
     def analyze_key(self, key: Any) -> Batch:
         """All anomaly and edge batches derived from one key."""
         raise NotImplementedError

@@ -185,6 +185,9 @@ class ListAppendPlan(KeyspacePlan):
 
     # ------------------------------------------------------------------
 
+    def key_pos(self, key: Any) -> int:
+        return self._key_pos[key]
+
     def analyze_key(self, key: Any) -> Batch:
         slice_ = self.index.slices[key]
         write_map = slice_.write_map

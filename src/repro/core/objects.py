@@ -14,7 +14,7 @@ orders from reads.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Any, FrozenSet, Iterator, Tuple
 
 from ..history.ops import ADD, APPEND, INCREMENT, WRITE
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..graph import interval_precedence_edges
-from ..history import History
 from .analysis import Analysis, Evidence
 from .deps import PROCESS, REALTIME, TIMESTAMP
 

@@ -8,7 +8,7 @@ reads return scalars, not traces), so analyzers validate up front and raise
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..errors import WorkloadError
 from ..history import Transaction

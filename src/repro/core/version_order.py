@@ -16,7 +16,7 @@ trace of the final installed version).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..history.ops import READ, Transaction
 from .anomalies import INCOMPATIBLE_ORDER, Anomaly

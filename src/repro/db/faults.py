@@ -11,7 +11,7 @@ reproducible from a seed.
 from __future__ import annotations
 
 import random
-from typing import Any, Optional
+from typing import Any
 
 from .mvcc import DBTransaction, FaultInjector, MVCCDatabase
 

@@ -29,7 +29,7 @@ conflict handling, and validation to reproduce the case-study bugs.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..core.objects import ObjectModel
 from ..history.ops import MicroOp, READ

@@ -17,7 +17,6 @@ observe them in opposite orders — the long fork, which Elle detects and
 
 from __future__ import annotations
 
-from bisect import insort
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.objects import ObjectModel

@@ -13,7 +13,7 @@ reconstruction is needed.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from ..core.objects import ObjectModel
 

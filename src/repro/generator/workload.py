@@ -14,8 +14,8 @@ database fills them in.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..errors import GeneratorError
 from ..history.ops import ADD, APPEND, INCREMENT, WRITE, MicroOp, r

@@ -13,7 +13,7 @@ Nodes may be any hashable value; the checker uses integer transaction ids.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from .csr import CSRGraph
 

@@ -38,7 +38,8 @@ def graph_to_dot(
     lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
     for node in sorted(graph.nodes(), key=repr):
         lines.append(f"  {_quote(str(node))} [label={_quote(node_label(node))}];")
-    for u, v, label in sorted(graph.edges(mask), key=lambda e: (repr(e[0]), repr(e[1]))):
+    edge_key = lambda e: (repr(e[0]), repr(e[1]))  # noqa: E731
+    for u, v, label in sorted(graph.edges(mask), key=edge_key):
         text = _label_names(label & mask, edge_names)
         lines.append(f"  {_quote(str(u))} -> {_quote(str(v))} [label={_quote(text)}];")
     lines.append("}")

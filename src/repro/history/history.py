@@ -19,12 +19,46 @@ tests and examples don't need to spell out invoke/complete pairs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import HistoryError
 from .ops import COMPLETION_TYPES, MicroOp, Op, OpType, Transaction
 
 CompactTxn = Tuple[Union[str, OpType], int, Sequence[MicroOp]]
+
+
+class HistoryDelta(NamedTuple):
+    """What one :meth:`History.extend` call changed.
+
+    ``new`` lists transactions whose invocation arrived in this extension
+    (in invocation order, final state — an invoke paired with its completion
+    inside the same chunk appears here, already closed).  ``upgraded`` pairs
+    a provisional indeterminate transaction from an *earlier* extension with
+    its final form, now that its completion has been observed.
+    ``dirty_keys`` is the set of keys whose index slices changed — the
+    cache-invalidation signal for incremental consumers — or ``None`` when
+    the history had no cached index to extend (everything is then new).
+    """
+
+    new: Tuple[Transaction, ...]
+    upgraded: Tuple[Tuple[Transaction, Transaction], ...]
+    dirty_keys: Optional[frozenset] = None
+
+    @property
+    def changed(self) -> List[Transaction]:
+        """All transactions (final state) this extension touched, id order."""
+        txns = list(self.new) + [new for _old, new in self.upgraded]
+        txns.sort(key=lambda t: t.id)
+        return txns
 
 
 def _coerce_type(value: Union[str, OpType]) -> OpType:
@@ -37,18 +71,29 @@ def _coerce_type(value: Union[str, OpType]) -> OpType:
 
 
 class History:
-    """An observation: operations in index order plus their transaction views."""
+    """An observation: operations in index order plus their transaction views.
 
-    __slots__ = ("ops", "transactions", "_by_id", "_index")
+    Histories grow: :meth:`extend` appends further operations in place,
+    pairing new completions with invocations that were still pending — the
+    substrate of the streaming checker.  A built history is therefore always
+    equivalent to one built from all its operations at once; a pending
+    invocation is visible as a provisional indeterminate transaction until
+    (unless) its completion arrives.
+    """
 
-    def __init__(self, ops: Sequence[Op]) -> None:
-        self.ops: Tuple[Op, ...] = tuple(ops)
-        self._validate_indices()
-        self.transactions: List[Transaction] = self._pair()
-        self._by_id: Dict[int, Transaction] = {
-            t.id: t for t in self.transactions
-        }
+    __slots__ = ("ops", "transactions", "_by_id", "_index", "_pending", "_pos_by_id")
+
+    def __init__(self, ops: Sequence[Op] = ()) -> None:
+        self.ops: Tuple[Op, ...] = ()
+        self.transactions: List[Transaction] = []
+        self._by_id: Dict[int, Transaction] = {}
         self._index = None
+        #: Pending invocations: process -> invoke Op.
+        self._pending: Dict[int, Op] = {}
+        #: Transaction id -> position in ``transactions`` (invocation order,
+        #: so positions are stable as the history grows).
+        self._pos_by_id: Dict[int, int] = {}
+        self._apply(ops)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -100,21 +145,31 @@ class History:
         return cls(invokes + completes)
 
     # ------------------------------------------------------------------
-    # Pairing
+    # Pairing (incremental: __init__ and extend share one code path)
 
-    def _validate_indices(self) -> None:
-        last = None
-        for op in self.ops:
+    def _apply(self, new_ops: Sequence[Op]) -> HistoryDelta:
+        """Fold further operations into the pairing state.
+
+        Invocations create provisional indeterminate transactions at the end
+        of the (invocation-ordered) transaction list; completions replace the
+        provisional transaction in place.  Not atomic on error: a malformed
+        operation raises mid-way and leaves the history partially extended,
+        so callers that survive errors must treat the history as poisoned.
+        """
+        new_ops = tuple(new_ops)
+        transactions = self.transactions
+        pending = self._pending
+        by_id = self._by_id
+        pos_by_id = self._pos_by_id
+        last = self.ops[-1].index if self.ops else None
+        new_ids: Dict[int, None] = {}
+        upgraded: List[Tuple[Transaction, Transaction]] = []
+        for op in new_ops:
             if last is not None and op.index <= last:
                 raise HistoryError(
                     f"op indices must be strictly increasing; {op.index} after {last}"
                 )
             last = op.index
-
-    def _pair(self) -> List[Transaction]:
-        pending: Dict[int, Op] = {}
-        txns: List[Transaction] = []
-        for op in self.ops:
             if op.is_invoke:
                 if op.process in pending:
                     raise HistoryError(
@@ -122,6 +177,19 @@ class History:
                         f"index {pending[op.process].index} is still pending"
                     )
                 pending[op.process] = op
+                txn = Transaction(
+                    id=op.index,
+                    process=op.process,
+                    type=OpType.INFO,
+                    mops=tuple(op.value or ()),
+                    invoke_index=op.index,
+                    complete_index=None,
+                    start_ts=op.ts,
+                )
+                pos_by_id[txn.id] = len(transactions)
+                transactions.append(txn)
+                by_id[txn.id] = txn
+                new_ids[txn.id] = None
             else:
                 invoke = pending.pop(op.process, None)
                 if invoke is None:
@@ -130,33 +198,45 @@ class History:
                         "has no pending invocation"
                     )
                 mops = op.value if op.value is not None else invoke.value
-                txns.append(
-                    Transaction(
-                        id=invoke.index,
-                        process=op.process,
-                        type=op.type,
-                        mops=tuple(mops or ()),
-                        invoke_index=invoke.index,
-                        complete_index=op.index,
-                        start_ts=invoke.ts,
-                        commit_ts=op.ts if op.type is OpType.OK else None,
-                    )
-                )
-        # Unclosed invocations: outcome unknown.
-        for invoke in pending.values():
-            txns.append(
-                Transaction(
+                txn = Transaction(
                     id=invoke.index,
-                    process=invoke.process,
-                    type=OpType.INFO,
-                    mops=tuple(invoke.value or ()),
+                    process=op.process,
+                    type=op.type,
+                    mops=tuple(mops or ()),
                     invoke_index=invoke.index,
-                    complete_index=None,
+                    complete_index=op.index,
                     start_ts=invoke.ts,
+                    commit_ts=op.ts if op.type is OpType.OK else None,
                 )
+                position = pos_by_id[txn.id]
+                old = transactions[position]
+                transactions[position] = txn
+                by_id[txn.id] = txn
+                if txn.id not in new_ids:
+                    upgraded.append((old, txn))
+        self.ops += new_ops
+        return HistoryDelta(
+            new=tuple(by_id[i] for i in new_ids),
+            upgraded=tuple(upgraded),
+        )
+
+    def extend(self, new_ops: Sequence[Op]) -> HistoryDelta:
+        """Append further operations in place; the streaming ingest path.
+
+        Equivalent to having constructed the history from all operations at
+        once: new invocations become provisional indeterminate transactions,
+        and a completion for a previously pending invocation *upgrades* the
+        provisional transaction to its final form.  The cached
+        :meth:`index`, if built, is extended in place rather than rebuilt.
+        Returns the :class:`HistoryDelta` describing what changed.
+        """
+        delta = self._apply(new_ops)
+        if self._index is not None and (delta.new or delta.upgraded):
+            dirty = self._index.extend(
+                self.transactions, delta.new, delta.upgraded
             )
-        txns.sort(key=lambda t: t.invoke_index)
-        return txns
+            delta = delta._replace(dirty_keys=frozenset(dirty))
+        return delta
 
     # ------------------------------------------------------------------
     # Access

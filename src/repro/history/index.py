@@ -24,17 +24,36 @@ The index is cached on the history (``history.index()``), so the checker,
 plans, and any future streaming/incremental layers share one build.  Because
 a fork-based worker pool inherits the parent's memory, sharded analysis
 reuses the same index without re-scanning per worker.
+
+**Incremental extension.**  ``History.extend`` keeps the cached index alive
+by calling :meth:`HistoryIndex.extend` with the appended transactions and
+any *upgraded* ones (a pending invocation whose completion arrived, turning
+a provisional indeterminate transaction into its final form).  New
+transactions append their slots to the affected slices in place; a slice
+touched by an upgraded transaction is rebuilt from its own transaction list
+— never by re-scanning the whole history.  Every observation-order position
+is a ``(transaction position, micro-op position)`` pair, which is stable
+under append-only growth, so candidates recorded before an extension stay
+comparable with ones recorded after it.  Each slice carries a ``version``
+counter that bumps on any mutation; the streaming checker keys its per-key
+result cache on it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import WorkloadError
 from .ops import MicroOp, Transaction
 
 #: One positioned micro-op: (transaction, mop position within it, micro-op).
 Slotted = Tuple[Transaction, int, MicroOp]
+
+#: An observation-order position: (transaction position, micro-op position).
+#: Lexicographic comparison equals the historical transaction-major scan
+#: order, and — unlike a flat running counter — stays stable when the
+#: transaction list grows or a transaction's micro-ops are re-scanned.
+Seq = Tuple[int, int]
 
 
 class KeySlice:
@@ -49,6 +68,14 @@ class KeySlice:
     in invocation order, and ``intervals`` their real-time occupation
     ``(txn, invoke_index, complete_index)`` triples — the inputs to the
     per-key process/realtime version-order sources (§5.2).
+
+    ``version`` counts mutations (appended slots or rebuilds); any cached
+    derivation from the slice is valid exactly while the version matches.
+    ``first_seq`` / ``first_read_seq`` are the key's first appearance and
+    first committed value-bearing read, as :data:`Seq` positions; they
+    define the key orderings.  ``dup`` / ``none_write`` are the slice-local
+    write-uniqueness violation candidates (the index-wide first violation
+    is the minimum over slices).
     """
 
     __slots__ = (
@@ -59,16 +86,38 @@ class KeySlice:
         "committed_reads",
         "write_map",
         "interacting",
+        "version",
+        "first_seq",
+        "first_read_seq",
+        "dup",
+        "none_write",
     )
 
     def __init__(self, key: Any, pos: int) -> None:
         self.key = key
         self.pos = pos
+        self.version = 0
         self.ops: List[Slotted] = []
         self.writes: List[Slotted] = []
         self.committed_reads: List[Slotted] = []
         self.write_map: Dict[Any, Transaction] = {}
         self.interacting: List[Transaction] = []
+        self.first_seq: Optional[Seq] = None
+        self.first_read_seq: Optional[Seq] = None
+        self.dup: Optional[Tuple[Seq, Any, Any, Transaction, Transaction]] = None
+        self.none_write: Optional[Tuple[Seq, Any, Transaction]] = None
+
+    def _reset(self) -> None:
+        """Clear derived state before a rebuild (identity fields survive)."""
+        self.ops = []
+        self.writes = []
+        self.committed_reads = []
+        self.write_map = {}
+        self.interacting = []
+        self.first_seq = None
+        self.first_read_seq = None
+        self.dup = None
+        self.none_write = None
 
     @property
     def intervals(self) -> List[Tuple[Transaction, int, int]]:
@@ -102,8 +151,9 @@ class HistoryIndex:
         "key_order",
         "read_key_order",
         "by_process",
-        "first_duplicate",
-        "first_none_write",
+        "_pos",
+        "_proc_pos",
+        "_clock",
     )
 
     def __init__(self, transactions: Sequence[Transaction]) -> None:
@@ -111,56 +161,194 @@ class HistoryIndex:
         self.slices: Dict[Any, KeySlice] = {}
         self.key_order: List[Any] = []
         self.read_key_order: List[Any] = []
-        #: First (seq, key, value, first_writer, second_writer) write
-        #: collision between two distinct transactions, if any.
-        self.first_duplicate: Optional[Tuple[int, Any, Any, Transaction, Transaction]] = None
-        #: First (seq, key, txn) write of ``None``, if any (registers reserve
-        #: ``None`` for the initial version).
-        self.first_none_write: Optional[Tuple[int, Any, Transaction]] = None
-        self._build()
+        self.by_process: Dict[int, List[Transaction]] = {}
+        #: Transaction id -> position in ``transactions`` (stable: the list
+        #: is invocation-ordered and only ever grows at the end).
+        self._pos: Dict[int, int] = {}
+        #: Transaction id -> position within its process's ``by_process``
+        #: list, so an upgraded transaction can be swapped in place.
+        self._proc_pos: Dict[int, int] = {}
+        #: Index-wide monotonic mutation clock.  Slice versions are drawn
+        #: from it, so a version can never repeat — even when a slice is
+        #: deleted (an upgrade dropped its key) and later recreated, the
+        #: new slice's versions exceed every version the old one had.
+        #: Anything cached against a (key, version) pair stays sound.
+        self._clock = 0
+        for pos, txn in enumerate(self.transactions):
+            self._scan_txn(pos, txn)
+        self._regenerate_orders()
 
     # ------------------------------------------------------------------
     # Construction
 
-    def _build(self) -> None:
+    def _scan_txn(self, pos: int, txn: Transaction) -> None:
+        """Fold one transaction (at list position ``pos``) into the index."""
+        process_txns = self.by_process.setdefault(txn.process, [])
+        self._proc_pos[txn.id] = len(process_txns)
+        process_txns.append(txn)
+        self._pos[txn.id] = pos
         slices = self.slices
-        key_order = self.key_order
-        read_key_order = self.read_key_order
-        read_keys_seen = set()
-        by_process: Dict[int, List[Transaction]] = {}
-        seq = 0
-        for txn in self.transactions:
-            by_process.setdefault(txn.process, []).append(txn)
+        committed = txn.committed
+        for mop_seq, mop in enumerate(txn.mops):
+            key = mop.key
+            entry = slices.get(key)
+            if entry is None:
+                # Provisional position; _regenerate_orders renumbers.
+                entry = slices[key] = KeySlice(key, len(slices))
+            self._scan_slot(entry, pos, txn, mop_seq, mop, committed)
+
+    def _scan_slot(
+        self,
+        entry: KeySlice,
+        pos: int,
+        txn: Transaction,
+        mop_seq: int,
+        mop: MicroOp,
+        committed: bool,
+    ) -> None:
+        """Fold one micro-op slot into its key's slice."""
+        self._clock += 1
+        entry.version = self._clock
+        if entry.first_seq is None:
+            entry.first_seq = (pos, mop_seq)
+        slot = (txn, mop_seq, mop)
+        entry.ops.append(slot)
+        if mop.is_read:
+            if committed:
+                entry.committed_reads.append(slot)
+                if mop.value is not None and entry.first_read_seq is None:
+                    entry.first_read_seq = (pos, mop_seq)
+        else:
+            entry.writes.append(slot)
+            value = mop.value
+            if value is None and entry.none_write is None:
+                entry.none_write = ((pos, mop_seq), entry.key, txn)
+            other = entry.write_map.setdefault(value, txn)
+            if other is not txn and other.id != txn.id and entry.dup is None:
+                entry.dup = ((pos, mop_seq), entry.key, value, other, txn)
+        if committed and (
+            not entry.interacting or entry.interacting[-1] is not txn
+        ):
+            entry.interacting.append(txn)
+
+    def _regenerate_orders(self) -> None:
+        """Derive both key orderings from the slices' recorded positions.
+
+        Sorting by first-appearance position reproduces the historical
+        append order exactly (positions are unique and transaction-major),
+        while also absorbing the rare upgrade that shifts a key's first
+        committed read into the middle of the order.  Slice ``pos`` fields
+        are renumbered to match.
+        """
+        ordered = sorted(self.slices.values(), key=lambda s: s.first_seq)
+        self.key_order[:] = [s.key for s in ordered]
+        for i, entry in enumerate(ordered):
+            entry.pos = i
+        self.read_key_order[:] = [
+            s.key
+            for s in sorted(
+                (s for s in ordered if s.first_read_seq is not None),
+                key=lambda s: s.first_read_seq,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Incremental extension
+
+    def extend(
+        self,
+        transactions: Sequence[Transaction],
+        new_txns: Sequence[Transaction],
+        upgraded: Sequence[Tuple[Transaction, Transaction]],
+    ) -> Set[Any]:
+        """Fold appended and upgraded transactions in without a re-scan.
+
+        ``transactions`` is the history's full transaction list after the
+        extension; ``new_txns`` the transactions appended at its end (in
+        invocation order), and ``upgraded`` ``(old, new)`` pairs for
+        provisional indeterminate transactions whose completion arrived.
+        Slices touched only by appends grow in place; slices touched by an
+        upgrade are rebuilt from their own transaction set, because an
+        upgrade can change committed-read membership, write-map winners,
+        and interaction streams anywhere in the slice's stream.  Returns
+        the set of keys whose slices changed.
+        """
+        self.transactions = tuple(transactions)
+        pos_of = self._pos
+        dirty: Set[Any] = set()
+        extra_scan: Dict[Any, Set[int]] = {}
+        for old, new in upgraded:
+            self.by_process[new.process][self._proc_pos[new.id]] = new
+            position = pos_of[new.id]
+            for mop in old.mops:
+                dirty.add(mop.key)
+            for mop in new.mops:
+                dirty.add(mop.key)
+                extra_scan.setdefault(mop.key, set()).add(position)
+        for key in dirty:
+            self._rebuild_slice(key, extra_scan.get(key, ()))
+        base = len(self.transactions) - len(new_txns)
+        for offset, txn in enumerate(new_txns):
+            self._scan_txn(base + offset, txn)
+            for mop in txn.mops:
+                dirty.add(mop.key)
+        self._regenerate_orders()
+        return dirty
+
+    def _rebuild_slice(self, key: Any, extra_positions: Iterable[int]) -> None:
+        """Re-derive one slice from its own transactions, in position order.
+
+        ``extra_positions`` adds transactions the old slice never saw (an
+        upgrade whose completion introduced the key).  A slice left with no
+        slots (the upgrade dropped the key entirely) is deleted, exactly as
+        if the key had never appeared.
+        """
+        entry = self.slices.get(key)
+        if entry is None:
+            entry = self.slices[key] = KeySlice(key, len(self.slices))
+        positions = {self._pos[t.id] for t, _seq, _m in entry.ops}
+        positions.update(extra_positions)
+        entry._reset()
+        self._clock += 1
+        entry.version = self._clock  # dirty even if the rebuild is empty
+        transactions = self.transactions
+        for position in sorted(positions):
+            txn = transactions[position]
             committed = txn.committed
             for mop_seq, mop in enumerate(txn.mops):
-                key = mop.key
-                entry = slices.get(key)
-                if entry is None:
-                    entry = slices[key] = KeySlice(key, len(key_order))
-                    key_order.append(key)
-                slot = (txn, mop_seq, mop)
-                entry.ops.append(slot)
-                if mop.is_read:
-                    if committed:
-                        entry.committed_reads.append(slot)
-                        if mop.value is not None and key not in read_keys_seen:
-                            read_keys_seen.add(key)
-                            read_key_order.append(key)
-                else:
-                    entry.writes.append(slot)
-                    value = mop.value
-                    if value is None and self.first_none_write is None:
-                        self.first_none_write = (seq, key, txn)
-                    other = entry.write_map.setdefault(value, txn)
-                    if other is not txn and other.id != txn.id:
-                        if self.first_duplicate is None:
-                            self.first_duplicate = (seq, key, value, other, txn)
-                if committed and (
-                    not entry.interacting or entry.interacting[-1] is not txn
-                ):
-                    entry.interacting.append(txn)
-                seq += 1
-        self.by_process = by_process
+                if mop.key == key:
+                    self._scan_slot(entry, position, txn, mop_seq, mop, committed)
+        if not entry.ops:
+            del self.slices[key]
+
+    # ------------------------------------------------------------------
+    # Uniqueness candidates
+
+    @property
+    def first_duplicate(
+        self,
+    ) -> Optional[Tuple[Seq, Any, Any, Transaction, Transaction]]:
+        """First write collision between two distinct transactions, if any.
+
+        The winner is the earliest candidate across slices in observation
+        order — identical to the historical transaction-major scan.
+        """
+        best = None
+        for entry in self.slices.values():
+            cand = entry.dup
+            if cand is not None and (best is None or cand[0] < best[0]):
+                best = cand
+        return best
+
+    @property
+    def first_none_write(self) -> Optional[Tuple[Seq, Any, Transaction]]:
+        """First write of ``None``, if any (registers reserve ``None``)."""
+        best = None
+        for entry in self.slices.values():
+            cand = entry.none_write
+            if cand is not None and (best is None or cand[0] < best[0]):
+                best = cand
+        return best
 
     # ------------------------------------------------------------------
     # Access
@@ -187,15 +375,18 @@ class HistoryIndex:
 #: Per-workload phrasing for the duplicate-write error: (noun, verb, tail).
 _UNIQUENESS_STYLE = {
     "list-append": (
-        "element", "appended",
+        "element",
+        "appended",
         "list-append histories require globally unique appends",
     ),
     "rw-register": (
-        "value", "written",
+        "value",
+        "written",
         "rw-register histories require unique writes per key",
     ),
     "grow-set": (
-        "element", "added",
+        "element",
+        "added",
         "grow-set histories require globally unique adds",
     ),
 }

@@ -124,6 +124,28 @@ def load_ops(fh) -> Iterator[Op]:
         yield _decode_op(record, line_number)
 
 
+def iter_op_chunks(fh, chunk_size: int) -> Iterator[List[Op]]:
+    """Yield operations from an open text stream in lists of ``chunk_size``.
+
+    The streaming ingest path (``python -m repro --follow --chunk N``):
+    reads line by line, so it works on non-seekable sources — pipes,
+    sockets, ``stdin`` — and yields each chunk as soon as enough lines have
+    arrived.  The final chunk may be shorter.  The format is line-framed:
+    a truncated final line (a writer died mid-record) raises
+    :class:`~repro.errors.HistoryError` like any malformed line.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    batch: List[Op] = []
+    for op in load_ops(fh):
+        batch.append(op)
+        if len(batch) >= chunk_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
 def dump_history(history: History, target: PathOrFile) -> int:
     """Serialize a history to JSON lines; returns the operation count."""
     if isinstance(target, (str, Path)):

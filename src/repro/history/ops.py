@@ -18,8 +18,8 @@ Terminology follows the paper (§4.2.1) and Jepsen's conventions:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Tuple
 
 
 class OpType(enum.Enum):

@@ -1,6 +1,5 @@
 """Tests for the Knossos-style search baseline."""
 
-import pytest
 
 from repro.baselines import check_serializable, check_strict_serializable
 from repro.history import History, HistoryBuilder, append, r, w

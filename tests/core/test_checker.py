@@ -39,13 +39,6 @@ class TestCleanHistories:
 class TestG0:
     def test_write_cycle(self):
         # T0 and T1 each append to x and y; reads reveal opposite orders.
-        h = History.interleaved(
-            ("ok", 0, [append("x", 1), append("y", 1)]),
-            ("ok", 1, [append("x", 2), append("y", 2)]),
-        )
-        b = HistoryBuilder()
-        for op in h.ops:
-            pass
         # Build observation: x = [1,2] but y = [2,1].
         full = History.interleaved(
             ("ok", 0, [append("x", 1), append("y", 1)]),

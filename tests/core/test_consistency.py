@@ -115,7 +115,9 @@ class TestBoundaries:
         alive = strongest_satisfiable(["G2-item"])
         # SI survives write skew; its strongest strengthening is maximal.
         assert alive == {"strong-snapshot-isolation"}
-        assert "serializable" not in impossible_models([]) - impossible_models(["G2-item"])
+        assert "serializable" not in (
+            impossible_models([]) - impossible_models(["G2-item"])
+        )
 
     def test_no_anomalies_leaves_strict_serializable(self):
         assert strongest_satisfiable([]) == {"strict-serializable"}

@@ -1,10 +1,8 @@
 """Explanation rendering: Figure 2 (text) and Figure 3 (DOT) golden tests."""
 
-import pytest
 
 from repro.core import (
     PROCESS,
-    REALTIME,
     RW,
     WR,
     WW,

@@ -1,0 +1,174 @@
+"""Unit tests for the streaming incremental checker.
+
+The byte-identity oracle lives in
+``tests/properties/test_streaming_equivalence.py``; these tests pin the
+surrounding behavior — error semantics, stream poisoning, update contents,
+and the workload contracts a chunk can trip.
+"""
+
+import pytest
+
+from repro import History, WorkloadError, append, check, check_stream, r, w
+from repro.core.incremental import StreamingChecker
+from repro.errors import HistoryError
+from repro.history.ops import Op, OpType
+
+
+def ops_of(*txns):
+    return list(History.of(*txns).ops)
+
+
+class TestCheckStream:
+    def test_returns_final_verdict(self):
+        chunks = [
+            ops_of(("ok", 0, [append("x", 1)])),
+            ops_of(("ok", 1, [r("x", [1])])),
+        ]
+        # Indices collide across History.of chunks; renumber sequentially.
+        renumbered = []
+        idx = 0
+        for chunk in chunks:
+            out = []
+            for op in chunk:
+                out.append(Op(idx, op.type, op.process, op.value, op.ts))
+                idx += 1
+            renumbered.append(out)
+        result = check_stream(renumbered)
+        assert result.valid
+        assert len(result.analysis.history) == 2
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            check_stream([], workload="linked-list")
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            check_stream([], consistency_model="acid")
+
+    def test_plan_options_flow_through(self):
+        history = History.of(
+            ("ok", 0, [w("x", 1)]),
+            ("ok", 1, [r("x", 1)]),
+        )
+        result = check_stream(
+            [list(history.ops)],
+            workload="rw-register",
+            sources=("initial-state",),
+        )
+        assert result.valid
+        with pytest.raises(ValueError, match="unknown version-order sources"):
+            check_stream(
+                [list(history.ops)],
+                workload="rw-register",
+                sources=("vibes",),
+            )
+
+
+class TestErrorSemantics:
+    def test_workload_contract_raises_like_batch(self):
+        duplicate = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 1)]),
+        )
+        with pytest.raises(WorkloadError) as batch_err:
+            check(duplicate)
+        checker = StreamingChecker()
+        ops = list(duplicate.ops)
+        checker.extend(ops[:2])
+        with pytest.raises(WorkloadError) as stream_err:
+            checker.extend(ops[2:])
+        assert str(stream_err.value) == str(batch_err.value)
+
+    def test_poisoned_stream_re_raises(self):
+        checker = StreamingChecker()
+        with pytest.raises(HistoryError):
+            checker.extend(
+                [Op(0, OpType.OK, 0, (append("x", 1),))]  # orphan completion
+            )
+        with pytest.raises(HistoryError):
+            checker.extend(ops_of(("ok", 0, [append("x", 1)])))
+
+    def test_foreign_micro_ops_rejected_per_chunk(self):
+        checker = StreamingChecker(workload="list-append")
+        checker.extend(ops_of(("ok", 0, [append("x", 1)])))
+        with pytest.raises(WorkloadError, match="cannot interpret"):
+            checker.extend(
+                [
+                    Op(2, OpType.INVOKE, 1, (w("x", 2),)),
+                    Op(3, OpType.OK, 1, (w("x", 2),)),
+                ]
+            )
+
+
+class TestStreamUpdate:
+    def test_summary_mentions_new_anomalies(self):
+        checker = StreamingChecker()
+        checker.extend(ops_of(("ok", 0, [append("x", 1)])))
+        update = checker.extend(
+            [
+                Op(2, OpType.INVOKE, 1, (r("x", None),)),
+                Op(3, OpType.OK, 1, (r("x", (99,)),)),
+            ]
+        )
+        assert not update.result.valid
+        assert update.new_anomalies
+        assert "garbage-read" in update.summary()
+        assert update.chunk == 2
+        assert update.ops == 2
+
+    def test_counts_accumulate(self):
+        checker = StreamingChecker()
+        first = checker.extend(ops_of(("ok", 0, [append("x", 1)])))
+        assert (first.chunk, first.txns) == (1, 1)
+        second = checker.extend(
+            [
+                Op(2, OpType.INVOKE, 1, (append("x", 2),)),
+                Op(3, OpType.OK, 1, (append("x", 2),)),
+            ]
+        )
+        assert (second.chunk, second.txns) == (2, 2)
+        assert checker.result is second.result
+
+
+class TestSliceRecreation:
+    """A key deleted by an upgrade and later recreated must not serve a
+    stale cached batch (the slice version clock never repeats)."""
+
+    OPS = [
+        Op(0, OpType.INVOKE, 0, (w("a", 1),)),
+        Op(1, OpType.OK, 0, (w("a", 1),)),
+        Op(2, OpType.INVOKE, 1, (w("x", 1),)),  # provisional: touches x
+        Op(3, OpType.OK, 1, (w("a", 2),)),      # completion drops key x
+        Op(4, OpType.INVOKE, 2, (r("x", None),)),
+        Op(5, OpType.OK, 2, (r("x", 5),)),      # garbage read of x
+    ]
+
+    def test_streamed_verdict_matches_batch(self):
+        batch = check(History(self.OPS), workload="rw-register")
+        checker = StreamingChecker(workload="rw-register")
+        checker.extend(self.OPS[:3])
+        checker.extend(self.OPS[3:4])
+        update = checker.extend(self.OPS[4:])
+        assert update.result.valid == batch.valid
+        assert update.result.anomaly_types == batch.anomaly_types
+        assert [a.message for a in update.result.anomalies] == [
+            a.message for a in batch.anomalies
+        ]
+
+    def test_dropped_key_vanishes_from_index(self):
+        history = History(())
+        history.index()
+        history.extend(self.OPS[:3])
+        assert "x" in history.index().slices
+        delta = history.extend(self.OPS[3:4])
+        assert "x" in delta.dirty_keys
+        assert "x" not in history.index().slices
+
+    def test_delta_reports_dirty_keys(self):
+        history = History(())
+        history.index()
+        first = history.extend(self.OPS[:2])
+        assert first.dirty_keys == frozenset({"a"})
+        # No cached-index extension before the index is built:
+        fresh = History(())
+        assert fresh.extend(self.OPS[:2]).dirty_keys is None

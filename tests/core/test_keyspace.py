@@ -2,9 +2,8 @@
 
 import random
 
-import pytest
 
-from repro.core import WR, WW, analyze
+from repro.core import WW, analyze
 from repro.core.analysis import Analysis, Evidence
 from repro.core.anomalies import G1A, GARBAGE_READ, Anomaly
 from repro.core.keyspace import (

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import PROCESS, REALTIME, RW, WR, WW, analyze_list_append
 from repro.errors import WorkloadError
-from repro.history import History, HistoryBuilder, append, r
+from repro.history import History, append, r
 
 
 def analyze(*txns, **kw):

@@ -3,7 +3,7 @@
 from repro.core import PROCESS, REALTIME
 from repro.core.analysis import Analysis
 from repro.core.orders import add_process_edges, add_realtime_edges
-from repro.history import History, HistoryBuilder, append, r
+from repro.history import History, HistoryBuilder, append
 
 
 def analysis_for(history):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PROCESS, REALTIME, RW, WR, WW
+from repro.core import RW, WR, WW
 from repro.core.rw_register import analyze_rw_register, build_write_index
 from repro.errors import WorkloadError
 from repro.history import History, HistoryBuilder, r, w

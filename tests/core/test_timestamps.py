@@ -7,10 +7,9 @@ G-SI family — falsify snapshot isolation itself, even when the value edges
 alone would permit it.
 """
 
-import pytest
 
 from repro import check
-from repro.core import TIMESTAMP, analyze_list_append
+from repro.core import TIMESTAMP
 from repro.core.analysis import Analysis
 from repro.core.orders import add_timestamp_edges
 from repro.db import Isolation, YugaByteStaleRead

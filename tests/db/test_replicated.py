@@ -4,7 +4,6 @@ import pytest
 
 from repro import check
 from repro.core import RW, find_cycle_anomalies
-from repro.core.analysis import Analysis
 from repro.core.objects import AppendList
 from repro.db import ConflictAbort
 from repro.db.replicated import ReplicatedDatabase

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.generator import RunConfig, WorkloadConfig, run_workload
 from repro.history import History, HistoryBuilder, append, r, w
-from repro.history.index import HistoryIndex, check_unique_writes
+from repro.history.index import check_unique_writes
 from repro.history.ops import READ
 
 
@@ -154,3 +154,113 @@ class TestUniquenessContracts:
     def test_clean_histories_pass(self):
         history = generated(seed=4)
         check_unique_writes(history.index(), "list-append")
+
+
+def index_signature(index):
+    """Everything the analyzers consume, keyed for comparison."""
+    return (
+        [(t.id, t.type.value) for t in index.transactions],
+        list(index.key_order),
+        list(index.read_key_order),
+        {
+            key: (
+                [(t.id, seq) for t, seq, _m in sl.ops],
+                [(t.id, seq) for t, seq, _m in sl.writes],
+                [(t.id, seq) for t, seq, _m in sl.committed_reads],
+                {repr(v): t.id for v, t in sl.write_map.items()},
+                [t.id for t in sl.interacting],
+                sl.pos,
+            )
+            for key, sl in index.slices.items()
+        },
+        {p: [t.id for t in txns] for p, txns in index.by_process.items()},
+        index.first_duplicate and index.first_duplicate[0],
+        index.first_none_write and index.first_none_write[0],
+    )
+
+
+class TestIncrementalExtension:
+    """History.extend keeps the cached index identical to a fresh build."""
+
+    def extended(self, ops, cuts):
+        history = History(())
+        history.index()  # force the index so every extend goes incremental
+        bounds = [0] + list(cuts) + [len(ops)]
+        for a, b in zip(bounds, bounds[1:]):
+            history.extend(ops[a:b])
+        return history
+
+    @pytest.mark.parametrize("workload", ["list-append", "rw-register"])
+    def test_matches_fresh_build(self, workload):
+        history = generated(workload=workload, seed=5)
+        ops = list(history.ops)
+        for cuts in ([97], [31, 64, 300], list(range(50, len(ops), 50))):
+            incremental = self.extended(ops, cuts)
+            assert index_signature(incremental.index()) == index_signature(
+                History(ops).index()
+            )
+
+    def test_upgrade_rebuilds_touched_slices(self):
+        b = HistoryBuilder()
+        b.invoke(0, [append("x", 1), r("y", None)])
+        b.invoke(1, [r("x", None)])
+        history = History(())
+        index = history.index()
+        history.extend(b.build().ops)
+        # Both transactions are provisionally indeterminate: no committed
+        # reads anywhere yet.
+        assert index.slices["x"].committed_reads == []
+        assert history.transactions[0].indeterminate
+        versions = {k: s.version for k, s in index.slices.items()}
+        # Completions arrive: the provisional transactions upgrade in place.
+        from repro.history.ops import Op, OpType
+        history.extend([
+            Op(2, OpType.OK, 0, (append("x", 1), r("y", []))),
+            Op(3, OpType.OK, 1, (r("x", (1,)),)),
+        ])
+        assert history.transactions[0].committed
+        assert [t.id for t, _s, _m in index.slices["x"].committed_reads] == [1]
+        assert index.slices["y"].committed_reads != []
+        for key in ("x", "y"):
+            assert index.slices[key].version > versions[key]
+
+    def test_upgrade_can_shift_read_key_order(self):
+        from repro.history.ops import Op, OpType
+        ops = [
+            Op(0, OpType.INVOKE, 0, (r("a", None),)),
+            Op(1, OpType.INVOKE, 1, (r("b", (0,)),)),
+            Op(2, OpType.OK, 1, (r("b", ()),)),
+        ]
+        history = History(())
+        history.index()
+        history.extend(ops)
+        assert history.index().read_key_order == ["b"]
+        # T0's completion reveals a committed read of "a" at position 0,
+        # before "b" in observation order.
+        history.extend([Op(3, OpType.OK, 0, (r("a", ()),))])
+        assert history.index().read_key_order == ["a", "b"]
+        assert index_signature(history.index()) == index_signature(
+            History(ops + [Op(3, OpType.OK, 0, (r("a", ()),))]).index()
+        )
+
+    def test_extend_without_cached_index(self):
+        history = generated(seed=12)
+        ops = list(history.ops)
+        incremental = History(ops[:100])  # no index yet
+        incremental.extend(ops[100:])
+        assert index_signature(incremental.index()) == index_signature(
+            History(ops).index()
+        )
+
+    def test_duplicate_write_detected_across_chunks(self):
+        history = History(())
+        history.index()
+        history.extend(History.of(("ok", 0, [append("x", 1)])).ops)
+        assert history.index().first_duplicate is None
+        from repro.history.ops import Op, OpType
+        history.extend([
+            Op(2, OpType.INVOKE, 1, (append("x", 1),)),
+            Op(3, OpType.OK, 1, (append("x", 1),)),
+        ])
+        with pytest.raises(WorkloadError, match="globally unique appends"):
+            check_unique_writes(history.index(), "list-append")

@@ -158,3 +158,106 @@ class TestOpEncoding:
         b.info(0, None)
         back = loads_history(dumps_history(b.build()))
         assert back.transactions[0].type is OpType.INFO
+
+
+class TestStreamingSources:
+    """Non-seekable inputs: pipes, stdin, and chunked ingestion."""
+
+    def test_load_history_from_pipe(self):
+        import os
+        import threading
+
+        history = builder_history()
+        text = dumps_history(history)
+        read_fd, write_fd = os.pipe()
+
+        def writer():
+            with os.fdopen(write_fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            with os.fdopen(read_fd, "r", encoding="utf-8") as fh:
+                assert not fh.seekable()
+                back = load_history(fh)
+        finally:
+            thread.join()
+        assert back.op_count == history.op_count
+        assert dumps_history(back) == text
+
+    def test_iter_op_chunks_from_pipe(self):
+        import os
+        import threading
+
+        from repro.history import iter_op_chunks
+
+        history = builder_history()
+        text = dumps_history(history)
+        read_fd, write_fd = os.pipe()
+
+        def writer():
+            with os.fdopen(write_fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            with os.fdopen(read_fd, "r", encoding="utf-8") as fh:
+                chunks = list(iter_op_chunks(fh, 2))
+        finally:
+            thread.join()
+        assert [len(c) for c in chunks[:-1]] == [2] * (len(chunks) - 1)
+        assert sum(len(c) for c in chunks) == history.op_count
+        flat = [op for chunk in chunks for op in chunk]
+        assert [op.index for op in flat] == [op.index for op in history.ops]
+
+    def test_iter_op_chunks_rejects_nonpositive_size(self):
+        from repro.history import iter_op_chunks
+
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_op_chunks(io.StringIO(""), 0))
+
+    def test_truncated_final_line_raises(self):
+        history = builder_history()
+        text = dumps_history(history)
+        truncated = text[: text.rindex("\n") + 1] + '{"index": 99, "typ'
+        with pytest.raises(HistoryError, match="not JSON"):
+            loads_history(truncated)
+
+    def test_truncated_line_mid_stream_raises_with_line_number(self):
+        from repro.history import iter_op_chunks
+
+        history = builder_history()
+        lines = dumps_history(history).splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        fh = io.StringIO("\n".join(lines) + "\n")
+        with pytest.raises(HistoryError, match="line 3"):
+            list(iter_op_chunks(fh, 2))
+
+    def test_interleaved_chunk_round_trip(self):
+        """Chunked dump + chunked load reassemble the exact history."""
+        from repro.history import iter_op_chunks
+        from repro.history.io import dump_ops
+
+        history = run_workload(
+            RunConfig(
+                txns=120,
+                concurrency=5,
+                workload=WorkloadConfig(workload="list-append", active_keys=4),
+                seed=5,
+            )
+        )
+        ops = list(history.ops)
+        buffer = io.StringIO()
+        for start in range(0, len(ops), 33):  # writer emits in bursts
+            dump_ops(ops[start:start + 33], buffer)
+        buffer.seek(0)
+        chunks = list(iter_op_chunks(buffer, 50))  # reader re-frames
+        rebuilt = History(())
+        for chunk in chunks:
+            rebuilt.extend(chunk)
+        assert dumps_history(rebuilt) == dumps_history(history)
+        assert [t.id for t in rebuilt.transactions] == [
+            t.id for t in history.transactions
+        ]

@@ -20,7 +20,7 @@ from repro.core.objects import AppendList, is_prefix
 from repro.db import ConflictAbort, Isolation, MVCCDatabase, VersionedStore
 from repro.db.mvcc import WouldBlock
 from repro.db.replicated import ReplicatedDatabase
-from repro.history import append, r
+from repro.history import append
 
 
 @given(

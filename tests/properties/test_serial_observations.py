@@ -10,7 +10,6 @@ A second property corrupts exactly one read in such an observation and
 asserts the checker notices *something* — a weak completeness check.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

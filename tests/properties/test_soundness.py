@@ -13,7 +13,6 @@ property exercises the same code paths as production use, not synthetic
 graphs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

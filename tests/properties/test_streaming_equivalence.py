@@ -1,0 +1,242 @@
+"""The streaming oracle: chunked incremental checking == one-shot batch.
+
+The streaming checker promises that chunking is purely an ingestion
+strategy: after the last chunk, ``check_stream`` must reproduce the batch
+``check`` of the concatenated operations *exactly* — same verdict, same
+anomalies in the same order with the same messages and evidence bytes, same
+graph (including node interning order, which cycle-witness selection
+depends on).  Stronger still, after *every* chunk the emitted result must
+equal a batch check of the prefix observed so far — chunk boundaries may
+fall anywhere, including between a transaction's invocation and its
+completion, which exercises the provisional-indeterminate upgrade path.
+
+These tests pin both properties across all four workloads, the fault
+injectors, and hypothesis-chosen chunk boundaries.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import check, check_stream
+from repro.core.incremental import StreamingChecker
+from repro.db import FaunaInternal, Isolation, TiDBRetry, YugaByteStaleRead
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.history import History
+
+WORKLOADS = ["list-append", "rw-register", "grow-set", "counter"]
+
+FAULTS = {
+    "none": None,
+    "tidb-retry": lambda rng: TiDBRetry(rng),
+    "yugabyte-stale-read": lambda rng: YugaByteStaleRead(
+        rng, probability=0.4, staleness=3
+    ),
+    "fauna-internal": lambda rng: FaunaInternal(rng, probability=0.4, staleness=2),
+}
+
+
+def make_history(workload, fault, seed, txns=200):
+    return run_workload(
+        RunConfig(
+            txns=txns,
+            concurrency=8,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(workload=workload, active_keys=6),
+            seed=seed,
+            crash_probability=0.02,
+            faults=FAULTS[fault],
+        )
+    )
+
+
+def analysis_signature(analysis):
+    """Everything inference produced, in order."""
+    return (
+        [(a.name, a.txns, a.message, tuple(sorted(a.data.items(), key=repr)))
+         for a in analysis.anomalies],
+        list(analysis.graph.nodes()),          # interning order matters
+        sorted(analysis.graph.edges()),
+        sorted(analysis.evidence.items()),
+    )
+
+
+def result_signature(result):
+    """The full verdict, including rendered cycle witnesses."""
+    return (
+        result.valid,
+        result.consistency_model,
+        result.anomaly_types,
+        tuple((a.name, a.txns, a.message) for a in result.anomalies),
+        frozenset(result.impossible),
+        frozenset(result.not_),
+        frozenset(result.but_possibly),
+    ) + analysis_signature(result.analysis)
+
+
+def check_options(workload):
+    if workload == "rw-register":
+        # Exercise every version-order source, including the per-key
+        # process/realtime streams the incremental rebuilds must refresh.
+        return {
+            "sources": (
+                "initial-state",
+                "write-follows-read",
+                "process",
+                "realtime",
+            )
+        }
+    return {}
+
+
+def chunked(ops, cut_points):
+    cuts = [0] + sorted({c % (len(ops) + 1) for c in cut_points}) + [len(ops)]
+    return [ops[a:b] for a, b in zip(cuts, cuts[1:]) if b > a]
+
+
+class TestFinalEquivalence:
+    """check_stream(chunks) == check(all ops), byte-identical."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("fault", ["tidb-retry", "fauna-internal"])
+    def test_faulty_histories(self, workload, fault):
+        history = make_history(workload, fault, seed=11)
+        ops = list(history.ops)
+        kwargs = dict(workload=workload, **check_options(workload))
+        batch = check(history, **kwargs)
+        for width in (37, 251):
+            chunks = [ops[i:i + width] for i in range(0, len(ops), width)]
+            streamed = check_stream(chunks, **kwargs)
+            assert result_signature(streamed) == result_signature(batch)
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_clean_histories(self, workload):
+        history = make_history(workload, "none", seed=5)
+        ops = list(history.ops)
+        batch = check(history, workload=workload)
+        streamed = check_stream(
+            [ops[i:i + 101] for i in range(0, len(ops), 101)],
+            workload=workload,
+        )
+        assert result_signature(streamed) == result_signature(batch)
+
+    def test_single_chunk_stream(self):
+        history = make_history("list-append", "yugabyte-stale-read", seed=3)
+        batch = check(history)
+        streamed = check_stream([list(history.ops)])
+        assert result_signature(streamed) == result_signature(batch)
+
+    def test_one_op_chunks(self):
+        # Every boundary possible at once: each op is its own chunk, so
+        # every transaction is provisionally indeterminate for a while.
+        history = make_history("list-append", "tidb-retry", seed=7, txns=60)
+        ops = list(history.ops)
+        batch = check(history)
+        streamed = check_stream([[op] for op in ops])
+        assert result_signature(streamed) == result_signature(batch)
+
+    def test_empty_stream_is_the_empty_observation(self):
+        batch = check(History(()))
+        streamed = check_stream([])
+        assert result_signature(streamed) == result_signature(batch)
+
+
+class TestPrefixEquivalence:
+    """After every chunk, the update equals a batch check of the prefix."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_every_prefix(self, workload):
+        history = make_history(workload, "tidb-retry", seed=29, txns=120)
+        ops = list(history.ops)
+        kwargs = dict(workload=workload, **check_options(workload))
+        checker = StreamingChecker(**kwargs)
+        seen = 0
+        for chunk in chunked(ops, (41, 97, 160, 233, 390)):
+            update = checker.extend(chunk)
+            seen += len(chunk)
+            prefix = check(History(ops[:seen]), **kwargs)
+            assert result_signature(update.result) == result_signature(prefix)
+
+
+class TestRandomizedEquivalence:
+    """Hypothesis-driven sweep over configurations and chunk boundaries."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        workload=st.sampled_from(WORKLOADS),
+        fault=st.sampled_from(sorted(FAULTS)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        cut_points=st.lists(
+            st.integers(min_value=1, max_value=2**16), max_size=8
+        ),
+        isolation=st.sampled_from(
+            [
+                Isolation.SERIALIZABLE,
+                Isolation.SNAPSHOT_ISOLATION,
+                Isolation.READ_COMMITTED,
+            ]
+        ),
+    )
+    def test_random_runs(self, workload, fault, seed, cut_points, isolation):
+        history = run_workload(
+            RunConfig(
+                txns=120,
+                concurrency=5,
+                isolation=isolation,
+                workload=WorkloadConfig(workload=workload, active_keys=4),
+                seed=seed,
+                crash_probability=0.05,
+                faults=FAULTS[fault],
+            )
+        )
+        ops = list(history.ops)
+        kwargs = dict(workload=workload, **check_options(workload))
+        batch = check(history, **kwargs)
+        streamed = check_stream(chunked(ops, cut_points), **kwargs)
+        assert result_signature(streamed) == result_signature(batch)
+
+
+class TestIncrementality:
+    """The cache actually works: untouched keys are not re-analyzed."""
+
+    def test_untouched_keys_reuse_cached_batches(self):
+        # A small writes-per-key budget rotates the keyspace, so early keys
+        # retire and later chunks never touch them again.
+        history = run_workload(
+            RunConfig(
+                txns=250,
+                concurrency=8,
+                workload=WorkloadConfig(
+                    workload="list-append",
+                    active_keys=4,
+                    max_writes_per_key=5,
+                ),
+                seed=23,
+            )
+        )
+        ops = list(history.ops)
+        checker = StreamingChecker()
+        first = checker.extend(ops[: len(ops) // 2])
+        assert first.reused_keys == 0  # nothing cached yet
+        second = checker.extend(ops[len(ops) // 2:])
+        # A rotating keyspace retires keys; retired slices must come from
+        # the cache rather than being re-analyzed.
+        assert second.reused_keys > 0
+
+    def test_updates_report_new_and_resolved_anomalies(self):
+        history = make_history("list-append", "tidb-retry", seed=11)
+        ops = list(history.ops)
+        checker = StreamingChecker(consistency_model="snapshot-isolation")
+        total_new = 0
+        last = None
+        for chunk in chunked(ops, (300, 700, 1100)):
+            last = checker.extend(chunk)
+            total_new += len(last.new_anomalies)
+        assert last is not None and not last.result.valid
+        # Every final anomaly appeared as "new" at some chunk (minus any
+        # that appeared and later resolved, hence >=).
+        assert total_new >= len(last.result.anomalies)

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import WW, WR, RW, PROCESS, REALTIME, classify_cycle
+from repro.core import WW, WR, RW, PROCESS, REALTIME
 from repro.core.consistency import (
     ALL_MODELS,
     ANOMALY_RULES_OUT,
@@ -14,7 +14,7 @@ from repro.core.consistency import (
 )
 from repro.core.cycle_search import find_cycle_anomalies
 from repro.core.objects import is_prefix, longest_common_prefix, trace
-from repro.graph import LabeledDiGraph, cycle_edges
+from repro.graph import LabeledDiGraph
 
 BITS = [WW, WR, RW, PROCESS, REALTIME]
 

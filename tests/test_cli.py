@@ -133,3 +133,59 @@ class TestMain:
         reloaded = capsys.readouterr().out
         assert code == 1
         assert reloaded == direct
+
+
+class TestFollowMode:
+    def test_follow_matches_batch_verdict(self, tmp_path, capsys):
+        path = tmp_path / "observation.jsonl"
+        args = [
+            "--txns", "400",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ]
+        code = main(args + ["--dump-history", str(path)])
+        batch = capsys.readouterr().out
+        assert code == 1
+        code = main([
+            "--in", str(path),
+            "--model", "snapshot-isolation",
+            "--follow", "--chunk", "150",
+        ])
+        followed = capsys.readouterr().out
+        assert code == 1
+        # Per-chunk progress lines precede the batch-identical final report.
+        assert followed.count("chunk ") >= 3
+        assert followed.endswith(batch) or batch.strip() in followed
+
+    def test_follow_from_stdin(self, tmp_path, capsys, monkeypatch):
+        import io as _io
+
+        path = tmp_path / "observation.jsonl"
+        code = main(["--quiet", "--txns", "100", "--seed", "7",
+                     "--dump-history", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        monkeypatch.setattr(
+            "sys.stdin", _io.StringIO(path.read_text(encoding="utf-8"))
+        )
+        code = main(["--quiet", "--follow", "--chunk", "64", "--in", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VALID" in out
+
+    def test_follow_generated_workload(self, capsys):
+        code = main(["--txns", "120", "--seed", "5",
+                     "--follow", "--chunk", "90"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chunk 1:" in out and "VALID" in out
+
+    def test_follow_rejects_shards(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--follow", "--shards", "2"])
+
+    def test_rejects_nonpositive_chunk(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--follow", "--chunk", "0"])
