@@ -17,6 +17,13 @@ non-zero when it is more than ``X`` times slower (absolute wall-clock on
 heterogeneous runners needs generous tolerances; the guard is for
 order-of-magnitude regressions, not percent drift).
 
+Each sequential batch row also records ``peak_mb`` — the peak
+``tracemalloc`` byte count of one full check, index build included,
+measured in a separate untimed run so tracing overhead never contaminates
+the ``seconds`` column.  The baseline guard compares it with its own
+(tighter) ``--mem-tolerance``, since allocation byte counts barely vary
+across machines.
+
 The rw-register rows run with *all four* version-order sources enabled
 (initial-state, write-follows-read, process, realtime), which exercises the
 per-key interaction streams of the ``HistoryIndex``: historically the
@@ -65,6 +72,20 @@ def _check_options(workload):
     return {}
 
 
+def _warm_optional_accelerators():  # pragma: no cover - manual
+    """Import numpy/scipy up front so one-time import cost stays out of rows.
+
+    The graph layer lazily imports both for its bulk CSR build and the
+    strongly-connected acyclicity screen; importing here keeps the first
+    timed row from paying ~0.2s of module initialization that every
+    subsequent check gets for free.
+    """
+    try:
+        import scipy.sparse.csgraph  # noqa: F401
+    except ImportError:
+        pass
+
+
 def _timed_check(history, workload, shards):  # pragma: no cover - manual
     import time
 
@@ -81,6 +102,32 @@ def _timed_check(history, workload, shards):  # pragma: no cover - manual
         **_check_options(workload),
     )
     return time.perf_counter() - start, result, profile
+
+
+def _peak_memory_check(history, workload):  # pragma: no cover - manual
+    """Peak traced memory (MB) of one sequential check, index build included.
+
+    Runs under ``tracemalloc`` — a separate, untimed run, because tracing
+    slows execution severalfold and must never contaminate the ``seconds``
+    column.  The cached index is dropped before (so the build is traced)
+    and after (so later timed runs rebuild it untraced).
+    """
+    import tracemalloc
+
+    history._index = None
+    tracemalloc.start()
+    try:
+        check(
+            history,
+            workload=workload,
+            consistency_model="strict-serializable",
+            **_check_options(workload),
+        )
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        history._index = None
+    return peak / 1e6
 
 
 def _verdict(result):  # pragma: no cover - manual entry point
@@ -298,7 +345,9 @@ def _assert_stream_asymptotics(concurrency, rows):  # pragma: no cover
     )
 
 
-def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
+def _enforce_baseline(
+    results, baseline_path, tolerance, mem_tolerance
+):  # pragma: no cover
     """Compare batch rows against the best committed record; [] if ok.
 
     Matches rows by (workload, txns, shards) among the *five most recent*
@@ -307,8 +356,12 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
     window keeps the guard from ratcheting permanently tighter: one
     record committed from an unusually fast machine would otherwise set
     an absolute-wall-clock bar no CI runner could ever meet again,
-    whereas here it ages out as newer records land.  Returns
-    human-readable violation lines.
+    whereas here it ages out as newer records land.  Wall-clock seconds
+    and peak traced memory are guarded independently: time gets the wide
+    ``tolerance`` (heterogeneous runners), memory the tighter
+    ``mem_tolerance`` (tracemalloc accounting is stable across machines;
+    rows or references without a ``peak_mb`` field are skipped).
+    Returns human-readable violation lines.
     """
     from _record import load_runs
 
@@ -318,6 +371,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
         if run.get("benchmark") == "elle_scaling"
     ][-5:]
     best = {}
+    best_mem = {}
     for run in runs:
         for row in run.get("results", []):
             if "seconds" not in row or row.get("mode", "batch") != "batch":
@@ -329,6 +383,11 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
             )
             if key not in best or row["seconds"] < best[key]:
                 best[key] = row["seconds"]
+            peak = row.get("peak_mb")
+            if peak is not None and (
+                key not in best_mem or peak < best_mem[key]
+            ):
+                best_mem[key] = peak
     violations = []
     for row in results:
         if "seconds" not in row or row.get("mode", "batch") != "batch":
@@ -343,6 +402,16 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
                 f"{key[0]}/{key[1]} txns/shards={key[2]}: "
                 f"{row['seconds']:.3f}s vs best committed "
                 f"{reference:.3f}s (tolerance {tolerance:g}x)"
+            )
+        peak = row.get("peak_mb")
+        mem_reference = best_mem.get(key)
+        if peak is None or mem_reference is None:
+            continue
+        if peak > mem_reference * mem_tolerance:
+            violations.append(
+                f"{key[0]}/{key[1]} txns/shards={key[2]}: "
+                f"{peak:.1f} MB peak vs best committed "
+                f"{mem_reference:.1f} MB (tolerance {mem_tolerance:g}x)"
             )
     return violations
 
@@ -424,6 +493,15 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
         "catches order-of-magnitude regressions)",
     )
     parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="baseline peak-memory multiplier tolerated before failing "
+        "(default 1.5: tracemalloc byte counts are stable across runners, "
+        "so memory gets a much tighter leash than wall clock)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -432,6 +510,7 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
     )
     args = parser.parse_args(argv)
 
+    _warm_optional_accelerators()
     rows = []
     results = []
     if args.mode == "stream":
@@ -443,6 +522,7 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
                     size, args.concurrency, workload=workload
                 )
                 baseline = None
+                sequential_row = None
                 for shards in args.shards:
                     elapsed, result, profile = _timed_check(
                         history, workload, shards
@@ -458,15 +538,24 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
                     rows.append(
                         [workload, size, history.op_count, shards, f"{elapsed:.2f}"]
                     )
-                    results.append(
-                        {
-                            "workload": workload,
-                            "txns": size,
-                            "ops": history.op_count,
-                            "shards": shards,
-                            "seconds": round(elapsed, 4),
-                            "profile": profile.as_dict(),
-                        }
+                    row = {
+                        "workload": workload,
+                        "txns": size,
+                        "ops": history.op_count,
+                        "shards": shards,
+                        "seconds": round(elapsed, 4),
+                        "profile": profile.as_dict(),
+                    }
+                    if shards == 1 and sequential_row is None:
+                        sequential_row = row
+                    results.append(row)
+                if sequential_row is not None:
+                    # Peak memory of the sequential check (separate traced
+                    # run; forked shard workers aren't traceable here).
+                    peak_mb = _peak_memory_check(history, workload)
+                    sequential_row["peak_mb"] = round(peak_mb, 2)
+                    print(
+                        f"peak memory {workload}/{size}: {peak_mb:.1f} MB"
                     )
     print(
         render_table(
@@ -482,7 +571,9 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
                 min(args.sizes), args.concurrency, results
             )
     violations = (
-        _enforce_baseline(results, args.baseline, args.tolerance)
+        _enforce_baseline(
+            results, args.baseline, args.tolerance, args.mem_tolerance
+        )
         if args.baseline
         else []
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
-from ..graph import LabeledDiGraph
+from ..graph import EdgeLogGraph
 from ..history import History, Transaction
 from .anomalies import Anomaly
 from .deps import ORDER_EDGES, PROCESS
@@ -64,7 +64,7 @@ class Analysis:
 
     history: History
     workload: str
-    graph: LabeledDiGraph = field(default_factory=LabeledDiGraph)
+    graph: EdgeLogGraph = field(default_factory=EdgeLogGraph)
     anomalies: List[Anomaly] = field(default_factory=list)
     evidence: Dict[EdgeKey, Evidence] = field(default_factory=dict)
 
@@ -96,12 +96,29 @@ class Analysis:
         :data:`~repro.core.deps.ORDER_EDGES` fall back to per-pair storage.
         """
         kind = evidence.kind
-        pairs = [(u, v) for u, v in pairs if u != v]
-        self.graph.add_edges_from((u, v, kind) for u, v in pairs)
+        us: List[int] = []
+        vs: List[int] = []
+        for u, v in pairs:
+            if u != v:
+                us.append(u)
+                vs.append(v)
+        self.graph.add_edge_arrays(us, vs, kind)
         if not kind & ORDER_EDGES:
             setdefault = self.evidence.setdefault
-            for u, v in pairs:
+            for u, v in zip(us, vs):
                 setdefault((u, v, kind), evidence)
+
+    def add_order_edge_arrays(
+        self, us: List[int], vs: List[int], kind: int
+    ) -> None:
+        """Bulk order edges as parallel endpoint arrays (no self-pairs).
+
+        The columnar twin of :meth:`add_order_edges` for callers that
+        already hold flat id arrays and guarantee ``us[i] != vs[i]``; the
+        kind must be one of :data:`~repro.core.deps.ORDER_EDGES`, whose
+        evidence is synthesized on demand.
+        """
+        self.graph.add_edge_arrays(us, vs, kind)
 
     def edge_evidence(self, u: int, v: int, bit: int) -> Optional[Evidence]:
         ev = self.evidence.get((u, v, bit))

@@ -33,6 +33,7 @@ from .consistency import (
 from .counter_set import analyze_counter, analyze_grow_set
 from .cycle_search import find_cycle_anomalies
 from .explain import render_cycle
+from .gcpause import paused_gc
 from .list_append import analyze_list_append
 from .profiling import Profile
 from .profiling import stage as _stage
@@ -179,17 +180,18 @@ def check(
     ``sources`` for rw-register).
     """
     _validate_model(consistency_model)
-    with _stage(profile, "analyze"):
-        analysis = analyze(
-            history,
-            workload=workload,
-            process_edges=process_edges,
-            realtime_edges=realtime_edges,
-            shards=shards,
-            profile=profile,
-            **options,
-        )
-    return finish_analysis(analysis, consistency_model, profile=profile)
+    with paused_gc():
+        with _stage(profile, "analyze"):
+            analysis = analyze(
+                history,
+                workload=workload,
+                process_edges=process_edges,
+                realtime_edges=realtime_edges,
+                shards=shards,
+                profile=profile,
+                **options,
+            )
+        return finish_analysis(analysis, consistency_model, profile=profile)
 
 
 def finish_analysis(

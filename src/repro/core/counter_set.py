@@ -46,7 +46,7 @@ from .keyspace import (
 )
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
 from .profiling import Profile, stage
-from .validate import validate_workload
+from .validate import validate_workload_indexed
 
 
 def build_add_index(
@@ -110,39 +110,51 @@ class GrowSetPlan(KeyspacePlan):
         self._style = ReadCheckStyle(garbage=_garbage, g1a=_g1a)
 
     def analyze_key(self, key: Any) -> Batch:
-        slice_ = self.index.slices[key]
-        write_map = slice_.write_map
+        index = self.index
+        slice_ = index.slices[key]
+        transactions = index.transactions
+        txn_ids = index.txn_ids
+        first_writer = slice_.first_writer
+        fw_get = first_writer.get
+        obj_write_map = slice_.write_map
         anomaly_blocks = []
         edge_blocks = []
-        for txn, mop_seq, mop in slice_.committed_reads:
-            if mop.value is None:
+        r_txn = slice_.r_txn
+        r_seq = slice_.r_seq
+        r_val = slice_.r_val
+        for i in range(len(r_val)):
+            value = r_val[i]
+            if value is None:
                 continue
-            observed = frozenset(mop.value)
+            pos = r_txn[i]
+            mop_seq = r_seq[i]
+            reader_id = txn_ids[pos]
+            observed = frozenset(value)
             ordered = tuple(sorted(observed, key=repr))
             found = check_recoverable_read(
-                txn, key, ordered, write_map, self._style
+                transactions[pos], key, ordered, obj_write_map, self._style
             )
             if found:
-                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
+                anomaly_blocks.append(((PHASE_READ, reader_id, mop_seq), found))
 
             fragment: Dict[Tuple[int, int, int], Evidence] = {}
             for element in ordered:
-                adder = write_map.get(element)
-                if adder is None or adder.id == txn.id:
+                adder = fw_get(element)
+                if adder is None or txn_ids[adder] == reader_id:
                     continue
                 fragment.setdefault(
-                    (adder.id, txn.id, WR),
+                    (txn_ids[adder], reader_id, WR),
                     Evidence(kind=WR, key=key, value=element),
                 )
             # Anti-dependencies: elements this read did not see.
-            for element, adder in write_map.items():
-                if element not in observed and adder.id != txn.id:
+            for element, adder in first_writer.items():
+                if element not in observed and txn_ids[adder] != reader_id:
                     fragment.setdefault(
-                        (txn.id, adder.id, RW),
+                        (reader_id, txn_ids[adder], RW),
                         Evidence(kind=RW, key=key, value=element),
                     )
             if fragment:
-                edge_blocks.append(((0, txn.id, mop_seq), fragment))
+                edge_blocks.append(((0, reader_id, mop_seq), fragment))
         return anomaly_blocks, edge_blocks
 
 
@@ -157,39 +169,50 @@ class CounterPlan(KeyspacePlan):
         self._keys = self.index.read_key_order
 
     def analyze_key(self, key: Any) -> Batch:
-        slice_ = self.index.slices[key]
+        index = self.index
+        slice_ = index.slices[key]
+        txn_ids = index.txn_ids
+        txn_committed = index.txn_committed
+        txn_aborted = index.txn_aborted
         lo = 0  # definitely-committed negative increments
         hi = 0  # every possibly-committed positive increment
-        for txn, _seq, mop in slice_.writes:
-            delta = mop.value
+        w_txn = slice_.w_txn
+        w_val = slice_.w_val
+        for i in range(len(w_txn)):
+            delta = w_val[i]
             if delta >= 0:
-                if not txn.aborted:
+                if not txn_aborted[w_txn[i]]:
                     hi += delta
-            elif txn.committed:
+            elif txn_committed[w_txn[i]]:
                 lo += delta
         lo = min(lo, 0)
         hi = max(hi, 0)
 
         anomaly_blocks = []
-        for txn, mop_seq, mop in slice_.committed_reads:
-            if mop.value is None:
+        r_txn = slice_.r_txn
+        r_seq = slice_.r_seq
+        r_val = slice_.r_val
+        for i in range(len(r_val)):
+            value = r_val[i]
+            if value is None:
                 continue
-            if not (lo <= mop.value <= hi):
+            if not (lo <= value <= hi):
+                reader_id = txn_ids[r_txn[i]]
                 anomaly_blocks.append(
                     (
-                        (PHASE_READ, txn.id, mop_seq),
+                        (PHASE_READ, reader_id, r_seq[i]),
                         [
                             Anomaly(
                                 name=GARBAGE_READ,
-                                txns=(txn.id,),
+                                txns=(reader_id,),
                                 message=(
-                                    f"T{txn.id} read counter {key!r} = "
-                                    f"{mop.value!r}, outside the feasible range "
+                                    f"T{reader_id} read counter {key!r} = "
+                                    f"{value!r}, outside the feasible range "
                                     f"[{lo}, {hi}] of observed increments"
                                 ),
                                 data={
                                     "key": key,
-                                    "value": mop.value,
+                                    "value": value,
                                     "lo": lo,
                                     "hi": hi,
                                 },
@@ -210,8 +233,10 @@ def analyze_grow_set(
 ) -> Analysis:
     """Grow-set analysis: wr/rw edges from element visibility."""
     analysis = Analysis(history=history, workload="grow-set")
-    validate_workload(history.transactions, "grow-set")
     with stage(profile, "analyze/index"):
+        history.index(profile=profile)
+    validate_workload_indexed(history, "grow-set")
+    with stage(profile, "analyze/plan"):
         plan = GrowSetPlan(history)
     execute_plan(plan, analysis, shards=shards, profile=profile)
     with stage(profile, "analyze/orders"):
@@ -241,8 +266,10 @@ def analyze_counter(
     ``garbage-read`` — the counter held a value no interpretation produces.
     """
     analysis = Analysis(history=history, workload="counter")
-    validate_workload(history.transactions, "counter")
     with stage(profile, "analyze/index"):
+        history.index(profile=profile)
+    validate_workload_indexed(history, "counter")
+    with stage(profile, "analyze/plan"):
         plan = CounterPlan(history)
     execute_plan(plan, analysis, shards=shards, profile=profile)
     with stage(profile, "analyze/orders"):

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..graph import CSRGraph, LabeledDiGraph
+from ..graph import CSRGraph, EdgeLogGraph, LabeledDiGraph
 from .anomalies import (
     G0,
     G0_PROCESS,
@@ -148,8 +148,13 @@ _BASE_NAMES = {
 }
 
 
+#: Any graph the cycle search accepts: a mutable builder (frozen on
+#: entry) or an already-frozen CSR snapshot.
+GraphLike = Union[LabeledDiGraph, EdgeLogGraph, CSRGraph]
+
+
 def classify_cycle(
-    graph: LabeledDiGraph, cycle: Sequence[int], mask: int
+    graph: GraphLike, cycle: Sequence[int], mask: int
 ) -> Tuple[str, Tuple[Tuple[int, int, int], ...]]:
     """Name a cycle and choose one dependency bit per edge.
 
@@ -282,7 +287,7 @@ def _decompose(
 
 
 def find_cycle_anomalies(
-    graph: Union[LabeledDiGraph, CSRGraph],
+    graph: GraphLike,
     profile: Optional[Profile] = None,
 ) -> List[CycleAnomaly]:
     """All cycle anomalies, one witness per (cycle, classification).
@@ -293,11 +298,10 @@ def find_cycle_anomalies(
     short cycle per strongly connected component; duplicates across passes
     are dropped by cycle signature.
     """
-    csr = graph.freeze() if isinstance(graph, LabeledDiGraph) else graph
+    csr = graph if isinstance(graph, CSRGraph) else graph.freeze()
     components_for = _refined_components(csr, profile)
     label_union = csr.label_union
-    nodes = csr.nodes
-    scratch = bytearray(len(nodes))
+    scratch = bytearray(csr.node_count)
 
     anomalies: List[CycleAnomaly] = []
     seen: Set[Tuple[int, ...]] = set()
@@ -317,7 +321,7 @@ def find_cycle_anomalies(
                 scratch[i] = 0
             if cycle_idx is None:
                 continue
-            cycle = [nodes[i] for i in cycle_idx]
+            cycle = csr.to_nodes(cycle_idx)
             signature = _canonical(cycle)
             if signature in seen:
                 continue

@@ -57,6 +57,7 @@ from .analysis import Analysis
 from .anomalies import Anomaly
 from .checker import CheckResult, finish_analysis
 from .consistency import SERIALIZABLE, _validate as _validate_model
+from .gcpause import paused_gc
 from .keyspace import PHASE_INTERNAL, PLANS, Batch, _merge
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
 from .profiling import Profile, stage
@@ -155,7 +156,8 @@ class StreamingChecker:
         if self._error is not None:
             raise self._error
         try:
-            return self._extend(ops)
+            with paused_gc():
+                return self._extend(ops)
         except BaseException as exc:
             self._error = exc
             raise

@@ -256,16 +256,27 @@ def _chunk_bounds(plan: KeyspacePlan, shards: int) -> List[Tuple[int, int, int, 
 def _analyze_chunk(
     plan: KeyspacePlan, txn_lo: int, txn_hi: int, key_lo: int, key_hi: int
 ) -> Batch:
-    """One worker's share: a transaction range and a key range."""
+    """One worker's share: a transaction range and a key range.
+
+    The internal-consistency sweep reads the index's columnar transaction
+    status arrays and skips every transaction whose ``internal_candidates``
+    bit is clear — a transaction with no read-after-same-key micro-op can
+    never witness an internal anomaly, so the per-transaction checker only
+    runs where it could possibly report something.
+    """
     anomaly_blocks: List[AnomalyBlock] = []
     edge_blocks: List[EdgeBlock] = []
-    transactions = plan.index.transactions
+    index = plan.index
+    transactions = index.transactions
+    committed = index.txn_committed
+    candidates = index.internal_candidates
+    txn_ids = index.txn_ids
     check_internal = plan.check_internal
-    for txn in transactions[txn_lo:txn_hi]:
-        if txn.committed:
-            found = check_internal(txn)
+    for pos in range(txn_lo, txn_hi):
+        if committed[pos] and candidates[pos]:
+            found = check_internal(transactions[pos])
             if found:
-                anomaly_blocks.append(((PHASE_INTERNAL, txn.id, 0), found))
+                anomaly_blocks.append(((PHASE_INTERNAL, txn_ids[pos], 0), found))
     keys = plan.keys()
     analyze_key = plan.analyze_key
     for key in keys[key_lo:key_hi]:
@@ -293,7 +304,9 @@ def _merge(analysis: Analysis, batches: Sequence[Batch]) -> None:
     # Graph edges go in forward tag order so node interning matches the
     # historical per-edge emission; evidence merges in *reverse* tag order
     # with overwrite, leaving exactly the first-emitted record per edge bit.
-    graph_add = analysis.graph.add_edges_from
+    # Each fragment's keys are the exact (u, v, bit) triples, so whole
+    # batches land in the graph's edge log without per-edge dispatch.
+    graph_add = analysis.graph.add_edge_keys
     for _tag, fragment in edge_blocks:
         graph_add(fragment)
     combined: Dict[EdgeKey, Evidence] = {}
@@ -304,7 +317,7 @@ def _merge(analysis: Analysis, batches: Sequence[Batch]) -> None:
         for edge_key, evidence in combined.items():
             setdefault(edge_key, evidence)
     else:
-        analysis.evidence.update(combined)
+        analysis.evidence = combined
 
 
 # Worker-side state.  Under the ``fork`` start method the parent sets

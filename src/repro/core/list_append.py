@@ -30,7 +30,6 @@ per-key work across a worker pool with byte-identical results.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from ..history import History, Transaction
@@ -57,10 +56,9 @@ from .keyspace import (
     execute_plan,
     register_plan,
 )
-from .objects import is_prefix
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
 from .profiling import Profile, stage
-from .validate import validate_workload
+from .validate import validate_workload_indexed
 
 
 def build_append_index(
@@ -189,58 +187,245 @@ class ListAppendPlan(KeyspacePlan):
         return self._key_pos[key]
 
     def analyze_key(self, key: Any) -> Batch:
-        slice_ = self.index.slices[key]
-        write_map = slice_.write_map
+        """One key's read checks, version order, and dependency edges.
+
+        Runs entirely over the slice's columnar arrays: read values are
+        pre-normalized tuples, writers are interned transaction positions
+        (``first_writer``), and transaction status comes from the index's
+        flat status columns.  The screen classifies the *longest* read's
+        elements once; any read that is a prefix of the longest is then
+        judged suspicious or clean by three integer comparisons, and only
+        suspicious reads pay for the element-by-element recoverability
+        walk (with the object-level write map built lazily, at most once
+        per key).  Emission order — anomalies, evidence, fragment keys —
+        is byte-identical to the object-based implementation this
+        replaced.
+        """
+        index = self.index
+        slice_ = index.slices[key]
+        transactions = index.transactions
+        txn_ids = index.txn_ids
+        txn_aborted = index.txn_aborted
+        first_writer = slice_.first_writer
         key_pos = self._key_pos[key]
 
-        reads: List[Tuple[Transaction, int, Tuple]] = [
-            (txn, mop_seq, tuple(mop.value))
-            for txn, mop_seq, mop in slice_.committed_reads
-            if mop.value is not None
-        ]
+        # Committed value-bearing reads, columnar.  The slice arrays are
+        # used as-is unless some committed read has an unknown (None)
+        # value, which is rare enough to pay a filtered copy for.
+        reads_txn = slice_.r_txn
+        reads_seq = slice_.r_seq
+        reads_val = slice_.r_val
+        if None in reads_val:
+            filtered_txn: List[int] = []
+            filtered_seq: List[int] = []
+            filtered_val: List[Tuple] = []
+            for i, value in enumerate(reads_val):
+                if value is not None:
+                    filtered_txn.append(reads_txn[i])
+                    filtered_seq.append(reads_seq[i])
+                    filtered_val.append(value)
+            reads_txn = filtered_txn
+            reads_seq = filtered_seq
+            reads_val = filtered_val
+        n_reads = len(reads_val)
 
-        # Screen sets: most reads are proven anomaly-free in C speed.
-        elements: Set[Any] = set(write_map)
-        aborted: Set[Any] = {
-            value for value, writer in write_map.items() if writer.aborted
-        }
-        nonfinal = self._nonfinal_elements(slice_.writes)
+        # Version order: the longest committed read defines the trace
+        # (first maximal read wins, as max() picks the first maximum).
+        longest_i = max(range(n_reads), key=lambda i: len(reads_val[i]))
+        longest = reads_val[longest_i]
+        longest_pos = reads_txn[longest_i]
+        longest_id = txn_ids[longest_pos]
+        trace_len = len(longest)
 
+        # Classify the longest read's elements once: writer positions,
+        # non-final flags, the first garbage/aborted position, and the
+        # first in-trace duplicate boundary.  Every prefix read screens
+        # against these in O(1) after one tuple comparison.
+        nonfinal = self._nonfinal_elements(slice_.w_txn, slice_.w_val)
+        fw_get = first_writer.get
+        writers = [fw_get(element, -1) for element in longest]
+        min_bad = trace_len
+        for p, w in enumerate(writers):
+            if w < 0 or txn_aborted[w]:
+                min_bad = p
+                break
+        if nonfinal:
+            nonfinal_at = [element in nonfinal for element in longest]
+        else:
+            nonfinal_at = [False] * trace_len
+        dup_at = trace_len
+        if len(set(longest)) != trace_len:
+            seen = set()
+            for p, element in enumerate(longest):
+                if element in seen:
+                    dup_at = p
+                    break
+                seen.add(element)
+
+        # ------------------------------------------------------------------
+        # Installed versions and their ww chain (§4.1.2): a version is
+        # *installed* when its element is its writer's final append to the
+        # key; elements with no recovered writer (garbage) break the chain
+        # — nothing beyond them is ordered soundly.  The ww edges land in
+        # the fragment first, before any read's wr/rw edges, preserving
+        # the historical emission order.
+        fragment: Dict[Tuple[int, int, int], Evidence] = {}
+        installed_positions: List[int] = []
+        installed_writers: List[int] = []
+        for p in range(trace_len):
+            w = writers[p]
+            if w < 0:
+                break  # garbage element: the trace beyond it is unreliable
+            if not nonfinal_at[p]:
+                installed_positions.append(p)
+                installed_writers.append(w)
+
+        for j in range(1, len(installed_writers)):
+            pwriter = installed_writers[j - 1]
+            nwriter = installed_writers[j]
+            if pwriter != nwriter:
+                edge = (txn_ids[pwriter], txn_ids[nwriter], WW)
+                if edge not in fragment:
+                    fragment[edge] = Evidence(
+                        kind=WW,
+                        key=key,
+                        value=longest[installed_positions[j]],
+                        prev_value=longest[installed_positions[j - 1]],
+                        via=longest_id,
+                    )
+
+        # ------------------------------------------------------------------
+        # One fused pass over the reads: screen, recoverability anomalies,
+        # and wr/rw edges for prefix reads; non-prefix reads are collected
+        # for the incompatible-order report below.  ``next_installed[b+1]``
+        # is the index of the first installed position > b, replacing a
+        # per-read bisect with one table lookup.
         anomaly_blocks = []
-        for txn, mop_seq, value in reads:
-            if not self._suspicious(value, elements, aborted, nonfinal):
-                continue
-            found = self._check_read(txn, key, value, write_map)
-            if found:
-                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
+        n_installed = len(installed_positions)
+        next_installed: List[int] = []
+        k = 0
+        for b in range(-1, trace_len):
+            while k < n_installed and installed_positions[k] <= b:
+                k += 1
+            next_installed.append(k)
+        nonprefix: List[int] = []
+        screen_sets = None  # (elements, aborted) for non-prefix reads
+        obj_write_map = None  # lazily built for suspicious reads only
 
-        # Version order: the longest committed read defines the trace.
-        longest_txn, _seq, longest = max(reads, key=lambda r: len(r[2]))
-        order_anomalies = self._order_anomalies(key, reads, longest_txn, longest)
-        if order_anomalies:
+        def check_suspicious_read(i: int, value: Tuple) -> None:
+            nonlocal obj_write_map
+            if obj_write_map is None:
+                obj_write_map = slice_.write_map
+            found = check_recoverable_read(
+                transactions[reads_txn[i]], key, value, obj_write_map, self._style
+            )
+            if found:
+                anomaly_blocks.append(
+                    ((PHASE_READ, txn_ids[reads_txn[i]], reads_seq[i]), found)
+                )
+
+        for i in range(n_reads):
+            value = reads_val[i]
+            length = len(value)
+            if (
+                value == longest
+                if length == trace_len
+                else value == longest[:length]
+            ):
+                suspicious = (
+                    length > dup_at
+                    or length > min_bad
+                    or (length > 0 and nonfinal_at[length - 1])
+                )
+            else:
+                nonprefix.append(i)
+                if screen_sets is None:
+                    elements: Set[Any] = set(first_writer)
+                    aborted: Set[Any] = {
+                        v for v, w in first_writer.items() if txn_aborted[w]
+                    }
+                    screen_sets = (elements, aborted)
+                if self._suspicious(value, *screen_sets, nonfinal):
+                    check_suspicious_read(i, value)
+                continue  # incompatible read: no sound edges
+            if suspicious:
+                check_suspicious_read(i, value)
+
+            reader_pos = reads_txn[i]
+            # wr: the version read was produced by the writer of its last
+            # element (for a prefix read, the trace element at length - 1).
+            producer = writers[length - 1] if length else -1
+            if producer >= 0 and producer != reader_pos:
+                edge = (txn_ids[producer], txn_ids[reader_pos], WR)
+                if edge not in fragment:
+                    fragment[edge] = Evidence(
+                        kind=WR, key=key, value=longest[length - 1]
+                    )
+
+            # rw: the reader saw the version ending at position length-1;
+            # the writer of the next installed version overwrote it.
+            nxt = next_installed[length]
+            if nxt < n_installed:
+                writer = installed_writers[nxt]
+                if producer >= 0 and writer == producer:
+                    # The "next" installed version belongs to the same
+                    # transaction that produced the version read (an
+                    # intermediate read, flagged as G1b): no sound
+                    # anti-dependency follows.
+                    continue
+                if reader_pos != writer:
+                    edge = (txn_ids[reader_pos], txn_ids[writer], RW)
+                    if edge not in fragment:
+                        fragment[edge] = Evidence(
+                            kind=RW,
+                            key=key,
+                            value=longest[installed_positions[nxt]],
+                            prev_value=value,
+                        )
+
+        # Incompatible orders: non-prefix reads, one report per distinct value.
+        if nonprefix:
+            order_anomalies: List[Anomaly] = []
+            flagged = set()
+            for i in nonprefix:
+                value = reads_val[i]
+                if value in flagged:
+                    continue
+                flagged.add(value)
+                order_anomalies.append(
+                    Anomaly(
+                        name=INCOMPATIBLE_ORDER,
+                        txns=(txn_ids[reads_txn[i]], longest_id),
+                        message=(
+                            f"T{txn_ids[reads_txn[i]]} read {list(value)} of "
+                            f"key {key!r}, which is "
+                            f"not a prefix of {list(longest)} as read by "
+                            f"T{longest_id}; these versions cannot lie on one "
+                            "version order"
+                        ),
+                        data={"key": key, "value": value, "longest": longest},
+                    )
+                )
             anomaly_blocks.append(((PHASE_KEYED, key_pos, 0), order_anomalies))
 
-        fragment = self._key_edges(
-            key, reads, longest_txn, longest, write_map, nonfinal
-        )
         edge_blocks = [((0, key_pos, 0), fragment)] if fragment else []
         return anomaly_blocks, edge_blocks
 
     @staticmethod
-    def _nonfinal_elements(writes) -> Set[Any]:
+    def _nonfinal_elements(w_txn: List[int], w_val: List[Any]) -> Set[Any]:
         """Elements that are a *non-final* append of their transaction."""
         nonfinal: Set[Any] = set()
-        n = len(writes)
+        n = len(w_txn)
         i = 0
         while i < n:
-            txn = writes[i][0]
+            txn = w_txn[i]
             j = i
-            while j + 1 < n and writes[j + 1][0] is txn:
+            while j + 1 < n and w_txn[j + 1] == txn:
                 j += 1
             if j > i:
-                final_value = writes[j][2].value
+                final_value = w_val[j]
                 for k in range(i, j + 1):
-                    value = writes[k][2].value
+                    value = w_val[k]
                     if value != final_value:
                         nonfinal.add(value)
             i = j + 1
@@ -258,106 +443,6 @@ class ListAppendPlan(KeyspacePlan):
         if not aborted.isdisjoint(value):
             return True  # aborted read (G1a) / dirty update
         return value[-1] in nonfinal  # intermediate read (G1b)
-
-    def _check_read(self, reader, key, value, write_map) -> List[Anomaly]:
-        return check_recoverable_read(reader, key, value, write_map, self._style)
-
-    @staticmethod
-    def _order_anomalies(key, reads, longest_txn, longest) -> List[Anomaly]:
-        anomalies: List[Anomaly] = []
-        flagged = set()
-        for txn, _seq, value in reads:
-            if is_prefix(value, longest):
-                continue
-            if value in flagged:
-                continue
-            flagged.add(value)
-            anomalies.append(
-                Anomaly(
-                    name=INCOMPATIBLE_ORDER,
-                    txns=(txn.id, longest_txn.id),
-                    message=(
-                        f"T{txn.id} read {list(value)} of key {key!r}, which is "
-                        f"not a prefix of {list(longest)} as read by "
-                        f"T{longest_txn.id}; these versions cannot lie on one "
-                        "version order"
-                    ),
-                    data={"key": key, "value": value, "longest": longest},
-                )
-            )
-        return anomalies
-
-    def _key_edges(
-        self, key, reads, longest_txn, longest, write_map, nonfinal
-    ) -> Dict[Tuple[int, int, int], Evidence]:
-        """ww, wr, and rw edges for one key's inferred version order.
-
-        A version is *installed* when its element is its writer's final
-        append to the key (§4.1.2).  Elements with no recovered writer
-        (garbage) break the chain: nothing beyond them is ordered soundly.
-        """
-        fragment: Dict[Tuple[int, int, int], Evidence] = {}
-        installed: List[Tuple[int, Transaction]] = []
-        for pos, element in enumerate(longest):
-            writer = write_map.get(element)
-            if writer is None:
-                break  # garbage element: the trace beyond it is unreliable
-            if element not in nonfinal:
-                installed.append((pos, writer))
-
-        # ww: consecutive installed versions were written by their writers
-        # in version order.
-        source_txn = longest_txn.id
-        for (ppos, pwriter), (npos, nwriter) in zip(installed, installed[1:]):
-            if pwriter.id != nwriter.id:
-                fragment.setdefault(
-                    (pwriter.id, nwriter.id, WW),
-                    Evidence(
-                        kind=WW,
-                        key=key,
-                        value=longest[npos],
-                        prev_value=longest[ppos],
-                        via=source_txn,
-                    ),
-                )
-
-        installed_positions = [pos for pos, _writer in installed]
-        for reader, _seq, value in reads:
-            if not is_prefix(value, longest):
-                continue  # incompatible read, already reported; no sound edges
-            # wr: the version read was produced by the writer of its last
-            # element.
-            producer = write_map.get(value[-1]) if value else None
-            if producer is not None and producer.id != reader.id:
-                fragment.setdefault(
-                    (producer.id, reader.id, WR),
-                    Evidence(kind=WR, key=key, value=value[-1]),
-                )
-
-            # rw: the reader saw the version ending at position
-            # len(value)-1; the writer of the next installed version
-            # overwrote it.
-            boundary = len(value) - 1
-            nxt = bisect_right(installed_positions, boundary)
-            if nxt < len(installed):
-                pos, writer = installed[nxt]
-                if producer is not None and writer.id == producer.id:
-                    # The "next" installed version belongs to the same
-                    # transaction that produced the version read (an
-                    # intermediate read, flagged as G1b): no sound
-                    # anti-dependency follows.
-                    continue
-                if reader.id != writer.id:
-                    fragment.setdefault(
-                        (reader.id, writer.id, RW),
-                        Evidence(
-                            kind=RW,
-                            key=key,
-                            value=longest[pos],
-                            prev_value=tuple(value),
-                        ),
-                    )
-        return fragment
 
 
 def analyze_list_append(
@@ -377,8 +462,10 @@ def analyze_list_append(
     across a process pool (``1`` = inline) with identical results.
     """
     analysis = Analysis(history=history, workload="list-append")
-    validate_workload(history.transactions, "list-append")
     with stage(profile, "analyze/index"):
+        history.index(profile=profile)
+    validate_workload_indexed(history, "list-append")
+    with stage(profile, "analyze/plan"):
         plan = ListAppendPlan(history)
     execute_plan(plan, analysis, shards=shards, profile=profile)
     with stage(profile, "analyze/orders"):

@@ -24,8 +24,13 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..graph import interval_precedence_edges
-from .analysis import Analysis, Evidence
+try:  # Optional: vectorizes the realtime interval preparation.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback branch
+    _np = None
+
+from ..graph import interval_precedence_pairs
+from .analysis import Analysis
 from .deps import PROCESS, REALTIME, TIMESTAMP
 
 
@@ -33,26 +38,33 @@ def add_process_edges(analysis: Analysis) -> None:
     """Chain each process's transactions in session (program) order.
 
     Per-process orderings come from the history's single-pass index (they
-    are already in invocation order there), so no re-grouping pass runs.
-    Only *committed* transactions emit edges: after a timeout the client
-    moves on while the indeterminate commit races its successors, so an
-    ``info`` transaction is concurrent with everything that follows it —
-    even on its own process — and may only receive edges.  Each non-aborted
-    transaction is therefore ordered after the nearest preceding committed
-    transaction of its process.
+    are already in invocation order there), so no re-grouping pass runs —
+    the chains are walked over the index's columnar status arrays and land
+    in the graph's edge log as parallel id arrays.  Only *committed*
+    transactions emit edges: after a timeout the client moves on while the
+    indeterminate commit races its successors, so an ``info`` transaction
+    is concurrent with everything that follows it — even on its own
+    process — and may only receive edges.  Each non-aborted transaction is
+    therefore ordered after the nearest preceding committed transaction of
+    its process.
     """
-    for process, txns in analysis.history.index().by_process.items():
-        evidence = Evidence(kind=PROCESS, process=process)
-        pairs = []
-        last_committed = None
-        for txn in txns:
-            if txn.aborted:
+    index = analysis.history.index()
+    committed = index.txn_committed
+    aborted = index.txn_aborted
+    ids = index.txn_ids
+    for positions in index.proc_positions.values():
+        sources: List[int] = []
+        targets: List[int] = []
+        last_committed = -1
+        for pos in positions:
+            if aborted[pos]:
                 continue
-            if last_committed is not None:
-                pairs.append((last_committed.id, txn.id))
-            if txn.committed:
-                last_committed = txn
-        analysis.add_order_edges(pairs, evidence)
+            if last_committed >= 0:
+                sources.append(ids[last_committed])
+                targets.append(ids[pos])
+            if committed[pos]:
+                last_committed = pos
+        analysis.add_order_edge_arrays(sources, targets, PROCESS)
 
 
 def add_realtime_edges(analysis: Analysis) -> None:
@@ -67,20 +79,44 @@ def add_realtime_edges(analysis: Analysis) -> None:
     every observed event: it may receive edges, never emit them.
     """
     history = analysis.history
+    index = history.index()
+    committed = index.txn_committed
+    aborted = index.txn_aborted
+    ids = index.txn_ids
+    invoke = index.txn_invoke
+    complete = index.txn_complete
     sentinel = history.max_index + 1
-    intervals: List[Tuple[int, int, int]] = []
-    for txn in history.transactions:
-        if txn.aborted:
-            continue
-        if txn.committed and txn.complete_index is not None:
-            intervals.append((txn.id, txn.invoke_index, txn.complete_index))
-        else:
-            # Indeterminate: the true completion is unobserved.
-            sentinel += 1
-            intervals.append((txn.id, txn.invoke_index, sentinel))
-    analysis.add_order_edges(
-        interval_precedence_edges(intervals), Evidence(kind=REALTIME)
-    )
+    if _np is not None and len(ids) >= 1024:
+        aborted_np = _np.frombuffer(aborted, dtype=_np.uint8)
+        committed_np = _np.frombuffer(committed, dtype=_np.uint8)
+        complete_np = _np.asarray(complete, dtype=_np.int64)
+        keep = aborted_np == 0
+        observed = (committed_np != 0) & (complete_np >= 0) & keep
+        # Indeterminate completions are unobserved: each gets the next
+        # sentinel tick, in position order, exactly as the scalar loop.
+        pending = keep & ~observed
+        ticks = _np.cumsum(pending) + sentinel
+        resolved = _np.where(observed, complete_np, ticks)[keep]
+        iv_ids = _np.asarray(ids, dtype=_np.int64)[keep].tolist()
+        iv_invoke = _np.asarray(invoke, dtype=_np.int64)[keep].tolist()
+        iv_complete = resolved.tolist()
+    else:
+        iv_ids: List[int] = []
+        iv_invoke: List[int] = []
+        iv_complete: List[int] = []
+        for pos in range(len(ids)):
+            if aborted[pos]:
+                continue
+            iv_ids.append(ids[pos])
+            iv_invoke.append(invoke[pos])
+            if committed[pos] and complete[pos] >= 0:
+                iv_complete.append(complete[pos])
+            else:
+                # Indeterminate: the true completion is unobserved.
+                sentinel += 1
+                iv_complete.append(sentinel)
+    sources, targets = interval_precedence_pairs(iv_ids, iv_invoke, iv_complete)
+    analysis.add_order_edge_arrays(sources, targets, REALTIME)
 
 
 def add_timestamp_edges(analysis: Analysis) -> None:
@@ -111,12 +147,15 @@ def add_timestamp_edges(analysis: Analysis) -> None:
     if not intervals:
         return
     sentinel = max(i for _t, i, _c in intervals) + 1
-    resolved = []
+    iv_ids: List[int] = []
+    iv_invoke: List[int] = []
+    iv_complete: List[int] = []
     for txn_id, invoke, complete in intervals:
         if complete is None:
             sentinel += 2
             complete = max(sentinel, invoke + 1)
-        resolved.append((txn_id, invoke, complete))
-    analysis.add_order_edges(
-        interval_precedence_edges(resolved), Evidence(kind=TIMESTAMP)
-    )
+        iv_ids.append(txn_id)
+        iv_invoke.append(invoke)
+        iv_complete.append(complete)
+    sources, targets = interval_precedence_pairs(iv_ids, iv_invoke, iv_complete)
+    analysis.add_order_edge_arrays(sources, targets, TIMESTAMP)

@@ -48,14 +48,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..graph import LabeledDiGraph, cyclic_components, interval_precedence_edges
+from ..graph import LabeledDiGraph, cyclic_components, interval_precedence_pairs
 from ..history import History, Transaction
 from ..history.index import (
     check_unique_writes,
     duplicate_write_error,
     none_write_error,
 )
-from ..history.ops import READ, WRITE
+from ..history.ops import WRITE
 from .analysis import Analysis, Evidence
 from .anomalies import (
     CYCLIC_VERSIONS,
@@ -79,7 +79,7 @@ from .keyspace import (
 )
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
 from .profiling import Profile, stage
-from .validate import validate_workload
+from .validate import validate_workload_indexed
 
 #: Version-order inference sources enabled by default.  ``process`` and
 #: ``realtime`` assume the database claims per-key sequential consistency /
@@ -130,23 +130,6 @@ def build_write_index(
                 )
             index[slot] = txn
     return index
-
-
-def _interaction_values(txn: Transaction, key: Any) -> Optional[Tuple[Any, Any]]:
-    """(first, last) version a committed transaction pinned ``key`` to.
-
-    A read pins the key to the value it returned (``None`` meaning the
-    initial version); a write pins it to the written value.  Returns None if
-    the transaction never touched the key.
-    """
-    values = [
-        mop.value
-        for mop in txn.mops
-        if mop.key == key and mop.fn in (READ, WRITE)
-    ]
-    if not values:
-        return None
-    return values[0], values[-1]
 
 
 # ---------------------------------------------------------------------------
@@ -214,108 +197,217 @@ class RwRegisterPlan(KeyspacePlan):
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _kahn_acyclic(
+        succ: Dict[Any, List[Any]], version_edges: Dict[Tuple[Any, Any], Set[str]]
+    ) -> bool:
+        """True iff the version adjacency has no cycle (Kahn peel)."""
+        indegree = dict.fromkeys(succ, 0)
+        for _v1, v2 in version_edges:
+            indegree[v2] += 1
+        stack = [v for v, d in indegree.items() if d == 0]
+        remaining = len(indegree)
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            value = pop()
+            remaining -= 1
+            for target in succ[value]:
+                d = indegree[target] - 1
+                indegree[target] = d
+                if d == 0:
+                    push(target)
+        return remaining == 0
+
     def analyze_key(self, key: Any) -> Batch:
-        slice_ = self.index.slices[key]
-        write_map = slice_.write_map
+        """One key's read checks, version DAG, and dependency edges.
+
+        Runs over the slice's columnar arrays: writers are interned
+        transaction positions (``first_writer``), transaction status comes
+        from the index's flat columns, and the per-transaction version
+        pins feeding the process/realtime sources are computed in one walk
+        of the key's op stream instead of re-scanning each transaction's
+        micro-ops per pair.  Reads pay for the element-by-element
+        recoverability walk only when a three-comparison screen says they
+        could witness garbage, G1a, or G1b.  Emission order is
+        byte-identical to the object-based implementation this replaced.
+        """
+        index = self.index
+        slice_ = index.slices[key]
+        transactions = index.transactions
+        txn_ids = index.txn_ids
+        txn_committed = index.txn_committed
+        txn_aborted = index.txn_aborted
+        first_writer = slice_.first_writer
+        fw_get = first_writer.get
         key_pos = slice_.pos
         sources = self._sources
         anomaly_blocks = []
 
-        # Values proven committed by observation: read by a committed txn.
-        observed: Set[Any] = {
-            mop.value
-            for _txn, _seq, mop in slice_.committed_reads
-            if mop.value is not None
-        }
+        r_txn = slice_.r_txn
+        r_seq = slice_.r_seq
+        r_val = slice_.r_val
 
-        def anchored(txn: Transaction, value: Any) -> bool:
-            """Is this write provably committed in every interpretation?"""
-            return txn.committed or value in observed
+        # Values proven committed by observation: read by a committed txn.
+        observed: Set[Any] = {v for v in r_val if v is not None}
+
+        # Final write per writer position (last write wins), for the G1b
+        # screen: a committed read of a non-final write is intermediate.
+        final_of: Dict[int, Any] = {}
+        w_txn = slice_.w_txn
+        w_val = slice_.w_val
+        for i in range(len(w_txn)):
+            final_of[w_txn[i]] = w_val[i]
 
         # --------------------------------------------------------------
         # Read checks: garbage, G1a, G1b; collect readers per version.
-        readers: Dict[Any, List[Transaction]] = {}
-        for txn, mop_seq, mop in slice_.committed_reads:
-            value = mop.value
+        readers: Dict[Any, List[int]] = {}  # version -> reader txn ids
+        obj_write_map = None  # lazily built for suspicious reads only
+        for i in range(len(r_val)):
+            value = r_val[i]
+            pos = r_txn[i]
             if value is None:
-                readers.setdefault(INIT, []).append(txn)
+                readers.setdefault(INIT, []).append(txn_ids[pos])
                 continue
-            found = check_recoverable_read(
-                txn, key, (value,), write_map, self._style
+            wpos = fw_get(value, -1)
+            suspicious = (
+                wpos < 0
+                or txn_aborted[wpos]
+                or (wpos != pos and final_of[wpos] != value)
             )
-            if value in write_map:
-                readers.setdefault(value, []).append(txn)
+            if suspicious:
+                if obj_write_map is None:
+                    obj_write_map = slice_.write_map
+                found = check_recoverable_read(
+                    transactions[pos], key, (value,), obj_write_map, self._style
+                )
+            else:
+                found = None
+            if wpos >= 0:
+                readers.setdefault(value, []).append(txn_ids[pos])
             if found:
-                anomaly_blocks.append(((PHASE_READ, txn.id, mop_seq), found))
+                anomaly_blocks.append(((PHASE_READ, txn_ids[pos], r_seq[i]), found))
 
         # --------------------------------------------------------------
-        # The per-key version DAG from each enabled source.
-        version_graph = LabeledDiGraph()
+        # The per-key version DAG from each enabled source.  Adjacency is
+        # tracked in a plain dict; the full graph machinery is only built
+        # for the rare cyclic key (see below).
         version_edges: Dict[Tuple[Any, Any], Set[str]] = {}
+        succ: Dict[Any, List[Any]] = {}
 
         def add_version_edge(v1: Any, v2: Any, source: str) -> None:
             if v1 == v2:
                 return
-            version_graph.add_edge(v1, v2, 1)
-            version_edges.setdefault((v1, v2), set()).add(source)
+            pair = (v1, v2)
+            entry = version_edges.get(pair)
+            if entry is None:
+                version_edges[pair] = {source}
+                row = succ.get(v1)
+                if row is None:
+                    succ[v1] = [v2]
+                else:
+                    row.append(v2)
+                if v2 not in succ:
+                    succ[v2] = []
+            else:
+                entry.add(source)
 
         if "initial-state" in sources:
-            for value, writer in write_map.items():
-                if anchored(writer, value):
+            for value, wpos in first_writer.items():
+                if txn_committed[wpos] or value in observed:
                     add_version_edge(INIT, value, "initial-state")
 
+        need_stream = (
+            "write-follows-read" in sources
+            or "process" in sources
+            or "realtime" in sources
+        )
+        if need_stream:
+            # The committed micro-op stream, merged back into observation
+            # order from the read/write substreams.
+            st_txn, st_read, st_val = slice_.committed_stream()
+            n_ops = len(st_txn)
+
         if "write-follows-read" in sources:
-            ops = slice_.ops
-            n = len(ops)
             i = 0
-            while i < n:
-                txn = ops[i][0]
-                if not txn.committed:
-                    while i < n and ops[i][0] is txn:
-                        i += 1
-                    continue
+            while i < n_ops:
+                pos = st_txn[i]
                 current: Any = _UNPINNED
-                while i < n and ops[i][0] is txn:
-                    mop = ops[i][2]
-                    if mop.is_read:
-                        current = mop.value  # None = INIT
+                while i < n_ops and st_txn[i] == pos:
+                    value = st_val[i]
+                    if st_read[i]:
+                        current = value  # None = INIT
                     else:
                         if current is not _UNPINNED:
                             add_version_edge(
-                                current, mop.value, "write-follows-read"
+                                current, value, "write-follows-read"
                             )
-                        current = mop.value
+                        current = value
                     i += 1
 
-        def order_source_edges(pairs, tag: str) -> None:
-            for t1, t2 in pairs:
-                last = _interaction_values(t1, key)
-                first = _interaction_values(t2, key)
-                if last is None or first is None:
-                    continue
-                add_version_edge(last[1], first[0], tag)
+        if "process" in sources or "realtime" in sources:
+            # (first, last) version each transaction pinned the key to —
+            # one pass over the op stream replaces the historical
+            # per-pair re-scan of each transaction's micro-ops.
+            pins: Dict[int, Tuple[Any, Any]] = {}
+            for i in range(n_ops):
+                pos = st_txn[i]
+                value = st_val[i]
+                cur = pins.get(pos)
+                pins[pos] = (value, value) if cur is None else (cur[0], value)
 
-        if "process" in sources:
-            for txns in slice_.interacting_by_process().values():
-                order_source_edges(zip(txns, txns[1:]), "process")
-        if "realtime" in sources:
-            order_source_edges(
-                interval_precedence_edges(slice_.intervals), "realtime"
-            )
+            def order_source_edges(pairs, tag: str) -> None:
+                for p1, p2 in pairs:
+                    last = pins.get(p1)
+                    first = pins.get(p2)
+                    if last is None or first is None:
+                        continue
+                    add_version_edge(last[1], first[0], tag)
+
+            if "process" in sources:
+                grouped = slice_.interacting_positions_by_process()
+                for positions in grouped.values():
+                    order_source_edges(zip(positions, positions[1:]), "process")
+            if "realtime" in sources:
+                txn_invoke = index.txn_invoke
+                txn_complete = index.txn_complete
+                iv_pos: List[int] = []
+                iv_invoke: List[int] = []
+                iv_complete: List[int] = []
+                for pos in slice_.inter_txn:
+                    complete = txn_complete[pos]
+                    if complete >= 0:
+                        iv_pos.append(pos)
+                        iv_invoke.append(txn_invoke[pos])
+                        iv_complete.append(complete)
+                sources_arr, targets_arr = interval_precedence_pairs(
+                    iv_pos, iv_invoke, iv_complete
+                )
+                order_source_edges(zip(sources_arr, targets_arr), "realtime")
 
         # --------------------------------------------------------------
-        # Cyclic version orders: report and discard (§7.4).
-        components = cyclic_components(version_graph)
+        # Cyclic version orders: report and discard (§7.4).  A Kahn peel
+        # over the plain adjacency proves the common case (acyclic)
+        # cheaply; only a key that fails it pays for the full labeled
+        # graph and the Tarjan decomposition, whose node interning order —
+        # first emission of each version — is reproduced exactly.
+        if self._kahn_acyclic(succ, version_edges):
+            components: List[List[Any]] = []
+        else:
+            version_graph = LabeledDiGraph()
+            for v1, v2 in version_edges:
+                version_graph.add_edge(v1, v2, 1)
+            components = cyclic_components(version_graph)
         cyclic = bool(components)
         if components:
             keyed = []
             for component in components:
                 involved = set()
                 for value in component:
-                    writer = write_map.get(value)
-                    if writer is not None:
-                        involved.add(writer.id)
-                    involved.update(t.id for t in readers.get(value, ()))
+                    wpos = fw_get(value)
+                    if wpos is not None:
+                        involved.add(txn_ids[wpos])
+                    involved.update(readers.get(value, ()))
                 implicated = sorted(involved)
                 keyed.append(
                     Anomaly(
@@ -335,52 +427,60 @@ class RwRegisterPlan(KeyspacePlan):
         # Transaction dependency edges.
         fragment: Dict[Tuple[int, int, int], Evidence] = {}
 
-        def emit(u: int, v: int, evidence: Evidence) -> None:
-            if u != v:
-                fragment.setdefault((u, v, evidence.kind), evidence)
-
         # wr edges need no version order; they survive cyclic keys.
         for value, value_readers in readers.items():
             if value is INIT:
                 continue
-            writer = write_map.get(value)
-            if writer is None:
+            wpos = fw_get(value)
+            if wpos is None:
                 continue
-            for reader in value_readers:
-                emit(writer.id, reader.id, Evidence(kind=WR, key=key, value=value))
+            writer_id = txn_ids[wpos]
+            for reader_id in value_readers:
+                if writer_id != reader_id:
+                    edge = (writer_id, reader_id, WR)
+                    if edge not in fragment:
+                        fragment[edge] = Evidence(kind=WR, key=key, value=value)
         if not cyclic:
             for (v1, v2), _sources_seen in version_edges.items():
-                writer2 = write_map.get(v2)
-                if writer2 is None or not anchored(writer2, v2):
+                wpos2 = fw_get(v2)
+                if wpos2 is None or not (
+                    txn_committed[wpos2] or v2 in observed
+                ):
                     continue
+                writer2_id = txn_ids[wpos2]
                 if v1 is not INIT:
-                    writer1 = write_map.get(v1)
-                    if writer1 is not None and anchored(writer1, v1):
-                        emit(
-                            writer1.id,
-                            writer2.id,
-                            Evidence(kind=WW, key=key, value=v2, prev_value=v1),
-                        )
-                for reader in readers.get(v1, ()):
-                    emit(
-                        reader.id,
-                        writer2.id,
-                        Evidence(kind=RW, key=key, value=v2, prev_value=v1),
-                    )
+                    wpos1 = fw_get(v1)
+                    if wpos1 is not None and (
+                        txn_committed[wpos1] or v1 in observed
+                    ):
+                        writer1_id = txn_ids[wpos1]
+                        if writer1_id != writer2_id:
+                            edge = (writer1_id, writer2_id, WW)
+                            if edge not in fragment:
+                                fragment[edge] = Evidence(
+                                    kind=WW, key=key, value=v2, prev_value=v1
+                                )
+                for reader_id in readers.get(v1, ()):
+                    if reader_id != writer2_id:
+                        edge = (reader_id, writer2_id, RW)
+                        if edge not in fragment:
+                            fragment[edge] = Evidence(
+                                kind=RW, key=key, value=v2, prev_value=v1
+                            )
         edge_blocks = [((0, key_pos, 0), fragment)] if fragment else []
 
         # --------------------------------------------------------------
         # Lost updates: two committed read-modify-writes off one version.
-        rmw_writers: Dict[Any, List[Tuple[Any, Transaction]]] = {}
+        rmw_writers: Dict[Any, List[Tuple[Any, int]]] = {}
         for (v1, v2), sources_seen in version_edges.items():
             if "write-follows-read" not in sources_seen:
                 continue
-            writer = write_map.get(v2)
-            if writer is not None and writer.committed:
-                rmw_writers.setdefault(v1, []).append((v2, writer))
+            wpos = fw_get(v2)
+            if wpos is not None and txn_committed[wpos]:
+                rmw_writers.setdefault(v1, []).append((v2, wpos))
         late = []
         for v1, writers in rmw_writers.items():
-            distinct = {w.id: (v2, w) for v2, w in writers}
+            distinct = {txn_ids[w]: (v2, w) for v2, w in writers}
             if len(distinct) >= 2:
                 ids = tuple(sorted(distinct))
                 values = sorted((v2 for v2, _w in distinct.values()), key=repr)
@@ -423,8 +523,10 @@ def analyze_rw_register(
     # ordering holds: bad sources outrank workload-validation errors.
     _validate_sources(sources)
     analysis = Analysis(history=history, workload="rw-register")
-    validate_workload(history.transactions, "rw-register")
     with stage(profile, "analyze/index"):
+        history.index(profile=profile)
+    validate_workload_indexed(history, "rw-register")
+    with stage(profile, "analyze/plan"):
         plan = RwRegisterPlan(history, sources=sources)
     execute_plan(plan, analysis, shards=shards, profile=profile)
     with stage(profile, "analyze/orders"):

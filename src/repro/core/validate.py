@@ -23,6 +23,22 @@ WORKLOAD_WRITE_FN = {
 }
 
 
+def validate_workload_indexed(history, workload: str) -> None:
+    """:func:`validate_workload` with the index's function census fast path.
+
+    The history's :class:`~repro.history.index.HistoryIndex` records every
+    micro-op function name it has seen; when that census contains nothing
+    but reads and the workload's own write function, the per-mop scan is
+    provably silent and is skipped.  Any other census falls through to the
+    full scan, which raises the exact historical error for the first
+    foreign micro-op.
+    """
+    allowed_write = WORKLOAD_WRITE_FN[workload]
+    if history.index().mop_fns <= {READ, allowed_write}:
+        return
+    validate_workload(history.transactions, workload)
+
+
 def validate_workload(txns: Iterable[Transaction], workload: str) -> None:
     """Raise :class:`WorkloadError` if any micro-op doesn't belong.
 

@@ -17,14 +17,16 @@ from .cycles import (
 )
 from .csr import CSRGraph
 from .digraph import ALL_EDGES, LabeledDiGraph
+from .edgelog import EdgeLogGraph
 from .dot import cycle_to_dot, graph_to_dot
-from .intervals import interval_precedence_edges
+from .intervals import interval_precedence_edges, interval_precedence_pairs
 from .tarjan import cyclic_components, strongly_connected_components
 
 __all__ = [
     "ALL_EDGES",
     "CSRGraph",
     "Cycle",
+    "EdgeLogGraph",
     "LabeledDiGraph",
     "cycle_edge_labels",
     "cycle_edges",
@@ -35,6 +37,7 @@ __all__ = [
     "find_cycles",
     "graph_to_dot",
     "interval_precedence_edges",
+    "interval_precedence_pairs",
     "shortest_cycle_in_component",
     "shortest_path",
     "strongly_connected_components",

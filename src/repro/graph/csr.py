@@ -27,8 +27,38 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+try:  # Optional acceleration; every path below has a pure-Python twin.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the _force flags
+    _np = None
+
 #: Mask that admits every edge regardless of label.
 ALL_EDGES = -1
+
+#: Below this edge count the pure-Python edge-log build wins (numpy's
+#: per-call overhead dominates tiny graphs).  Both builds are byte-identical,
+#: so the threshold is purely a performance knob.
+_BULK_MIN_EDGES = 512
+
+#: Below this edge count the scipy strongly-connected screen is not worth
+#: the array round-trip; the Python Tarjan runs directly.
+_FAST_SCC_MIN_EDGES = 8192
+
+# Lazily resolved scipy.sparse handle (None = not probed, False = absent).
+_SCIPY_SPARSE = None
+
+
+def _sparse():
+    """``scipy.sparse`` if importable, else ``False`` (probed once)."""
+    global _SCIPY_SPARSE
+    if _SCIPY_SPARSE is None:
+        try:
+            from scipy import sparse as sp  # type: ignore
+
+            _SCIPY_SPARSE = sp
+        except ImportError:  # pragma: no cover - exercised via _force flags
+            _SCIPY_SPARSE = False
+    return _SCIPY_SPARSE
 
 
 class CSRGraph:
@@ -40,26 +70,97 @@ class CSRGraph:
     graphs can stand in for dict graphs in read-only code paths.
     """
 
-    __slots__ = ("nodes", "index_of", "indptr", "indices", "labels",
-                 "label_union")
+    __slots__ = ("_nodes", "_nodes_np", "_index_of", "_indptr", "_indices",
+                 "_labels", "_n", "_e", "label_union", "_np_arrays")
 
     def __init__(
         self,
         nodes: List,
-        index_of: Dict,
+        index_of: Optional[Dict],
         indptr: List[int],
         indices: List[int],
         labels: List[int],
+        label_union: Optional[int] = None,
     ) -> None:
-        self.nodes = nodes
-        self.index_of = index_of
-        self.indptr = indptr
-        self.indices = indices
-        self.labels = labels
-        union = 0
-        for label in labels:
-            union |= label
-        self.label_union = union
+        self._nodes = nodes
+        self._nodes_np = None
+        self._index_of = index_of
+        self._indptr = indptr
+        self._indices = indices
+        self._labels = labels
+        self._n = len(nodes)
+        self._e = len(indices)
+        if label_union is None:
+            label_union = 0
+            for label in labels:
+                label_union |= label
+        self.label_union = label_union
+        #: Cached ``(indptr, indices, labels)`` as numpy arrays, built on
+        #: demand by the scipy acyclicity screen (or kept from a bulk build).
+        self._np_arrays = None
+
+    @classmethod
+    def _from_np(
+        cls, nodes_np, indptr_np, indices_np, labels_np, label_union: int
+    ) -> "CSRGraph":
+        """Wrap a bulk-built numpy CSR; Python lists materialize lazily.
+
+        On a clean history the vectorized acyclicity screen answers the
+        whole cycle search from the numpy arrays, so the (costly) int-list
+        conversions never happen unless a Python traversal — Tarjan, BFS,
+        node-domain queries — actually needs them.
+        """
+        graph = cls.__new__(cls)
+        graph._nodes = None
+        graph._nodes_np = nodes_np
+        graph._index_of = None
+        graph._indptr = None
+        graph._indices = None
+        graph._labels = None
+        graph._n = len(nodes_np)
+        graph._e = len(indices_np)
+        graph.label_union = label_union
+        graph._np_arrays = (indptr_np, indices_np, labels_np)
+        return graph
+
+    @property
+    def nodes(self) -> List:
+        """Interned nodes, id order (materialized lazily from a bulk build)."""
+        nodes = self._nodes
+        if nodes is None:
+            nodes = self._nodes = self._nodes_np.tolist()
+        return nodes
+
+    @property
+    def indptr(self) -> List[int]:
+        indptr = self._indptr
+        if indptr is None:
+            indptr = self._indptr = self._np_arrays[0].tolist()
+        return indptr
+
+    @property
+    def indices(self) -> List[int]:
+        indices = self._indices
+        if indices is None:
+            indices = self._indices = self._np_arrays[1].tolist()
+        return indices
+
+    @property
+    def labels(self) -> List[int]:
+        labels = self._labels
+        if labels is None:
+            labels = self._labels = self._np_arrays[2].tolist()
+        return labels
+
+    @property
+    def index_of(self) -> Dict:
+        """Node -> integer id; built lazily (bulk builds skip it entirely)."""
+        index_of = self._index_of
+        if index_of is None:
+            index_of = self._index_of = {
+                node: i for i, node in enumerate(self.nodes)
+            }
+        return index_of
 
     @classmethod
     def from_digraph(cls, graph) -> "CSRGraph":
@@ -89,23 +190,139 @@ class CSRGraph:
             indptr[i + 1] = pos
         return cls(nodes, index_of, indptr, indices, labels)
 
+    @classmethod
+    def from_edge_log(
+        cls,
+        us: Sequence[int],
+        vs: Sequence[int],
+        labels: Sequence[int],
+    ) -> "CSRGraph":
+        """Build a snapshot from a flat, append-ordered edge log.
+
+        The log lists every edge *emission* — the same ``(u, v, label)``
+        triple may repeat, and labels for one ``(u, v)`` pair OR together.
+        The result is byte-identical to inserting the triples one by one
+        into a :class:`LabeledDiGraph` and freezing it: nodes intern in
+        first-appearance order over the interleaved ``u0, v0, u1, v1, ...``
+        stream, and each row's successors keep first-emission order.
+
+        Large logs take a vectorized numpy path (sort/reduce over flat
+        arrays); small logs — and numpy-less installs — use a dict build.
+        """
+        if _np is not None and len(us) >= _BULK_MIN_EDGES:
+            return cls._from_edge_log_np(us, vs, labels)
+        return cls._from_edge_log_py(us, vs, labels)
+
+    @classmethod
+    def _from_edge_log_py(cls, us, vs, labels) -> "CSRGraph":
+        succ: Dict = {}
+        for u, v, label in zip(us, vs, labels):
+            row = succ.get(u)
+            if row is None:
+                row = succ[u] = {}
+            if v not in succ:
+                succ[v] = {}
+            row[v] = row.get(v, 0) | label
+        nodes = list(succ)
+        index_of = {node: i for i, node in enumerate(nodes)}
+        indptr = [0] * (len(nodes) + 1)
+        indices: List[int] = []
+        flat_labels: List[int] = []
+        intern = index_of.__getitem__
+        pos = 0
+        for i, node in enumerate(nodes):
+            targets = succ[node]
+            if targets:
+                pos += len(targets)
+                indices.extend(map(intern, targets))
+                flat_labels.extend(targets.values())
+            indptr[i + 1] = pos
+        return cls(nodes, index_of, indptr, indices, flat_labels)
+
+    @classmethod
+    def _from_edge_log_np(cls, us, vs, labels) -> "CSRGraph":
+        u = _np.asarray(us, dtype=_np.int64)
+        v = _np.asarray(vs, dtype=_np.int64)
+        lab = _np.asarray(labels, dtype=_np.int64)
+        e = len(u)
+        # Nodes, in first-appearance order over the interleaved stream.
+        interleaved = _np.empty(2 * e, dtype=_np.int64)
+        interleaved[0::2] = u
+        interleaved[1::2] = v
+        lo = int(interleaved.min())
+        hi = int(interleaved.max())
+        if lo >= 0 and hi < 8 * e + 1024:
+            # Dense node domain (transaction ids): two scatters replace the
+            # O(n log n) sort inside np.unique.  Fancy assignment keeps the
+            # *last* write per repeated index, so assigning in reverse
+            # stream order records each node's first appearance.
+            first_occ = _np.full(hi + 1, -1, dtype=_np.int64)
+            first_occ[interleaved[::-1]] = _np.arange(
+                2 * e - 1, -1, -1, dtype=_np.int64
+            )
+            present = _np.flatnonzero(first_occ >= 0)  # sorted by value
+            node_vals = present[_np.argsort(first_occ[present])]
+            n = len(node_vals)
+            rank = _np.empty(hi + 1, dtype=_np.int64)
+            rank[node_vals] = _np.arange(n, dtype=_np.int64)
+            uid = rank[u]
+            vid = rank[v]
+            node_source = node_vals
+        else:
+            uniq, first = _np.unique(interleaved, return_index=True)
+            n = len(uniq)
+            order = _np.argsort(first)
+            rank = _np.empty(n, dtype=_np.int64)
+            rank[order] = _np.arange(n, dtype=_np.int64)
+            uid = rank[_np.searchsorted(uniq, u)]
+            vid = rank[_np.searchsorted(uniq, v)]
+            node_source = uniq[order]
+        # Group emissions by (u, v): OR the labels, keep the first emission
+        # position (stable sort => the group's minimum stream index).
+        pair = uid * n + vid
+        by_pair = _np.argsort(pair, kind="stable")
+        sorted_pair = pair[by_pair]
+        starts_mask = _np.empty(e, dtype=bool)
+        starts_mask[0] = True
+        _np.not_equal(sorted_pair[1:], sorted_pair[:-1], out=starts_mask[1:])
+        starts = _np.flatnonzero(starts_mask)
+        pairs = sorted_pair[starts]
+        pair_labels = _np.bitwise_or.reduceat(lab[by_pair], starts)
+        pair_first = by_pair[starts]
+        # CSR rows: sort unique pairs by (source id, first emission).
+        src = pairs // n
+        dst = pairs - src * n
+        row_order = _np.lexsort((pair_first, src))
+        indices_np = dst[row_order]
+        labels_np = pair_labels[row_order]
+        counts = _np.bincount(src, minlength=n)
+        indptr_np = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=indptr_np[1:])
+        return cls._from_np(
+            node_source,
+            indptr_np,
+            indices_np,
+            labels_np,
+            int(_np.bitwise_or.reduce(lab)) if e else 0,
+        )
+
     # ------------------------------------------------------------------
     # Node-domain queries (LabeledDiGraph-compatible subset)
 
     @property
     def n(self) -> int:
-        return len(self.nodes)
+        return self._n
 
     @property
     def node_count(self) -> int:
-        return len(self.nodes)
+        return self._n
 
     @property
     def edge_count(self) -> int:
-        return len(self.indices)
+        return self._e
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return self._n
 
     def __contains__(self, node) -> bool:
         return node in self.index_of
@@ -153,7 +370,7 @@ class CSRGraph:
 
     def allowed_table(self, members: Iterable[int]) -> bytearray:
         """A byte table with ``table[i] = 1`` for each member index."""
-        table = bytearray(len(self.nodes))
+        table = bytearray(self._n)
         for i in members:
             table[i] = 1
         return table
@@ -178,7 +395,7 @@ class CSRGraph:
         indptr = self.indptr
         indices = self.indices
         labels = self.labels
-        n = len(self.nodes)
+        n = self._n
         index_of = [-1] * n
         lowlink = [0] * n
         on_stack = bytearray(n)
@@ -259,7 +476,17 @@ class CSRGraph:
         roots: Optional[Sequence[int]] = None,
         allowed: Optional[bytearray] = None,
     ) -> List[List[int]]:
-        """SCCs that can contain a cycle: size > 1, or a self-looping node."""
+        """SCCs that can contain a cycle: size > 1, or a self-looping node.
+
+        Full-graph queries on large graphs first run a vectorized
+        acyclicity screen (scipy's strongly-connected count): when the
+        graph under ``mask`` is provably acyclic — one component per node
+        and no self-loop — the answer is ``[]`` with no Python traversal.
+        Any other outcome falls through to the Tarjan walk, whose emission
+        order downstream witness selection depends on.
+        """
+        if roots is None and allowed is None and self._provably_acyclic(mask):
+            return []
         result = []
         for component in self.scc_idx(mask, roots, allowed):
             if len(component) > 1:
@@ -267,6 +494,53 @@ class CSRGraph:
             elif self._has_self_loop_idx(component[0], mask):
                 result.append(component)
         return result
+
+    def _provably_acyclic(self, mask: int) -> bool:
+        """True only when a C-speed screen proves no cycle exists under ``mask``."""
+        if _np is None or self._e < _FAST_SCC_MIN_EDGES:
+            return False
+        sparse = _sparse()
+        if not sparse:
+            return False
+        arrays = self._np_arrays
+        if arrays is None:
+            arrays = self._np_arrays = (
+                _np.asarray(self.indptr, dtype=_np.int64),
+                _np.asarray(self.indices, dtype=_np.int64),
+                _np.asarray(self.labels, dtype=_np.int64),
+            )
+        indptr_np, indices_np, labels_np = arrays
+        n = self._n
+        if mask & self.label_union == self.label_union:
+            # Every edge visible: wrap the existing CSR arrays directly.
+            matrix = sparse.csr_matrix(
+                (
+                    _np.ones(len(indices_np), dtype=_np.int8),
+                    indices_np,
+                    indptr_np,
+                ),
+                shape=(n, n),
+            )
+        else:
+            keep = (labels_np & mask) != 0
+            rows = _np.repeat(
+                _np.arange(n, dtype=_np.int64), _np.diff(indptr_np)
+            )[keep]
+            matrix = sparse.csr_matrix(
+                (
+                    _np.ones(len(rows), dtype=_np.int8),
+                    (rows, indices_np[keep]),
+                ),
+                shape=(n, n),
+            )
+        if bool(matrix.diagonal().any()):
+            return False  # a self-loop is already a cycle
+        from scipy.sparse import csgraph  # local: follows the gate above
+
+        count = csgraph.connected_components(
+            matrix, directed=True, connection="strong", return_labels=False
+        )
+        return int(count) == n
 
     # ------------------------------------------------------------------
     # Breadth-first cycle searches

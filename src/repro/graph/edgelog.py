@@ -1,0 +1,188 @@
+"""An append-only edge log that freezes into a CSR snapshot.
+
+:class:`~repro.graph.digraph.LabeledDiGraph` pays two dict probes and a
+read-modify-write per edge *at insertion time* so that queries are cheap at
+any moment.  The analysis pipeline doesn't need that: it emits hundreds of
+thousands of edges in one deterministic stream, then freezes the graph once
+and only reads it afterwards.  :class:`EdgeLogGraph` embraces that shape —
+``add_edge`` and friends are list appends, and all the dedup/interning work
+happens in one vectorized bulk pass (:meth:`CSRGraph.from_edge_log`) at
+freeze time.
+
+The frozen result is byte-identical to inserting the same stream into a
+``LabeledDiGraph`` and freezing it: node interning order is first appearance
+over the interleaved ``u, v`` stream, successor rows keep first-emission
+order, and labels for a repeated pair OR together.  Read-side methods
+(``nodes``, ``edges``, ``edge_label``, ``has_edge``) delegate to the cached
+snapshot, so the class can stand in for the digraph everywhere the checker
+reads the inferred serialization graph.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .csr import ALL_EDGES, CSRGraph
+
+
+class EdgeLogGraph:
+    """A mutable graph optimized for bulk emission then frozen traversal.
+
+    The log lives in three ``array('q')`` columns (64-bit ints), so the
+    bulk freeze converts to numpy through the buffer protocol instead of
+    walking a list of boxed ints.
+    """
+
+    __slots__ = ("_u", "_v", "_l", "_csr")
+
+    def __init__(self) -> None:
+        self._u = array("q")
+        self._v = array("q")
+        self._l = array("q")
+        self._csr = None
+
+    # ------------------------------------------------------------------
+    # Construction: every path is appends on flat parallel arrays.
+
+    def add_edge(self, u: int, v: int, label: int) -> None:
+        """Append one edge emission (labels for a repeated pair OR together)."""
+        if label == 0:
+            raise ValueError("edge label must have at least one bit set")
+        self._u.append(u)
+        self._v.append(v)
+        self._l.append(label)
+        self._csr = None
+
+    def add_edges_from(self, edges: Iterable[Tuple[int, int, int]]) -> None:
+        """Bulk :meth:`add_edge` from ``(u, v, label)`` triples."""
+        self._csr = None
+        append_u = self._u.append
+        append_v = self._v.append
+        append_l = self._l.append
+        for u, v, label in edges:
+            if label == 0:
+                raise ValueError("edge label must have at least one bit set")
+            append_u(u)
+            append_v(v)
+            append_l(label)
+
+    def add_edge_arrays(
+        self, us: Sequence[int], vs: Sequence[int], label: int
+    ) -> None:
+        """Append parallel endpoint arrays sharing one label (order edges)."""
+        if label == 0:
+            raise ValueError("edge label must have at least one bit set")
+        if not us:
+            return
+        self._csr = None
+        self._u.extend(us)
+        self._v.extend(vs)
+        self._l.extend([label] * len(us))
+
+    def add_edge_keys(self, triples: Iterable[Tuple[int, int, int]]) -> None:
+        """Append pre-validated ``(u, v, label)`` triples in bulk.
+
+        The analyzer merge path hands whole edge-batch dicts here (a dict
+        of ``EdgeKey`` keys iterates as triples); labels are dependency
+        bits, already non-zero by construction, so no per-edge validation
+        runs.
+        """
+        triples = list(triples)
+        if not triples:
+            return
+        self._csr = None
+        us, vs, ls = zip(*triples)
+        self._u.extend(us)
+        self._v.extend(vs)
+        self._l.extend(ls)
+
+    def union(self, other: "EdgeLogGraph") -> "EdgeLogGraph":
+        """Append another log's emissions after this one's; returns self."""
+        self._csr = None
+        self._u.extend(other._u)
+        self._v.extend(other._v)
+        self._l.extend(other._l)
+        return self
+
+    # ------------------------------------------------------------------
+    # Freezing and reads (all reads go through the cached snapshot).
+
+    def freeze(self) -> CSRGraph:
+        """The CSR snapshot of the log, cached until the next append."""
+        csr = self._csr
+        if csr is None:
+            csr = self._csr = CSRGraph.from_edge_log(self._u, self._v, self._l)
+        return csr
+
+    @property
+    def emission_count(self) -> int:
+        """Raw log length (emissions, not deduplicated edges)."""
+        return len(self._u)
+
+    @property
+    def node_count(self) -> int:
+        return self.freeze().node_count
+
+    @property
+    def edge_count(self) -> int:
+        return self.freeze().edge_count
+
+    def __len__(self) -> int:
+        return self.node_count
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.freeze().index_of
+
+    def nodes(self) -> Iterator[int]:
+        """Nodes in interning (first-emission) order."""
+        return iter(self.freeze().nodes)
+
+    def edges(self, mask: int = ALL_EDGES) -> Iterator[Tuple[int, int, int]]:
+        """All ``(u, v, label)`` triples visible under ``mask``."""
+        csr = self.freeze()
+        nodes = csr.nodes
+        indptr = csr.indptr
+        indices = csr.indices
+        labels = csr.labels
+        for i, node in enumerate(nodes):
+            for pos in range(indptr[i], indptr[i + 1]):
+                label = labels[pos]
+                if label & mask:
+                    yield node, nodes[indices[pos]], label
+
+    def edge_label(self, u: int, v: int) -> int:
+        return self.freeze().edge_label(u, v)
+
+    def has_edge(self, u: int, v: int, mask: int = ALL_EDGES) -> bool:
+        return bool(self.edge_label(u, v) & mask)
+
+    def successors(self, u: int, mask: int = ALL_EDGES) -> Iterator[int]:
+        return self.freeze().successors(u, mask)
+
+    def out_degree(self, u: int, mask: int = ALL_EDGES) -> int:
+        csr = self.freeze()
+        ui = csr.index_of.get(u)
+        if ui is None:
+            return 0
+        labels = csr.labels
+        return sum(
+            1
+            for pos in range(csr.indptr[ui], csr.indptr[ui + 1])
+            if labels[pos] & mask
+        )
+
+    def in_degree(self, v: int, mask: int = ALL_EDGES) -> int:
+        csr = self.freeze()
+        vi = csr.index_of.get(v)
+        if vi is None:
+            return 0
+        labels = csr.labels
+        return sum(
+            1
+            for pos, target in enumerate(csr.indices)
+            if target == vi and labels[pos] & mask
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeLogGraph({len(self._u)} emissions)"

@@ -284,17 +284,19 @@ class History:
     def max_index(self) -> int:
         return self.ops[-1].index if self.ops else -1
 
-    def index(self):
+    def index(self, profile=None):
         """The cached single-pass :class:`~repro.history.index.HistoryIndex`.
 
         Built lazily on first use and shared by every analyzer, so the
         per-key regrouping of the observation happens exactly once per
         history (and, under fork-based sharding, once per *check*).
+        ``profile``, when given, records the build's stages and interning
+        counters — a no-op when the index is already cached.
         """
         if self._index is None:
             from .index import HistoryIndex
 
-            self._index = HistoryIndex(self.transactions)
+            self._index = HistoryIndex(self.transactions, profile=profile)
         return self._index
 
     def __repr__(self) -> str:

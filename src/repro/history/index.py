@@ -1,36 +1,42 @@
-"""A single-pass, per-key index over a history: the analyzers' shared substrate.
+"""A single-pass, per-key *columnar* index over a history.
 
 Elle's dependency inference (§4–§5) is per-key by construction — version
 orders, write indexes, and wr/ww/rw edges are all derived key by key — yet
-the raw :class:`~repro.history.history.History` is transaction-major.  Every
-analyzer used to re-walk the full transaction list several times to regroup
-it (and the rw-register process/realtime version sources rescanned *all*
-transactions once *per key*, an O(keys × txns) pass).
+the raw :class:`~repro.history.history.History` is transaction-major.  A
+:class:`HistoryIndex` makes one pass over the transactions and materializes
+everything the per-key analysis plans in :mod:`repro.core.keyspace` consume.
 
-A :class:`HistoryIndex` makes one pass over the transactions and materializes
-everything the per-key analysis plans in :mod:`repro.core.keyspace` consume:
+**Interned, columnar layout.**  The analyzers' hot loops never touch
+:class:`~repro.history.ops.Transaction` objects; everything they need is
+interned to dense integers during the single build pass and stored in flat
+parallel arrays:
 
-* ``key_order`` / ``read_key_order`` — deterministic key orderings (first
-  appearance over all micro-ops, and over committed value-bearing reads);
-* one :class:`KeySlice` per key with the key's micro-op stream, write
-  stream, first-writer-wins ``write_map``, committed reads, committed
-  *interacting* transactions, and their real-time interaction intervals;
-* ``by_process`` — each logical process's transactions in invocation order;
-* the first write-uniqueness violations (duplicate writes, ``None`` register
-  writes), recorded rather than raised so each workload can apply its own
-  recoverability contract.
+* transactions intern to their *list position* — per-position arrays
+  (``txn_ids``, ``txn_committed``, ``txn_aborted``, ``txn_process``,
+  ``txn_invoke``, ``txn_complete``, ``internal_candidates``) answer every
+  status/interval question with one index instead of an attribute chain;
+* keys intern to slice positions (``slices[key].pos``, the merge order);
+* written values intern to their first writer's position: each slice's
+  ``first_writer`` maps value -> writer position, the per-key restriction
+  of the global write index with the Transaction object replaced by an int;
+* each :class:`KeySlice` stores its micro-op stream, write stream, and
+  committed reads as parallel ``(txn position, mop position, value)``
+  arrays — ints and raw values, no per-slot tuple or dataclass objects.
+
+Object-level views (``slice.ops``, ``slice.write_map``, ...) remain as
+derived properties for tests and cold paths; the plans read the arrays.
 
 The index is cached on the history (``history.index()``), so the checker,
-plans, and any future streaming/incremental layers share one build.  Because
-a fork-based worker pool inherits the parent's memory, sharded analysis
-reuses the same index without re-scanning per worker.
+plans, and the streaming layer share one build.  Because a fork-based
+worker pool inherits the parent's memory, sharded analysis reuses the same
+index without re-scanning per worker.
 
 **Incremental extension.**  ``History.extend`` keeps the cached index alive
 by calling :meth:`HistoryIndex.extend` with the appended transactions and
 any *upgraded* ones (a pending invocation whose completion arrived, turning
 a provisional indeterminate transaction into its final form).  New
 transactions append their slots to the affected slices in place; a slice
-touched by an upgraded transaction is rebuilt from its own transaction list
+touched by an upgraded transaction is rebuilt from its own transaction set
 — never by re-scanning the whole history.  Every observation-order position
 is a ``(transaction position, micro-op position)`` pair, which is stable
 under append-only growth, so candidates recorded before an extension stay
@@ -41,12 +47,27 @@ result cache on it.
 
 from __future__ import annotations
 
+import weakref
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import WorkloadError
-from .ops import MicroOp, Transaction
+from .ops import OpType, READ, MicroOp, Transaction
+
+
+def _stage(profile, name: str):
+    """``profile.stage(name)`` or a no-op context when profiling is off.
+
+    A local twin of :func:`repro.core.profiling.stage` (duck-typed on the
+    profile's ``stage`` method) — the history layer cannot import from
+    :mod:`repro.core` without inverting the package layering.
+    """
+    if profile is None:
+        return nullcontext()
+    return profile.stage(name)
 
 #: One positioned micro-op: (transaction, mop position within it, micro-op).
+#: The object-level view; slices *store* parallel int arrays instead.
 Slotted = Tuple[Transaction, int, MicroOp]
 
 #: An observation-order position: (transaction position, micro-op position).
@@ -59,15 +80,18 @@ Seq = Tuple[int, int]
 class KeySlice:
     """Everything one key contributed to a history, in observation order.
 
-    ``ops`` is the key's full micro-op stream — ``(txn, mop_seq, mop)``
-    triples in transaction-major order, all completion types included.
-    ``writes`` and ``committed_reads`` are the filtered substreams the
-    analyzers consume most.  ``write_map`` maps written value -> first
-    writing transaction (the per-key restriction of the global write index).
-    ``interacting`` lists the committed transactions that touched the key,
-    in invocation order, and ``intervals`` their real-time occupation
-    ``(txn, invoke_index, complete_index)`` triples — the inputs to the
-    per-key process/realtime version-order sources (§5.2).
+    The streams are *columnar*: ``op_txn[i]`` is the transaction position
+    of the key's ``i``-th micro-op slot (all completion types included),
+    and ``w_txn``/``w_seq``/``w_val`` and ``r_txn``/``r_seq``/``r_val``
+    are the parallel write and committed-read substreams the analyzers
+    consume; :meth:`committed_stream` merges the substreams back into the
+    full committed per-slot stream on demand.  List-valued read
+    observations are normalized to tuples once, at build time.
+    ``first_writer`` maps written value -> first writing
+    transaction's *position* (the interned per-key write index), and
+    ``inter_txn`` lists the committed interacting transactions' positions in
+    invocation order — the inputs to the per-key process/realtime
+    version-order sources (§5.2).
 
     ``version`` counts mutations (appended slots or rebuilds); any cached
     derivation from the slice is valid exactly while the version matches.
@@ -81,155 +105,467 @@ class KeySlice:
     __slots__ = (
         "key",
         "pos",
-        "ops",
-        "writes",
-        "committed_reads",
-        "write_map",
-        "interacting",
         "version",
+        "op_txn",
+        "w_txn",
+        "w_seq",
+        "w_val",
+        "r_txn",
+        "r_seq",
+        "r_val",
+        "first_writer",
+        "inter_txn",
         "first_seq",
         "first_read_seq",
-        "dup",
-        "none_write",
+        "_dup",
+        "_none_write",
+        "_owner_ref",
     )
 
-    def __init__(self, key: Any, pos: int) -> None:
+    def __init__(self, owner: "HistoryIndex", key: Any, pos: int) -> None:
+        # Weak: the index owns its slices, and a strong back-reference
+        # would make every dropped index cyclic garbage (invisible to
+        # reference counting, and the analysis runs under a paused GC).
+        self._owner_ref = weakref.ref(owner)
         self.key = key
         self.pos = pos
         self.version = 0
-        self.ops: List[Slotted] = []
-        self.writes: List[Slotted] = []
-        self.committed_reads: List[Slotted] = []
-        self.write_map: Dict[Any, Transaction] = {}
-        self.interacting: List[Transaction] = []
+        self.op_txn: List[int] = []
+        self.w_txn: List[int] = []
+        self.w_seq: List[int] = []
+        self.w_val: List[Any] = []
+        self.r_txn: List[int] = []
+        self.r_seq: List[int] = []
+        self.r_val: List[Any] = []
+        self.first_writer: Dict[Any, int] = {}
+        self.inter_txn: List[int] = []
         self.first_seq: Optional[Seq] = None
         self.first_read_seq: Optional[Seq] = None
-        self.dup: Optional[Tuple[Seq, Any, Any, Transaction, Transaction]] = None
-        self.none_write: Optional[Tuple[Seq, Any, Transaction]] = None
+        #: (seq, key, value, first writer pos, second writer pos)
+        self._dup: Optional[Tuple[Seq, Any, Any, int, int]] = None
+        #: (seq, key, writer pos)
+        self._none_write: Optional[Tuple[Seq, Any, int]] = None
 
     def _reset(self) -> None:
         """Clear derived state before a rebuild (identity fields survive)."""
-        self.ops = []
-        self.writes = []
-        self.committed_reads = []
-        self.write_map = {}
-        self.interacting = []
+        self.op_txn = []
+        self.w_txn = []
+        self.w_seq = []
+        self.w_val = []
+        self.r_txn = []
+        self.r_seq = []
+        self.r_val = []
+        self.first_writer = {}
+        self.inter_txn = []
         self.first_seq = None
         self.first_read_seq = None
-        self.dup = None
-        self.none_write = None
+        self._dup = None
+        self._none_write = None
+
+    # ------------------------------------------------------------------
+    # Object-level views (tests and cold paths; plans read the arrays)
+
+    @property
+    def _owner(self) -> "HistoryIndex":
+        owner = self._owner_ref()
+        if owner is None:  # pragma: no cover - index-internal invariant
+            raise ReferenceError(
+                "KeySlice outlived its HistoryIndex; slices are views "
+                "into a live index"
+            )
+        return owner
+
+    @property
+    def ops(self) -> List[Slotted]:
+        """The op stream as ``(txn, mop_seq, mop)`` triples (derived view).
+
+        Micro-op positions are reconstructed from each transaction's own
+        mops: a transaction's slots on this key are consecutive in
+        ``op_txn`` and correspond 1:1, in order, to its micro-ops on the
+        key.
+        """
+        txns = self._owner.transactions
+        key = self.key
+        op_txn = self.op_txn
+        out: List[Slotted] = []
+        n = len(op_txn)
+        i = 0
+        while i < n:
+            txn = txns[op_txn[i]]
+            count = 0
+            for s, mop in enumerate(txn.mops):
+                if mop.key == key:
+                    out.append((txn, s, mop))
+                    count += 1
+            i += count
+        return out
+
+    def committed_stream(self) -> Tuple[List[int], List[int], List[Any]]:
+        """The committed micro-op stream as ``(positions, read flags, values)``.
+
+        Merges the committed-read and write substreams back into
+        observation order, keeping only committed transactions' slots —
+        exactly the stream the rw-register write-follows-read walk and
+        version pins consume.  Read values are the slice's normalized
+        values (lists became tuples at build time).
+        """
+        committed = self._owner.txn_committed
+        r_txn = self.r_txn
+        r_seq = self.r_seq
+        r_val = self.r_val
+        w_txn = self.w_txn
+        w_seq = self.w_seq
+        w_val = self.w_val
+        n_r = len(r_txn)
+        n_w = len(w_txn)
+        positions: List[int] = []
+        flags: List[int] = []
+        values: List[Any] = []
+        i = j = 0
+        while True:
+            if i < n_r:
+                if j < n_w and (
+                    w_txn[j] < r_txn[i]
+                    or (w_txn[j] == r_txn[i] and w_seq[j] < r_seq[i])
+                ):
+                    pos = w_txn[j]
+                    if committed[pos]:
+                        positions.append(pos)
+                        flags.append(0)
+                        values.append(w_val[j])
+                    j += 1
+                else:
+                    positions.append(r_txn[i])
+                    flags.append(1)
+                    values.append(r_val[i])
+                    i += 1
+            elif j < n_w:
+                pos = w_txn[j]
+                if committed[pos]:
+                    positions.append(pos)
+                    flags.append(0)
+                    values.append(w_val[j])
+                j += 1
+            else:
+                break
+        return positions, flags, values
+
+    @property
+    def writes(self) -> List[Slotted]:
+        """The write substream as ``(txn, mop_seq, mop)`` triples."""
+        txns = self._owner.transactions
+        return [
+            (txns[p], s, txns[p].mops[s])
+            for p, s in zip(self.w_txn, self.w_seq)
+        ]
+
+    @property
+    def committed_reads(self) -> List[Slotted]:
+        """The committed-read substream as ``(txn, mop_seq, mop)`` triples."""
+        txns = self._owner.transactions
+        return [
+            (txns[p], s, txns[p].mops[s])
+            for p, s in zip(self.r_txn, self.r_seq)
+        ]
+
+    @property
+    def write_map(self) -> Dict[Any, Transaction]:
+        """``first_writer`` with positions resolved to Transactions."""
+        txns = self._owner.transactions
+        return {value: txns[p] for value, p in self.first_writer.items()}
+
+    @property
+    def interacting(self) -> List[Transaction]:
+        """Committed interacting transactions, in invocation order."""
+        txns = self._owner.transactions
+        return [txns[p] for p in self.inter_txn]
+
+    @property
+    def dup(self) -> Optional[Tuple[Seq, Any, Any, Transaction, Transaction]]:
+        if self._dup is None:
+            return None
+        seq, key, value, first, second = self._dup
+        txns = self._owner.transactions
+        return (seq, key, value, txns[first], txns[second])
+
+    @property
+    def none_write(self) -> Optional[Tuple[Seq, Any, Transaction]]:
+        if self._none_write is None:
+            return None
+        seq, key, pos = self._none_write
+        return (seq, key, self._owner.transactions[pos])
 
     @property
     def intervals(self) -> List[Tuple[Transaction, int, int]]:
         """Real-time intervals of committed interacting transactions."""
+        owner = self._owner
+        txns = owner.transactions
+        complete = owner.txn_complete
+        invoke = owner.txn_invoke
         return [
-            (t, t.invoke_index, t.complete_index)
-            for t in self.interacting
-            if t.complete_index is not None
+            (txns[p], invoke[p], complete[p])
+            for p in self.inter_txn
+            if complete[p] >= 0
         ]
 
     def interacting_by_process(self) -> Dict[int, List[Transaction]]:
         """Committed interacting transactions grouped by process, in order."""
+        txns = self._owner.transactions
         by_process: Dict[int, List[Transaction]] = {}
-        for txn in self.interacting:
-            by_process.setdefault(txn.process, []).append(txn)
+        for p, positions in self.interacting_positions_by_process().items():
+            by_process[p] = [txns[i] for i in positions]
+        return by_process
+
+    def interacting_positions_by_process(self) -> Dict[int, List[int]]:
+        """Committed interacting transaction *positions* per process."""
+        process = self._owner.txn_process
+        by_process: Dict[int, List[int]] = {}
+        for pos in self.inter_txn:
+            proc = process[pos]
+            positions = by_process.get(proc)
+            if positions is None:
+                positions = by_process[proc] = []
+            positions.append(pos)
         return by_process
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"KeySlice({self.key!r}, ops={len(self.ops)}, "
-            f"writes={len(self.writes)}, reads={len(self.committed_reads)})"
+            f"KeySlice({self.key!r}, ops={len(self.op_txn)}, "
+            f"writes={len(self.w_txn)}, reads={len(self.r_txn)})"
         )
 
 
 class HistoryIndex:
-    """Per-key views of a history, computed in one pass and shared."""
+    """Per-key columnar views of a history, computed in one pass and shared."""
 
     __slots__ = (
+        "__weakref__",
         "transactions",
         "slices",
         "key_order",
         "read_key_order",
-        "by_process",
+        "txn_ids",
+        "txn_process",
+        "txn_committed",
+        "txn_aborted",
+        "txn_invoke",
+        "txn_complete",
+        "internal_candidates",
+        "proc_positions",
+        "mop_fns",
         "_pos",
-        "_proc_pos",
         "_clock",
     )
 
-    def __init__(self, transactions: Sequence[Transaction]) -> None:
+    def __init__(
+        self, transactions: Sequence[Transaction], profile=None
+    ) -> None:
         self.transactions: Tuple[Transaction, ...] = tuple(transactions)
         self.slices: Dict[Any, KeySlice] = {}
         self.key_order: List[Any] = []
         self.read_key_order: List[Any] = []
-        self.by_process: Dict[int, List[Transaction]] = {}
-        #: Transaction id -> position in ``transactions`` (stable: the list
-        #: is invocation-ordered and only ever grows at the end).
+        #: Per-position transaction columns (position = index in
+        #: ``transactions``, stable: the list only ever grows at the end).
+        self.txn_ids: List[int] = []
+        self.txn_process: List[int] = []
+        self.txn_committed = bytearray()
+        self.txn_aborted = bytearray()
+        self.txn_invoke: List[int] = []
+        self.txn_complete: List[int] = []  # -1 = completion unobserved
+        #: 1 where the transaction *could* witness an internal-consistency
+        #: anomaly: some read-with-value follows an earlier micro-op on the
+        #: same key.  The per-txn internal check is skipped everywhere else.
+        self.internal_candidates = bytearray()
+        #: Process -> its transactions' positions, in invocation order.
+        self.proc_positions: Dict[int, List[int]] = {}
+        #: Census of micro-op function names seen anywhere in the history.
+        #: Grows monotonically (an upgrade never removes entries); workload
+        #: validation uses it to skip its per-mop scan when every function
+        #: is one the analyzer understands.
+        self.mop_fns: Set[str] = set()
+        #: Transaction id -> position in ``transactions``.
         self._pos: Dict[int, int] = {}
-        #: Transaction id -> position within its process's ``by_process``
-        #: list, so an upgraded transaction can be swapped in place.
-        self._proc_pos: Dict[int, int] = {}
         #: Index-wide monotonic mutation clock.  Slice versions are drawn
         #: from it, so a version can never repeat — even when a slice is
         #: deleted (an upgrade dropped its key) and later recreated, the
         #: new slice's versions exceed every version the old one had.
         #: Anything cached against a (key, version) pair stays sound.
         self._clock = 0
-        for pos, txn in enumerate(self.transactions):
-            self._scan_txn(pos, txn)
-        self._regenerate_orders()
+        with _stage(profile, "index/scan"):
+            self._register_txns(0, self.transactions)
+            scan = self._scan_txn
+            for pos, txn in enumerate(self.transactions):
+                scan(pos, txn)
+        with _stage(profile, "index/orders"):
+            self._regenerate_orders()
+        if profile is not None:
+            profile.count("index.txns", len(self.transactions))
+            profile.count("index.keys", len(self.slices))
+            profile.count(
+                "index.interned_values",
+                sum(len(s.first_writer) for s in self.slices.values()),
+            )
 
     # ------------------------------------------------------------------
     # Construction
 
+    def _register_txns(
+        self, base: int, txns: Sequence[Transaction]
+    ) -> None:
+        """Append transaction rows to the per-position columns, in bulk.
+
+        The candidate bit for the internal-consistency screen is appended
+        by :meth:`_scan_txn` (which walks the micro-ops anyway); callers
+        must scan each registered transaction exactly once, in order.
+        """
+        proc_map = self.proc_positions
+        pos_map = self._pos
+        ids_append = self.txn_ids.append
+        process_append = self.txn_process.append
+        committed_append = self.txn_committed.append
+        aborted_append = self.txn_aborted.append
+        invoke_append = self.txn_invoke.append
+        complete_append = self.txn_complete.append
+        ok = OpType.OK
+        fail = OpType.FAIL
+        for offset, txn in enumerate(txns):
+            pos = base + offset
+            process = txn.process
+            positions = proc_map.get(process)
+            if positions is None:
+                positions = proc_map[process] = []
+            positions.append(pos)
+            pos_map[txn.id] = pos
+            ids_append(txn.id)
+            process_append(process)
+            type_ = txn.type
+            committed_append(1 if type_ is ok else 0)
+            aborted_append(1 if type_ is fail else 0)
+            invoke_append(txn.invoke_index)
+            complete = txn.complete_index
+            complete_append(-1 if complete is None else complete)
+
+    def _update_txn(self, pos: int, txn: Transaction) -> None:
+        """Refresh one position's columns after an in-place upgrade."""
+        type_ = txn.type
+        self.txn_committed[pos] = 1 if type_ is OpType.OK else 0
+        self.txn_aborted[pos] = 1 if type_ is OpType.FAIL else 0
+        complete = txn.complete_index
+        self.txn_complete[pos] = -1 if complete is None else complete
+        self.internal_candidates[pos] = self._internal_candidate(txn)
+
+    @staticmethod
+    def _internal_candidate(txn: Transaction) -> int:
+        """1 iff some read-with-value follows an earlier same-key micro-op."""
+        seen = set()
+        add = seen.add
+        for mop in txn.mops:
+            key = mop.key
+            if key in seen:
+                if mop.fn == READ and mop.value is not None:
+                    return 1
+            else:
+                add(key)
+        return 0
+
     def _scan_txn(self, pos: int, txn: Transaction) -> None:
-        """Fold one transaction (at list position ``pos``) into the index."""
-        process_txns = self.by_process.setdefault(txn.process, [])
-        self._proc_pos[txn.id] = len(process_txns)
-        process_txns.append(txn)
-        self._pos[txn.id] = pos
+        """Fold one transaction's micro-ops into the key slices.
+
+        Also appends the transaction's internal-consistency candidate bit
+        (tracked from the same walk of the micro-ops).  The slot fold is
+        inlined — this loop runs once per micro-op in the history;
+        :meth:`_fold_slot` is the single-slot twin used by slice rebuilds
+        and must stay in lockstep with this body.
+        """
         slices = self.slices
-        committed = txn.committed
+        committed = txn.type is OpType.OK
+        clock = self._clock + 1
+        self._clock = clock
+        candidate = 0
+        seen_keys = set()
+        seen_add = seen_keys.add
+        fns_add = self.mop_fns.add
         for mop_seq, mop in enumerate(txn.mops):
+            fns_add(mop.fn)
             key = mop.key
             entry = slices.get(key)
             if entry is None:
                 # Provisional position; _regenerate_orders renumbers.
-                entry = slices[key] = KeySlice(key, len(slices))
-            self._scan_slot(entry, pos, txn, mop_seq, mop, committed)
+                entry = slices[key] = KeySlice(self, key, len(slices))
+            entry.version = clock
+            if entry.first_seq is None:
+                entry.first_seq = (pos, mop_seq)
+            entry.op_txn.append(pos)
+            value = mop.value
+            if mop.fn == READ:
+                if not candidate and value is not None and key in seen_keys:
+                    candidate = 1
+                if committed:
+                    if type(value) is list:
+                        value = tuple(value)
+                    entry.r_txn.append(pos)
+                    entry.r_seq.append(mop_seq)
+                    entry.r_val.append(value)
+                    if value is not None and entry.first_read_seq is None:
+                        entry.first_read_seq = (pos, mop_seq)
+            else:
+                entry.w_txn.append(pos)
+                entry.w_seq.append(mop_seq)
+                entry.w_val.append(value)
+                if value is None and entry._none_write is None:
+                    entry._none_write = ((pos, mop_seq), key, pos)
+                first = entry.first_writer.setdefault(value, pos)
+                if first != pos and entry._dup is None:
+                    entry._dup = ((pos, mop_seq), key, value, first, pos)
+            seen_add(key)
+            if committed:
+                inter = entry.inter_txn
+                if not inter or inter[-1] != pos:
+                    inter.append(pos)
+        self.internal_candidates.append(candidate)
 
-    def _scan_slot(
+    def _fold_slot(
         self,
         entry: KeySlice,
         pos: int,
-        txn: Transaction,
         mop_seq: int,
         mop: MicroOp,
         committed: bool,
     ) -> None:
-        """Fold one micro-op slot into its key's slice."""
-        self._clock += 1
-        entry.version = self._clock
+        """Fold one micro-op slot into a slice (rebuild path).
+
+        Must mirror the inlined body of :meth:`_scan_txn` exactly; the
+        index property tests compare extended indexes against fresh builds,
+        which pins the two in lockstep.
+        """
         if entry.first_seq is None:
             entry.first_seq = (pos, mop_seq)
-        slot = (txn, mop_seq, mop)
-        entry.ops.append(slot)
-        if mop.is_read:
+        entry.op_txn.append(pos)
+        self.mop_fns.add(mop.fn)
+        value = mop.value
+        key = entry.key
+        if mop.fn == READ:
             if committed:
-                entry.committed_reads.append(slot)
-                if mop.value is not None and entry.first_read_seq is None:
+                if type(value) is list:
+                    value = tuple(value)
+                entry.r_txn.append(pos)
+                entry.r_seq.append(mop_seq)
+                entry.r_val.append(value)
+                if value is not None and entry.first_read_seq is None:
                     entry.first_read_seq = (pos, mop_seq)
         else:
-            entry.writes.append(slot)
-            value = mop.value
-            if value is None and entry.none_write is None:
-                entry.none_write = ((pos, mop_seq), entry.key, txn)
-            other = entry.write_map.setdefault(value, txn)
-            if other is not txn and other.id != txn.id and entry.dup is None:
-                entry.dup = ((pos, mop_seq), entry.key, value, other, txn)
-        if committed and (
-            not entry.interacting or entry.interacting[-1] is not txn
-        ):
-            entry.interacting.append(txn)
+            entry.w_txn.append(pos)
+            entry.w_seq.append(mop_seq)
+            entry.w_val.append(value)
+            if value is None and entry._none_write is None:
+                entry._none_write = ((pos, mop_seq), key, pos)
+            first = entry.first_writer.setdefault(value, pos)
+            if first != pos and entry._dup is None:
+                entry._dup = ((pos, mop_seq), key, value, first, pos)
+        if committed:
+            inter = entry.inter_txn
+            if not inter or inter[-1] != pos:
+                inter.append(pos)
 
     def _regenerate_orders(self) -> None:
         """Derive both key orderings from the slices' recorded positions.
@@ -251,6 +587,18 @@ class HistoryIndex:
                 key=lambda s: s.first_read_seq,
             )
         ]
+
+    # ------------------------------------------------------------------
+    # Derived views
+
+    @property
+    def by_process(self) -> Dict[int, List[Transaction]]:
+        """Each process's transactions in invocation order (derived view)."""
+        txns = self.transactions
+        return {
+            process: [txns[i] for i in positions]
+            for process, positions in self.proc_positions.items()
+        }
 
     # ------------------------------------------------------------------
     # Incremental extension
@@ -278,8 +626,8 @@ class HistoryIndex:
         dirty: Set[Any] = set()
         extra_scan: Dict[Any, Set[int]] = {}
         for old, new in upgraded:
-            self.by_process[new.process][self._proc_pos[new.id]] = new
             position = pos_of[new.id]
+            self._update_txn(position, new)
             for mop in old.mops:
                 dirty.add(mop.key)
             for mop in new.mops:
@@ -288,6 +636,7 @@ class HistoryIndex:
         for key in dirty:
             self._rebuild_slice(key, extra_scan.get(key, ()))
         base = len(self.transactions) - len(new_txns)
+        self._register_txns(base, new_txns)
         for offset, txn in enumerate(new_txns):
             self._scan_txn(base + offset, txn)
             for mop in txn.mops:
@@ -305,8 +654,8 @@ class HistoryIndex:
         """
         entry = self.slices.get(key)
         if entry is None:
-            entry = self.slices[key] = KeySlice(key, len(self.slices))
-        positions = {self._pos[t.id] for t, _seq, _m in entry.ops}
+            entry = self.slices[key] = KeySlice(self, key, len(self.slices))
+        positions = set(entry.op_txn)
         positions.update(extra_positions)
         entry._reset()
         self._clock += 1
@@ -314,11 +663,11 @@ class HistoryIndex:
         transactions = self.transactions
         for position in sorted(positions):
             txn = transactions[position]
-            committed = txn.committed
+            committed = txn.type is OpType.OK
             for mop_seq, mop in enumerate(txn.mops):
                 if mop.key == key:
-                    self._scan_slot(entry, position, txn, mop_seq, mop, committed)
-        if not entry.ops:
+                    self._fold_slot(entry, position, mop_seq, mop, committed)
+        if not entry.op_txn:
             del self.slices[key]
 
     # ------------------------------------------------------------------
@@ -335,20 +684,27 @@ class HistoryIndex:
         """
         best = None
         for entry in self.slices.values():
-            cand = entry.dup
+            cand = entry._dup
             if cand is not None and (best is None or cand[0] < best[0]):
                 best = cand
-        return best
+        if best is None:
+            return None
+        seq, key, value, first, second = best
+        txns = self.transactions
+        return (seq, key, value, txns[first], txns[second])
 
     @property
     def first_none_write(self) -> Optional[Tuple[Seq, Any, Transaction]]:
         """First write of ``None``, if any (registers reserve ``None``)."""
         best = None
         for entry in self.slices.values():
-            cand = entry.none_write
+            cand = entry._none_write
             if cand is not None and (best is None or cand[0] < best[0]):
                 best = cand
-        return best
+        if best is None:
+            return None
+        seq, key, pos = best
+        return (seq, key, self.transactions[pos])
 
     # ------------------------------------------------------------------
     # Access

@@ -1,0 +1,37 @@
+"""The scoped GC pause must always restore the collector's state."""
+
+import gc
+
+import pytest
+
+from repro.core.gcpause import paused_gc
+
+
+class TestPausedGc:
+    def test_disables_inside_and_restores_after(self):
+        assert gc.isenabled()
+        with paused_gc():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with paused_gc():
+                raise RuntimeError("boom")
+        assert gc.isenabled()
+
+    def test_nested_pauses_reenable_only_at_the_outermost_exit(self):
+        with paused_gc():
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # inner exit is a no-op
+        assert gc.isenabled()
+
+    def test_noop_when_collector_already_disabled(self):
+        gc.disable()
+        try:
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # caller's disabled state preserved
+        finally:
+            gc.enable()

@@ -264,3 +264,81 @@ class TestIncrementalExtension:
         ])
         with pytest.raises(WorkloadError, match="globally unique appends"):
             check_unique_writes(history.index(), "list-append")
+
+
+class TestColumnarDerivedViews:
+    """The object-level compatibility views over the columnar arrays."""
+
+    def test_interacting_by_process_groups_committed_txns(self):
+        history = History.of(
+            ("ok", 0, [w("x", 1)]),
+            ("ok", 1, [w("x", 2)]),
+            ("fail", 0, [w("x", 3)]),
+            ("ok", 0, [r("x", 2)]),
+        )
+        slice_ = history.index().slices["x"]
+        grouped = slice_.interacting_by_process()
+        assert {p: [t.id for t in txns] for p, txns in grouped.items()} == {
+            0: [0, 6],
+            1: [2],
+        }
+        assert slice_.interacting_positions_by_process() == {0: [0, 3], 1: [1]}
+
+    def test_intervals_cover_committed_interactions_only(self):
+        builder = HistoryBuilder()
+        builder.invoke(0, [w("x", 1)])
+        builder.invoke(1, [w("x", 2)])
+        builder.ok(0, [w("x", 1)])
+        builder.info(1)  # indeterminate: excluded from intervals
+        history = builder.build()
+        slice_ = history.index().slices["x"]
+        assert [(t.id, a, b) for t, a, b in slice_.intervals] == [(0, 0, 2)]
+
+    def test_ops_view_reconstructs_uncommitted_read_slots(self):
+        history = History.of(
+            ("ok", 0, [append("x", 1), r("x", [1])]),
+            ("info", 1, [r("x", None), append("x", 2)]),
+        )
+        slice_ = history.index().slices["x"]
+        assert [(t.id, seq, m.fn) for t, seq, m in slice_.ops] == [
+            (0, 0, "append"),
+            (0, 1, "r"),
+            (2, 0, "r"),
+            (2, 1, "append"),
+        ]
+
+    def test_committed_stream_merges_reads_and_writes_in_order(self):
+        history = History.of(
+            ("ok", 0, [r("x", None), w("x", 1), r("x", 1)]),
+            ("fail", 1, [w("x", 9)]),  # uncommitted write excluded
+            ("ok", 0, [w("x", 2)]),
+        )
+        slice_ = history.index().slices["x"]
+        positions, flags, values = slice_.committed_stream()
+        assert positions == [0, 0, 0, 2]
+        assert flags == [1, 0, 1, 0]
+        assert values == [None, 1, 1, 2]
+
+    def test_write_map_resolves_positions_to_transactions(self):
+        history = History.of(
+            ("ok", 0, [w("x", 1)]),
+            ("fail", 1, [w("x", 2)]),
+        )
+        write_map = history.index().slices["x"].write_map
+        assert write_map[1].id == 0
+        assert write_map[2].aborted
+
+    def test_mop_fn_census_grows_with_the_history(self):
+        from repro.history.ops import Op, OpType
+
+        history = History.of(("ok", 0, [append("x", 1)]))
+        index = history.index()
+        assert index.mop_fns == {"append"}
+        mops = (r("x", (1,)),)
+        history.extend(
+            [
+                Op(2, OpType.INVOKE, 0, mops),
+                Op(3, OpType.OK, 0, mops),
+            ]
+        )
+        assert index.mop_fns == {"append", "r"}
