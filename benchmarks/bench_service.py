@@ -1,0 +1,251 @@
+"""Checker-service throughput: interleaved sessions on one resident daemon.
+
+The service's promise is that many independent test runs can share one
+resident checker instead of paying a process (and index build) each.
+This benchmark measures what that costs at steady state: a real daemon on
+a unix socket, driven by the load generator with N interleaved sessions
+(``--sessions 1 4 16``), each streaming its own simulated observation in
+``--frame-ops`` batches and ending with a verdict.  Recorded per row:
+
+* ``ops_per_second`` — sustained ingest+check throughput across all
+  sessions (wall clock over the append..verdict phase);
+* ``mean_chunk_seconds`` / ``max_chunk_seconds`` — per-chunk incremental
+  check latency, from the server's own per-session timers (the ``stats``
+  frame), i.e. time a session waits for one analysis slice;
+* ``cpu_count`` — on a single core the session sweep measures
+  *multiplexing overhead*, not parallel speedup: total work is fixed per
+  session, so ops/s should hold roughly flat as sessions grow, and that
+  flatness is the claim worth tracking.
+
+Rows append to ``BENCH_elle_scaling.json`` as ``service_scaling`` runs.
+``--baseline PATH --tolerance X`` turns the run into a CI regression
+guard: each row's throughput is compared against the best committed
+``service_scaling`` row at the same (sessions, txns, chunk) shape, and
+the process exits 2 when it is more than ``X`` times slower.
+
+Every session's verdict is asserted against a local batch ``check()`` of
+the same operations (validity, anomaly types, and count) — the full
+byte-identity oracle lives in the test suite; here it guards against the
+benchmark measuring a daemon that silently diverged.
+"""
+
+import argparse
+import os
+import sys
+
+
+def _session_streams(sessions, args):
+    """One generated observation per session (built once per sweep)."""
+    from repro.service.client import session_workload
+
+    return {
+        f"load-{index}": session_workload(
+            workload=args.workload,
+            isolation=args.isolation,
+            fault=args.fault,
+            seed=args.seed + index,
+            txns=args.txns,
+        )
+        for index in range(sessions)
+    }
+
+
+def _batch_expectations(streams, workload):
+    """Local batch verdicts for each session stream.
+
+    Must mirror the daemon sessions run_load opens: same workload,
+    default analyzer options — otherwise the divergence guard compares
+    against the wrong oracle.
+    """
+    from repro import History, check
+
+    return {
+        name: check(History(ops), workload=workload)
+        for name, ops in streams.items()
+    }
+
+
+def _measure(streams, args):  # pragma: no cover - manual entry point
+    from repro.service import BackgroundService, run_load
+
+    sessions = len(streams)
+    sock = os.path.join(args.socket_dir, f"bench-{sessions}.sock")
+    if os.path.exists(sock):
+        os.unlink(sock)
+    with BackgroundService(unix_path=sock, port=None):
+        out = run_load(
+            f"unix:{sock}",
+            workload=args.workload,
+            frame_ops=args.frame_ops,
+            chunk_ops=args.chunk,
+            streams=streams,
+        )
+    session_stats = out["stats"]["sessions"].values()
+    chunks = sum(s["chunks_checked"] for s in session_stats)
+    analyze = sum(s["analyze_seconds"] for s in session_stats)
+    row = {
+        "mode": "service",
+        "sessions": sessions,
+        "txns_per_session": args.txns,
+        "workload": args.workload,
+        "ops": out["ops"],
+        "frame_ops": args.frame_ops,
+        "chunk_ops": args.chunk,
+        "seconds": round(out["seconds"], 4),
+        "ops_per_second": round(out["ops_per_second"], 1),
+        "chunks": chunks,
+        "mean_chunk_seconds": round(analyze / chunks, 5) if chunks else 0.0,
+        "max_chunk_seconds": round(
+            max(s["max_chunk_seconds"] for s in session_stats), 5
+        ),
+        "analyze_seconds": round(analyze, 4),
+    }
+    return row, out["verdicts"]
+
+
+def _verify(verdicts, expected):  # pragma: no cover - manual entry point
+    for name, record in verdicts.items():
+        batch = expected[name]
+        assert record["valid"] == batch.valid, name
+        assert record["anomaly_types"] == list(batch.anomaly_types), name
+        assert record["anomalies"] == len(batch.anomalies), name
+
+
+def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
+    """Throughput guard against the best committed service rows.
+
+    Matches by (sessions, txns_per_session, chunk_ops, workload) among
+    the five most recent ``service_scaling`` runs (the same recency
+    window the batch guard uses, so a one-off fast machine ages out).
+    """
+    from _record import load_runs
+
+    runs = [
+        run
+        for run in load_runs(baseline_path)
+        if run.get("benchmark") == "service_scaling"
+    ][-5:]
+    best = {}
+    for run in runs:
+        for row in run.get("results", []):
+            if "ops_per_second" not in row:
+                continue
+            key = (
+                row.get("sessions"),
+                row.get("txns_per_session"),
+                row.get("chunk_ops"),
+                row.get("workload", "list-append"),
+            )
+            if key not in best or row["ops_per_second"] > best[key]:
+                best[key] = row["ops_per_second"]
+    violations = []
+    for row in results:
+        if "ops_per_second" not in row:
+            continue
+        key = (
+            row["sessions"],
+            row["txns_per_session"],
+            row["chunk_ops"],
+            row["workload"],
+        )
+        reference = best.get(key)
+        if reference is None:
+            print(f"baseline: no committed service record for {key}; skipping")
+            continue
+        if row["ops_per_second"] < reference / tolerance:
+            violations.append(
+                f"{key[0]} sessions/{key[1]} txns/chunk={key[2]}: "
+                f"{row['ops_per_second']:.0f} ops/s vs best committed "
+                f"{reference:.0f} ops/s (tolerance {tolerance:g}x)"
+            )
+    return violations
+
+
+def main(argv=None) -> None:  # pragma: no cover - manual entry point
+    from _record import record_run
+
+    parser = argparse.ArgumentParser(
+        description="Benchmark the checker daemon with N interleaved "
+        "sessions and record sustained throughput + chunk latency."
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        nargs="+",
+        default=[1, 4, 16],
+        metavar="N",
+        help="interleaved session counts to sweep (default: 1 4 16)",
+    )
+    parser.add_argument("--txns", type=int, default=1000,
+                        help="transactions per session (default: 1000)")
+    parser.add_argument("--workload", default="list-append",
+                        choices=["list-append", "rw-register",
+                                 "grow-set", "counter"])
+    parser.add_argument("--isolation", default="serializable")
+    parser.add_argument("--fault", default=None,
+                        help="fault injector name for every session")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--frame-ops", type=int, default=500,
+                        help="operations per append frame (default: 500)")
+    parser.add_argument("--chunk", type=int, default=1000,
+                        help="server analysis slice size (default: 1000)")
+    parser.add_argument("--socket-dir", default="/tmp",
+                        help="directory for the benchmark unix sockets")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="benchmark record file treated as the committed baseline; "
+        "rows slower than the best matching service record by more than "
+        "--tolerance fail the run (exit 2)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="throughput slowdown multiplier tolerated before failing "
+        "(default 4.0; heterogeneous runners need headroom)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="benchmark record file (default: BENCH_elle_scaling.json "
+        "at the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    for sessions in args.sessions:
+        streams = _session_streams(sessions, args)
+        expected = _batch_expectations(streams, args.workload)
+        row, verdicts = _measure(streams, args)
+        _verify(verdicts, expected)
+        results.append(row)
+        print(
+            f"{sessions:>3} sessions x {args.txns} txns: "
+            f"{row['ops_per_second']:>9.0f} ops/s, "
+            f"mean chunk {row['mean_chunk_seconds'] * 1e3:.1f} ms, "
+            f"max {row['max_chunk_seconds'] * 1e3:.1f} ms "
+            f"({row['chunks']} chunks)"
+        )
+
+    violations = (
+        _enforce_baseline(results, args.baseline, args.tolerance)
+        if args.baseline
+        else []
+    )
+    path = record_run(
+        "service_scaling", results, path=args.out, cpu_count=os.cpu_count()
+    )
+    print(f"recorded to {path}")
+    if violations:
+        print("service benchmark regression guard FAILED:")
+        for line in violations:
+            print(f"  {line}")
+        sys.exit(2)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -22,6 +22,8 @@ The packages:
 * :mod:`repro.history` — observations: micro-ops, operations, transactions.
 * :mod:`repro.core` — the checker: inference, anomalies, explanations.
 * :mod:`repro.graph` — labeled digraphs, SCCs, cycle searches.
+* :mod:`repro.service` — the checker as a resident daemon: many concurrent
+  checking sessions multiplexed over JSON-lines frames on one event loop.
 * :mod:`repro.db` — an in-memory MVCC database simulator with fault injection.
 * :mod:`repro.generator` — random transactional workloads and client runners.
 * :mod:`repro.baselines` — Knossos-style NP-complete checkers for comparison.

@@ -21,13 +21,21 @@ cores).
 consumed in chunks of ``--chunk`` (from ``--in``/stdin, or from the
 generated workload), each chunk re-checks the observed prefix incrementally
 — only keys whose slices changed are re-analyzed — and a one-line verdict
-delta is printed per chunk.  The final verdict is byte-identical to the
-batch check of the same operations.
+delta is printed per chunk (``--json`` makes those lines machine-readable,
+in exactly the service's verdict-reply record shape).  The final verdict is
+byte-identical to the batch check of the same operations.
+
+``python -m repro serve --port 7907`` runs the checker as a resident
+daemon multiplexing many concurrent checking sessions (see
+:mod:`repro.service`), and ``--connect HOST:PORT`` (or ``unix:PATH``)
+ships a history to such a daemon instead of checking locally — same
+flags, same verdict, same exit code.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -131,6 +139,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="operations per streaming chunk in --follow mode "
         "(default: 1000)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --follow/--connect: print per-chunk verdict deltas as "
+        "JSON lines (the checker service's verdict-record shape)",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help="ship the history to a running checker daemon at HOST:PORT "
+        "or unix:PATH instead of checking locally (see 'serve')",
+    )
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the checker as a resident daemon: many concurrent "
+        "checking sessions multiplexed over one event loop, speaking "
+        "newline-delimited JSON frames (see repro.service).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="TCP port to listen on (0 picks an ephemeral port, printed "
+        "on startup)",
+    )
+    parser.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="unix socket path to listen on (with or instead of --port)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent session limit (default: 64)",
+    )
+    parser.add_argument(
+        "--max-pending-ops",
+        type=int,
+        default=50_000,
+        metavar="OPS",
+        help="per-session backlog high-watermark; appends stall (and "
+        "backpressure the client) beyond it (default: 50000)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="evict sessions idle this long with an empty backlog "
+        "(default: 300)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=1000,
+        metavar="OPS",
+        help="default analysis slice size for sessions that don't choose "
+        "their own (default: 1000)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the final stats snapshot here on graceful drain",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress startup/drain lines"
+    )
     return parser
 
 
@@ -153,20 +241,46 @@ def _generate(args, fault_factory):
     return run_workload(config)
 
 
+def _verdict_line(valid, model, anomaly_types) -> str:
+    """The one-line --quiet verdict (identical locally and via --connect)."""
+    verdict = "VALID" if valid else "INVALID"
+    return (
+        f"{verdict} under {model}: "
+        f"{', '.join(anomaly_types) or 'no anomalies'}"
+    )
+
+
 def _report(result, args, profile) -> int:
     """Print the final verdict (shared by batch and follow modes)."""
     if args.quiet:
-        verdict = "VALID" if result.valid else "INVALID"
-        print(
-            f"{verdict} under {args.model}: "
-            f"{', '.join(result.anomaly_types) or 'no anomalies'}"
-        )
+        print(_verdict_line(result.valid, args.model, result.anomaly_types))
     else:
         print(result.report())
     if profile is not None:
         print()
         print(profile.report())
     return 0 if result.valid else 1
+
+
+def _op_chunks(args, fault_factory):
+    """The chunked operation source every streaming mode shares.
+
+    Returns ``(chunks, opened)``: an iterator of op lists sized by
+    ``--chunk`` — from ``--in PATH``/stdin, or the generated workload —
+    plus the file handle to close afterwards (``None`` unless a path was
+    opened).
+    """
+    if args.in_path is not None:
+        if args.in_path == "-":
+            return iter_op_chunks(sys.stdin, args.chunk), None
+        opened = open(args.in_path, "r", encoding="utf-8")
+        return iter_op_chunks(opened, args.chunk), opened
+    ops = _generate(args, fault_factory).ops
+    chunks = (
+        list(ops[i:i + args.chunk])
+        for i in range(0, len(ops), args.chunk)
+    )
+    return chunks, None
 
 
 def _follow(args, fault_factory, profile) -> int:
@@ -177,24 +291,19 @@ def _follow(args, fault_factory, profile) -> int:
         timestamp_edges=args.timestamps,
         profile=profile,
     )
-    opened = None
-    if args.in_path is not None:
-        if args.in_path == "-":
-            chunks = iter_op_chunks(sys.stdin, args.chunk)
-        else:
-            opened = open(args.in_path, "r", encoding="utf-8")
-            chunks = iter_op_chunks(opened, args.chunk)
-    else:
-        ops = _generate(args, fault_factory).ops
-        chunks = (
-            list(ops[i:i + args.chunk])
-            for i in range(0, len(ops), args.chunk)
-        )
+    chunks, opened = _op_chunks(args, fault_factory)
     update = None
     try:
         for chunk in chunks:
             update = checker.extend(chunk)
-            if not args.quiet:
+            if args.json:
+                from .service.protocol import update_record
+
+                print(
+                    json.dumps(update_record(update), separators=(",", ":")),
+                    flush=True,
+                )
+            elif not args.quiet:
                 print(update.summary(), flush=True)
     finally:
         if opened is not None:
@@ -211,7 +320,94 @@ def _follow(args, fault_factory, profile) -> int:
     return _report(update.result, args, profile)
 
 
+def _connect(args, fault_factory) -> int:
+    """Client mode: ship the history to a running daemon, print its verdict."""
+    from .history.io import dump_ops
+    from .service.client import ServiceClient
+    from .service.protocol import record_summary
+
+    chunks, opened = _op_chunks(args, fault_factory)
+    shipped = []
+    try:
+        with ServiceClient(args.connect) as client:
+            session = client.open_session(
+                workload=args.workload,
+                consistency_model=args.model,
+                chunk_ops=args.chunk,
+                timestamp_edges=args.timestamps,
+            )
+            for chunk in chunks:
+                client.append(session, chunk)
+                if args.dump_history is not None:
+                    shipped.extend(chunk)
+                if args.follow:
+                    record = client.verdict(session)
+                    if args.json:
+                        print(
+                            json.dumps(record, separators=(",", ":")),
+                            flush=True,
+                        )
+                    elif not args.quiet:
+                        print(record_summary(record), flush=True)
+            final = client.verdict(session, report=not args.quiet)
+            client.close_session(session)
+    finally:
+        if opened is not None:
+            opened.close()
+        if args.dump_history is not None:
+            with open(args.dump_history, "w", encoding="utf-8") as fh:
+                dump_ops(shipped, fh)
+    if args.json and not args.follow:
+        trimmed = {k: v for k, v in final.items() if k != "report"}
+        print(json.dumps(trimmed, separators=(",", ":")))
+    if args.quiet:
+        print(
+            _verdict_line(final["valid"], args.model, final["anomaly_types"])
+        )
+    else:
+        if args.follow and not args.json:
+            print()
+        print(final["report"])
+    return 0 if final["valid"] else 1
+
+
+def _serve_main(argv: Optional[List[str]]) -> int:
+    """The ``python -m repro serve`` entry point."""
+    import asyncio
+
+    from .service.server import serve
+    from .service.session import SessionRegistry
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.port is None and args.unix is None:
+        parser.error("need --port and/or --unix to listen on")
+    if args.chunk <= 0:
+        parser.error("--chunk must be positive")
+    registry = SessionRegistry(
+        max_sessions=args.max_sessions,
+        max_pending_ops=args.max_pending_ops,
+        idle_timeout=args.idle_timeout,
+        default_chunk_ops=args.chunk,
+    )
+    asyncio.run(
+        serve(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            registry=registry,
+            stats_path=args.stats_json,
+            quiet=args.quiet,
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.follow and args.shards != 1:
@@ -219,6 +415,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "(streaming analysis runs inline)")
     if args.chunk <= 0:
         parser.error("--chunk must be positive")
+    if args.json and not (args.follow or args.connect):
+        parser.error("--json requires --follow or --connect")
+    if args.connect:
+        if args.shards != 1:
+            parser.error("--shards is not supported with --connect "
+                         "(the daemon analyzes inline)")
+        if args.profile:
+            parser.error("--profile is not supported with --connect "
+                         "(profiles are collected in the local process)")
 
     fault_factory = None
     if args.fault is not None:
@@ -230,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             def fault_factory(rng, _cls=injector_cls):
                 return _cls(rng)
 
+    if args.connect:
+        return _connect(args, fault_factory)
     profile = Profile() if args.profile else None
     if args.follow:
         return _follow(args, fault_factory, profile)

@@ -23,3 +23,16 @@ class WorkloadError(ReproError):
 
 class GeneratorError(ReproError):
     """The workload generator was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """A checker-service request could not be honored.
+
+    Covers session misuse (unknown, duplicate, closed, or poisoned
+    sessions), server-side limits (session table full), and — on the
+    client — error replies received from a remote daemon.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame on the checker-service wire."""

@@ -63,7 +63,13 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
-def _encode_op(op: Op) -> dict:
+def encode_op(op: Op) -> dict:
+    """The wire record for one operation (shared by files and the service).
+
+    The checker service's ``append`` frames carry exactly these records, so
+    a JSON-lines history file, a ``--dump-history`` artifact, and a frame
+    on the service socket all speak one format.
+    """
     record = {
         "index": op.index,
         "type": op.type.value,
@@ -77,7 +83,8 @@ def _encode_op(op: Op) -> dict:
     return record
 
 
-def _decode_op(record: dict, line_number: int) -> Op:
+def decode_op(record: dict, line_number: int) -> Op:
+    """Invert :func:`encode_op`; ``line_number`` contextualizes errors."""
     try:
         mops = record["value"]
         if mops is not None:
@@ -105,14 +112,19 @@ def dump_ops(ops: Iterable[Op], fh) -> int:
     """Write operations to an open text file; returns the count written."""
     count = 0
     for op in ops:
-        fh.write(json.dumps(_encode_op(op), separators=(", ", ": ")))
+        fh.write(json.dumps(encode_op(op), separators=(", ", ": ")))
         fh.write("\n")
         count += 1
     return count
 
 
 def load_ops(fh) -> Iterator[Op]:
-    """Yield operations from an open text file (blank lines ignored)."""
+    """Yield operations from an open text file.
+
+    Blank lines are skipped and CRLF line endings are tolerated (histories
+    captured on Windows or shipped through tools that rewrite newlines
+    load unchanged); error messages still count physical lines.
+    """
     for line_number, line in enumerate(fh, start=1):
         line = line.strip()
         if not line:
@@ -121,7 +133,7 @@ def load_ops(fh) -> Iterator[Op]:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             raise HistoryError(f"line {line_number}: not JSON: {exc}") from None
-        yield _decode_op(record, line_number)
+        yield decode_op(record, line_number)
 
 
 def iter_op_chunks(fh, chunk_size: int) -> Iterator[List[Op]]:

@@ -1,0 +1,71 @@
+"""The checker service: one resident daemon, many checking sessions.
+
+Elle's linear-time design makes isolation checking cheap enough to run
+continuously against a live system; this package supplies the serving
+layer that makes *continuously* practical.  A single asyncio daemon
+multiplexes any number of independent checking sessions — each its own
+workload, consistency model, and incremental
+:class:`~repro.core.incremental.StreamingChecker` — over newline-delimited
+JSON frames on TCP or unix sockets, with bounded per-session buffers
+(backpressure), bounded analysis slices (fairness), and idle-session
+eviction.
+
+Start one::
+
+    python -m repro serve --port 7907
+
+and ship histories to it::
+
+    python -m repro --connect 127.0.0.1:7907 --in history.jsonl
+
+or programmatically::
+
+    from repro.service import ServiceClient
+    with ServiceClient(("127.0.0.1", 7907)) as client:
+        sid = client.open_session(workload="list-append")
+        client.append(sid, ops)
+        verdict = client.verdict(sid, report=True)
+
+Every session's verdict is byte-identical to a one-shot batch ``check()``
+of the same operations, however its frames interleaved with other
+sessions' — pinned by ``tests/properties/test_service_equivalence.py``.
+"""
+
+from .client import ServiceClient, parse_address, run_load, session_workload
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    decode_ops,
+    encode_frame,
+    encode_ops,
+    record_summary,
+    update_record,
+)
+from .server import BackgroundService, CheckerService, serve
+from .session import (
+    DEFAULT_CHUNK_OPS,
+    Session,
+    SessionConfig,
+    SessionRegistry,
+)
+
+__all__ = [
+    "BackgroundService",
+    "CheckerService",
+    "DEFAULT_CHUNK_OPS",
+    "MAX_FRAME_BYTES",
+    "ServiceClient",
+    "Session",
+    "SessionConfig",
+    "SessionRegistry",
+    "decode_frame",
+    "decode_ops",
+    "encode_frame",
+    "encode_ops",
+    "parse_address",
+    "record_summary",
+    "run_load",
+    "serve",
+    "session_workload",
+    "update_record",
+]

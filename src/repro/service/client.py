@@ -1,0 +1,245 @@
+"""Blocking client for the checker daemon, plus a multi-session load driver.
+
+:class:`ServiceClient` speaks the lockstep frame protocol over a TCP or
+unix socket: every request writes one line and reads one reply line, so
+the client needs no event loop and embeds anywhere — test harnesses,
+CI scripts, ``python -m repro --connect``.  Error replies raise
+:class:`~repro.errors.ServiceError` with the server's message.
+
+:func:`run_load` is the standing load generator: it builds N independent
+observations from the existing workload generator (optionally with a
+fault injector), opens N sessions on one connection, and interleaves
+their ``append`` frames round-robin — the service's intended traffic
+shape — then collects every verdict and the server's stats.  The CI
+smoke job and ``benchmarks/bench_service.py`` both drive it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db import INJECTORS, Isolation
+from ..errors import ServiceError
+from ..generator import RunConfig, WorkloadConfig, run_workload
+from ..history.ops import Op
+from .protocol import decode_frame, encode_frame, encode_ops
+
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_address(text: str) -> Address:
+    """``HOST:PORT`` or ``unix:PATH`` into a connectable address."""
+    if text.startswith("unix:"):
+        return text  # kept verbatim; connect() strips the scheme
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServiceError(
+            f"bad address {text!r}; expected HOST:PORT or unix:PATH"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+class ServiceClient:
+    """A lockstep connection to a running checker daemon."""
+
+    def __init__(self, address: Address, timeout: float = 60.0) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        if isinstance(address, str):  # "unix:PATH", kept verbatim
+            scheme = len("unix:")
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address[scheme:])
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+
+    def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, await its reply; error replies raise."""
+        self._fh.write(encode_frame(frame))
+        self._fh.flush()
+        line = self._fh.readline()
+        if not line:
+            raise ServiceError("connection closed by server")
+        reply = decode_frame(line)
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("error", "unknown service error"))
+        return reply
+
+    def open_session(
+        self,
+        session_id: Optional[str] = None,
+        workload: str = "list-append",
+        consistency_model: str = "serializable",
+        chunk_ops: Optional[int] = None,
+        timestamp_edges: bool = False,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        frame: Dict[str, Any] = {
+            "type": "open",
+            "session": session_id or f"c-{uuid.uuid4().hex[:12]}",
+            "workload": workload,
+            "model": consistency_model,
+            "timestamp_edges": timestamp_edges,
+        }
+        if chunk_ops is not None:
+            frame["chunk"] = chunk_ops
+        if options:
+            frame["options"] = options
+        return self.request(frame)["session"]
+
+    def append(self, session_id: str, ops: Sequence[Op]) -> Dict[str, Any]:
+        return self.request({
+            "type": "append",
+            "session": session_id,
+            "ops": encode_ops(ops),
+        })
+
+    def verdict(self, session_id: str, report: bool = False) -> Dict[str, Any]:
+        return self.request({
+            "type": "verdict",
+            "session": session_id,
+            "report": bool(report),
+        })
+
+    def stats(self, session_id: Optional[str] = None) -> Dict[str, Any]:
+        frame: Dict[str, Any] = {"type": "stats"}
+        if session_id is not None:
+            frame["session"] = session_id
+        return self.request(frame)
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        return self.request({"type": "close", "session": session_id})
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Load generation
+
+
+def session_workload(
+    workload: str = "list-append",
+    isolation: str = "serializable",
+    fault: Optional[str] = None,
+    seed: int = 0,
+    txns: int = 500,
+    concurrency: int = 8,
+    active_keys: int = 4,
+) -> List[Op]:
+    """One session's worth of traffic from the simulator, as operations."""
+    fault_factory = None
+    if fault is not None:
+        injector = INJECTORS[fault]
+
+        def fault_factory(rng, _cls=injector):
+            return _cls(rng)
+
+    history = run_workload(
+        RunConfig(
+            txns=txns,
+            concurrency=concurrency,
+            isolation=Isolation(isolation),
+            workload=WorkloadConfig(
+                workload=workload, active_keys=active_keys
+            ),
+            seed=seed,
+            faults=fault_factory,
+        )
+    )
+    return list(history.ops)
+
+
+def run_load(
+    address: Address,
+    *,
+    sessions: int = 4,
+    txns: int = 500,
+    workload: str = "list-append",
+    isolation: str = "serializable",
+    fault: Optional[str] = None,
+    consistency_model: str = "serializable",
+    seed: int = 0,
+    frame_ops: int = 250,
+    chunk_ops: int = 1000,
+    report: bool = False,
+    streams: Optional[Dict[str, Sequence[Op]]] = None,
+) -> Dict[str, Any]:
+    """Drive N interleaved sessions against a daemon; returns the verdicts.
+
+    Each session gets an independent simulated observation (seeds
+    ``seed .. seed+N-1``); their ``append`` frames of ``frame_ops``
+    operations are interleaved round-robin on one connection, the way
+    many concurrent test runs would share one resident checker.  Returns
+    per-session verdict records, the server stats, and throughput
+    (``ops_per_second`` over the append+verdict phase).
+
+    ``streams`` overrides the generated traffic with pre-built op
+    sequences per session name (callers that also batch-check the same
+    streams — the benchmark — generate each observation only once).
+    """
+    if streams is None:
+        streams = {
+            f"load-{index}": session_workload(
+                workload=workload,
+                isolation=isolation,
+                fault=fault,
+                seed=seed + index,
+                txns=txns,
+            )
+            for index in range(sessions)
+        }
+    else:
+        sessions = len(streams)
+    with ServiceClient(address) as client:
+        for name in streams:
+            client.open_session(
+                session_id=name,
+                workload=workload,
+                consistency_model=consistency_model,
+                chunk_ops=chunk_ops,
+            )
+        begin = time.perf_counter()
+        cursors = {name: 0 for name in streams}
+        live = list(streams)
+        while live:
+            for name in list(live):
+                ops = streams[name]
+                start = cursors[name]
+                if start >= len(ops):
+                    live.remove(name)
+                    continue
+                client.append(name, ops[start:start + frame_ops])
+                cursors[name] = start + frame_ops
+        verdicts = {
+            name: client.verdict(name, report=report) for name in streams
+        }
+        elapsed = time.perf_counter() - begin
+        stats = client.stats()
+        for name in streams:
+            client.close_session(name)
+    total_ops = sum(len(ops) for ops in streams.values())
+    return {
+        "sessions": sessions,
+        "txns_per_session": txns,
+        "ops": total_ops,
+        "seconds": elapsed,
+        "ops_per_second": total_ops / elapsed if elapsed else float("inf"),
+        "verdicts": verdicts,
+        "stats": stats,
+    }

@@ -1,0 +1,193 @@
+"""The checker-service wire protocol: newline-delimited JSON frames.
+
+One frame per line, UTF-8, ``\\n``-terminated — the same framing the
+JSON-lines history files use, lifted onto a socket.  Every request frame
+is a JSON object with a ``type``; the server answers each request with
+exactly one reply frame, in order, so a client can drive the protocol in
+lockstep over any reliable byte stream (TCP or a unix socket).
+
+Request frames (client to server):
+
+``open``
+    ``{"type": "open", "workload": ..., "model": ..., "chunk": N,
+    "options": {...}}`` — create a checking session.  ``session`` may name
+    the session explicitly; otherwise the server assigns one.  ``chunk``
+    bounds the analysis slice (operations per incremental re-check);
+    ``options`` passes workload extras (e.g. rw-register ``sources``).
+    Reply: ``opened``.
+
+``append``
+    ``{"type": "append", "session": ..., "ops": [...]}`` — buffer a batch
+    of operations.  Each element is exactly the record
+    :func:`repro.history.io.encode_op` writes to JSON-lines files, so a
+    history file *is* a sequence of valid ``ops`` entries.  Reply:
+    ``appended`` (with the post-accept backlog) — sent only once the
+    session's buffer is below its high-watermark, which is how
+    backpressure propagates to a lockstep client.
+
+``verdict``
+    ``{"type": "verdict", "session": ..., "report": false}`` — drain the
+    session's backlog through the incremental checker and return the
+    verdict for the full prefix ingested so far (see
+    :func:`update_record` for the reply shape; ``"report": true`` adds
+    the rendered human-readable report).
+
+``stats``
+    ``{"type": "stats"}`` or ``{"type": "stats", "session": ...}`` —
+    server-wide or per-session counters.
+
+``close``
+    ``{"type": "close", "session": ...}`` — drain, then discard the
+    session; the reply carries its final counters.
+
+Any failure produces ``{"type": "error", "error": "...", "session": ...}``
+instead of the normal reply; the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from ..core.incremental import StreamUpdate
+from ..errors import HistoryError, ProtocolError
+from ..history.io import decode_op, encode_op
+from ..history.ops import Op
+
+#: Byte limit for one frame on the wire (and the asyncio reader limit).
+#: Generous: an ``append`` of 10k operations is ~1 MB of JSON.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Request frame types the server understands.
+REQUEST_TYPES = frozenset({"open", "append", "verdict", "stats", "close"})
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One frame as wire bytes: compact JSON plus the line terminator."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`~repro.errors.ProtocolError` for anything that is not
+    a single JSON object — the caller decides whether that poisons the
+    connection (server: no, it answers with an ``error`` frame).
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from None
+    text = line.strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def request_type(frame: Dict[str, Any]) -> str:
+    """Validate and return the frame's request type."""
+    kind = frame.get("type")
+    if kind not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown frame type {kind!r}; expected one of "
+            f"{sorted(REQUEST_TYPES)}"
+        )
+    return kind
+
+
+def encode_ops(ops: Iterable[Op]) -> List[dict]:
+    """Operations as ``append``-frame records (the JSON-lines op shape)."""
+    return [encode_op(op) for op in ops]
+
+
+def decode_ops(records: Sequence[Any]) -> List[Op]:
+    """Invert :func:`encode_ops`; positions contextualize decode errors.
+
+    Decoding happens *before* any operation reaches a session, so a
+    malformed record rejects the whole frame and leaves the session
+    untouched — only structurally broken *histories* (pairing violations
+    and the like, found at ingest) poison a session.
+    """
+    if not isinstance(records, (list, tuple)):
+        raise ProtocolError(
+            f"append ops must be an array, got {type(records).__name__}"
+        )
+    ops = []
+    for position, record in enumerate(records):
+        try:
+            ops.append(decode_op(record, position + 1))
+        except HistoryError as exc:
+            # decode_op speaks in file lines; a frame is one line, so
+            # point at the array position instead.
+            message = str(exc)
+            prefix = f"line {position + 1}: "
+            if message.startswith(prefix):
+                message = message[len(prefix):]
+            raise HistoryError(f"ops[{position}]: {message}") from None
+    return ops
+
+
+def update_record(update: StreamUpdate) -> Dict[str, Any]:
+    """The verdict-reply record for one :class:`StreamUpdate`.
+
+    This is the service's ``verdict`` reply body and, identically, the
+    per-chunk line ``python -m repro --follow --json`` prints — one shape
+    for both, so a log of ``--json`` lines replays as a transcript of
+    service verdicts.
+    """
+    result = update.result
+    return {
+        "type": "verdict",
+        "chunk": update.chunk,
+        "ops": update.ops,
+        "txns": update.txns,
+        "valid": result.valid,
+        "model": result.consistency_model,
+        "anomalies": len(result.anomalies),
+        "anomaly_types": list(result.anomaly_types),
+        "new_anomalies": [
+            {"name": a.name, "txns": list(a.txns)}
+            for a in update.new_anomalies
+        ],
+        "resolved": update.resolved,
+        "reanalyzed_keys": update.reanalyzed_keys,
+        "reused_keys": update.reused_keys,
+        "not": sorted(result.not_),
+        "but_possibly": sorted(result.but_possibly),
+    }
+
+
+def record_summary(record: Dict[str, Any]) -> str:
+    """A one-line human digest of a verdict record.
+
+    Mirrors :meth:`StreamUpdate.summary` but works from the wire record,
+    so ``--connect --follow`` can narrate a remote session without
+    shipping the full verdict objects.
+    """
+    verdict = "VALID" if record["valid"] else "INVALID"
+    parts = [
+        f"chunk {record['chunk']}: +{record['ops']} ops "
+        f"({record['txns']} txns)",
+        f"{verdict} under {record['model']}",
+    ]
+    fresh = record["new_anomalies"]
+    if fresh:
+        counts: Dict[str, int] = {}
+        for entry in fresh:
+            counts[entry["name"]] = counts.get(entry["name"], 0) + 1
+        named = ", ".join(f"{name} x{n}" for name, n in sorted(counts.items()))
+        parts.append(f"+{len(fresh)} anomalies ({named})")
+    else:
+        parts.append("+0 anomalies")
+    if record["resolved"]:
+        parts.append(f"{record['resolved']} resolved")
+    return "; ".join(parts)

@@ -1,0 +1,465 @@
+"""The checker daemon: an asyncio JSON-lines server over TCP/unix sockets.
+
+One event loop multiplexes every connection and every session — the right
+shape for a single-core box, where concurrency comes from interleaving,
+not threads.  The split of labor with :mod:`repro.service.session`:
+
+* each connection runs :meth:`CheckerService._handle` — read a frame,
+  dispatch, write exactly one reply, repeat;
+* one *analyzer task* repeatedly asks the registry for the next runnable
+  session and analyzes a single bounded chunk, then yields the loop, so
+  socket reads/writes interleave between slices and no session starves
+  another;
+* ``append`` replies are withheld while a session's backlog is at its
+  high-watermark (:meth:`SessionRegistry.accepts`), which stalls the
+  lockstep client — backpressure without any dedicated flow-control
+  frames;
+* an eviction task sweeps idle sessions on a timer.
+
+``drain()`` is the graceful-shutdown path (wired to SIGTERM/SIGINT by
+:func:`serve`): stop accepting connections, finish analyzing every
+buffered operation, answer whatever frames are still in flight, write the
+final stats record if configured, and return.  A client that already got
+its verdicts sees a clean EOF.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, List, Optional
+
+from ..errors import ProtocolError, ReproError, ServiceError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    decode_ops,
+    encode_frame,
+    request_type,
+    update_record,
+)
+from .session import SessionConfig, SessionRegistry
+
+#: How often the eviction sweep runs, as a fraction of the idle timeout.
+EVICTION_SWEEPS_PER_TIMEOUT = 4
+
+
+class CheckerService:
+    """The daemon: listeners, the analyzer loop, and frame dispatch."""
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        stats_path: Optional[str] = None,
+    ) -> None:
+        if port is None and unix_path is None:
+            raise ServiceError("need a TCP port and/or a unix socket path")
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.stats_path = stats_path
+        self.addresses: List[str] = []
+        self._servers: List[asyncio.AbstractServer] = []
+        self._connections: set = set()
+        self._tasks: List[asyncio.Task] = []
+        self._work = asyncio.Event()
+        self._progress = asyncio.Condition()
+        self._draining = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> List[str]:
+        """Bind the listeners and start the background tasks.
+
+        Returns the bound addresses (``host:port`` — with the real port
+        when 0 asked for an ephemeral one — and/or ``unix:path``).
+        """
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._handle, self.host, self.port, limit=MAX_FRAME_BYTES
+            )
+            bound = server.sockets[0].getsockname()
+            self.port = bound[1]
+            self.addresses.append(f"{bound[0]}:{bound[1]}")
+            self._servers.append(server)
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle, self.unix_path, limit=MAX_FRAME_BYTES
+            )
+            self.addresses.append(f"unix:{self.unix_path}")
+            self._servers.append(server)
+        self._tasks.append(asyncio.create_task(self._analyze_loop()))
+        self._tasks.append(asyncio.create_task(self._evict_loop()))
+        return self.addresses
+
+    async def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown: no new connections, all backlogs analyzed."""
+        if self._draining:
+            await self._stopped.wait()
+            return self.stats_record()
+        self._draining = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        # Let the analyzer finish every buffered chunk before stopping it.
+        self._work.set()
+        async with self._progress:
+            while self.registry.has_work():
+                await self._progress.wait()
+            # Wake parked append waiters so they observe the drain and
+            # refuse their batches instead of buffering unanalyzed ops.
+            self._progress.notify_all()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        # Belt and braces: if anything slipped into a backlog between the
+        # quiescence check and the analyzer stopping, finish it inline —
+        # the stats snapshot (and CI's backlog == 0 assertion) must
+        # describe a fully analyzed state.
+        while self.registry.has_work():
+            self.registry.run_slice()
+        for writer in list(self._connections):
+            writer.close()
+        if self.unix_path is not None:
+            import os
+
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+        record = self.stats_record()
+        if self.stats_path is not None:
+            with open(self.stats_path, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+        self._stopped.set()
+        return record
+
+    def stats_record(self) -> Dict[str, Any]:
+        """The full stats snapshot (the ``stats`` frame body, plus state)."""
+        return {
+            "type": "stats",
+            "addresses": list(self.addresses),
+            "draining": self._draining,
+            "server": self.registry.stats(),
+            "sessions": {
+                session_id: session.stats()
+                for session_id, session in self.registry.sessions.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Background tasks
+
+    async def _analyze_loop(self) -> None:
+        """Round-robin bounded slices: the service's only analysis driver."""
+        while True:
+            outcome = self.registry.run_slice()
+            if outcome is None:
+                self._work.clear()
+                async with self._progress:
+                    self._progress.notify_all()
+                await self._work.wait()
+                continue
+            # One chunk analyzed (or a session poisoned — also progress):
+            # wake verdict waiters and backpressured appends, then yield
+            # the loop so socket I/O interleaves between slices.
+            async with self._progress:
+                self._progress.notify_all()
+            await asyncio.sleep(0)
+
+    async def _evict_loop(self) -> None:
+        interval = max(
+            self.registry.idle_timeout / EVICTION_SWEEPS_PER_TIMEOUT, 0.05
+        )
+        while True:
+            await asyncio.sleep(interval)
+            self.registry.evict_idle()
+
+    # ------------------------------------------------------------------
+    # Connections
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_frame({
+                        "type": "error",
+                        "error": f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                    }))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                reply = await self._reply_for(line)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _reply_for(self, line: bytes) -> Dict[str, Any]:
+        session_id = None
+        try:
+            frame = decode_frame(line)
+            session_id = frame.get("session")
+            return await self._dispatch(frame)
+        except ProtocolError as exc:
+            return {"type": "error", "error": str(exc), "session": session_id}
+        except (ReproError, ValueError) as exc:
+            # Session poisonings, bad configs, unknown sessions: the
+            # request fails, the connection (and server) live on.
+            return {"type": "error", "error": str(exc), "session": session_id}
+        except Exception as exc:  # pragma: no cover - defensive
+            # A daemon must outlive its bugs; the frame fails loudly
+            # instead of tearing the connection (and every session) down.
+            return {
+                "type": "error",
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+                "session": session_id,
+            }
+
+    async def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        kind = request_type(frame)
+        if self._draining and kind in ("open", "append"):
+            raise ServiceError("server is draining; no new work accepted")
+        if kind == "open":
+            return self._open(frame)
+        if kind == "stats":
+            return self._stats(frame)
+        # The remaining frames address an existing session.
+        session = self.registry.get(frame.get("session"))
+        session.touch()
+        if kind == "append":
+            return await self._append(session, frame)
+        if kind == "verdict":
+            return await self._verdict(session, frame)
+        return await self._close(session)
+
+    def _open(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        options = frame.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("open options must be a JSON object")
+        chunk = frame.get("chunk", self.registry.default_chunk_ops)
+        # Reject non-int chunks here: a float would pass the <= 0 check
+        # and only blow up (poisoning the session and its buffered data)
+        # deep inside a later analysis slice.
+        if not isinstance(chunk, int) or isinstance(chunk, bool):
+            raise ProtocolError(f"open chunk must be an integer, got {chunk!r}")
+        config = SessionConfig(
+            workload=frame.get("workload", "list-append"),
+            consistency_model=frame.get(
+                "model", SessionConfig.consistency_model
+            ),
+            chunk_ops=chunk,
+            process_edges=frame.get("process_edges", True),
+            realtime_edges=frame.get("realtime_edges", True),
+            timestamp_edges=frame.get("timestamp_edges", False),
+            options=options,
+        )
+        session = self.registry.open(config, frame.get("session"))
+        return {
+            "type": "opened",
+            "session": session.id,
+            "workload": config.workload,
+            "model": config.consistency_model,
+            "chunk": config.chunk_ops,
+        }
+
+    def _stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = frame.get("session")
+        if session_id is not None:
+            session = self.registry.get(session_id)
+            return {
+                "type": "stats",
+                "session": session_id,
+                "stats": session.stats(),
+            }
+        return self.stats_record()
+
+    async def _append(self, session, frame: Dict[str, Any]) -> Dict[str, Any]:
+        ops = decode_ops(frame.get("ops", ()))
+        # Backpressure: hold the reply until the backlog is below the
+        # high-watermark.  The analyzer's progress notifications wake us;
+        # a poisoning also unblocks (buffer() will then refuse the batch),
+        # and so does a drain — whose quiescence check must not be raced
+        # by a parked append buffering ops after the analyzer stopped.
+        async with self._progress:
+            while (
+                not self.registry.accepts(session)
+                and session.error is None
+                and not self._draining
+            ):
+                await self._progress.wait()
+        if self._draining:
+            raise ServiceError("server is draining; no new work accepted")
+        self.registry.append(session.id, ops)
+        self._work.set()
+        return {
+            "type": "appended",
+            "session": session.id,
+            "ops": len(ops),
+            "buffered": session.backlog,
+        }
+
+    async def _verdict(self, session, frame: Dict[str, Any]) -> Dict[str, Any]:
+        await self._drain_session(session)
+        update = session.verdict()
+        record = update_record(update)
+        record["session"] = session.id
+        if frame.get("report"):
+            record["report"] = update.result.report()
+        return record
+
+    async def _close(self, session) -> Dict[str, Any]:
+        await self._drain_session(session)
+        final = self.registry.close(session.id)
+        return {"type": "closed", "session": session.id, "stats": final}
+
+    async def _drain_session(self, session) -> None:
+        """Wait until the analyzer has consumed this session's backlog."""
+        self._work.set()
+        async with self._progress:
+            while session.has_work:
+                await self._progress.wait()
+
+
+async def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    registry: Optional[SessionRegistry] = None,
+    stats_path: Optional[str] = None,
+    quiet: bool = False,
+    ready: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run a daemon until SIGTERM/SIGINT, then drain; returns final stats.
+
+    ``ready``, when given, is called with the service once the listeners
+    are bound (tests use it to learn ephemeral ports).
+    """
+    service = CheckerService(
+        registry,
+        host=host,
+        port=port,
+        unix_path=unix_path,
+        stats_path=stats_path,
+    )
+    addresses = await service.start()
+    if not quiet:
+        for address in addresses:
+            print(f"service: listening on {address}", flush=True)
+    if ready is not None:
+        ready(service)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await stop.wait()
+    if not quiet:
+        print("service: draining", flush=True)
+    record = await service.drain()
+    if not quiet:
+        summary = record["server"]
+        print(
+            "service: drained — "
+            f"{summary['sessions_opened']} sessions, "
+            f"{summary['ops_ingested']} ops, "
+            f"{summary['chunks_checked']} chunks checked",
+            flush=True,
+        )
+    return record
+
+
+class BackgroundService:
+    """A daemon on a private event loop in a thread (tests, benchmarks).
+
+    The production deployment runs :func:`serve` on the main thread; this
+    helper exists so synchronous code — pytest, the load benchmark, a
+    notebook — can stand a real server up, talk to it over real sockets
+    with the blocking client, and drain it deterministically.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        self._kwargs = kwargs
+        self.service: Optional[CheckerService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+        self.stats: Optional[Dict[str, Any]] = None
+
+    def __enter__(self) -> "BackgroundService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.drain()
+
+    def start(self, timeout: float = 10.0) -> "BackgroundService":
+        import threading
+
+        started = threading.Event()
+
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self.service = CheckerService(**self._kwargs)
+            await self.service.start()
+            started.set()
+            await self.service._stopped.wait()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(main()), daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):  # pragma: no cover - defensive
+            raise ServiceError("background service failed to start")
+        return self
+
+    @property
+    def addresses(self) -> List[str]:
+        assert self.service is not None
+        return self.service.addresses
+
+    @property
+    def tcp_address(self) -> str:
+        assert self.service is not None
+        return f"{self.service.host}:{self.service.port}"
+
+    def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
+        if self._loop is None or self.service is None:
+            return self.stats or {}
+        if self.stats is None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.drain(), self._loop
+            )
+            self.stats = future.result(timeout)
+            self._thread.join(timeout)
+        return self.stats
+
+

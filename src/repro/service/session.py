@@ -1,0 +1,387 @@
+"""Checker sessions and their registry: the service's sans-I/O core.
+
+A *session* is one independent checking stream — its own workload, its
+own consistency model, its own :class:`~repro.core.incremental.
+StreamingChecker` — multiplexed with many others inside a single daemon.
+This module holds everything about that multiplexing that is not socket
+I/O, so the asyncio server (:mod:`repro.service.server`) stays a thin
+shell and the equivalence oracle
+(``tests/properties/test_service_equivalence.py``) can drive the exact
+scheduling code with hypothesis-chosen interleavings, no sockets needed.
+
+Three design points, all in service of "many sessions, one core":
+
+* **Bounded buffers.**  Appended operations land in a per-session backlog
+  deque; a session whose backlog has reached ``max_pending_ops`` stops
+  *admitting* appends (:meth:`SessionRegistry.accepts`) until analysis
+  drains it.  The server turns that refusal into backpressure by simply
+  not replying to the ``append`` frame yet — the lockstep client stalls,
+  and eventually so does its TCP window.
+* **Bounded slices.**  :meth:`SessionRegistry.run_slice` pops the next
+  runnable session in round-robin order and analyzes *one* chunk
+  (``chunk_ops`` operations at most) before yielding, so a session
+  streaming millions of operations cannot starve a neighbor that needs
+  one small verdict.
+* **Idle eviction.**  Sessions that have neither received a frame nor had
+  work pending for ``idle_timeout`` seconds are evicted, so abandoned
+  clients cannot pin checker state (and its per-key caches) forever.
+
+Error semantics mirror the streaming checker's: a structurally broken
+chunk poisons the session — its backlog is discarded, the original
+exception is replayed to every later ``verdict`` — but never the server.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.consistency import SERIALIZABLE
+from ..core.incremental import StreamingChecker, StreamUpdate
+from ..errors import ServiceError
+from ..history.ops import Op
+
+#: Default operations per analysis slice (and per incremental re-check).
+DEFAULT_CHUNK_OPS = 1000
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session checking configuration, as carried by ``open`` frames."""
+
+    workload: str = "list-append"
+    consistency_model: str = SERIALIZABLE
+    chunk_ops: int = DEFAULT_CHUNK_OPS
+    process_edges: bool = True
+    realtime_edges: bool = True
+    timestamp_edges: bool = False
+    #: Extra analyzer options (e.g. rw-register ``sources``); values must
+    #: be JSON-representable since they ride the ``open`` frame.
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.chunk_ops <= 0:
+            raise ServiceError(
+                f"chunk_ops must be positive, got {self.chunk_ops}"
+            )
+
+
+class Session:
+    """One checking stream: a streaming checker plus its backlog and books."""
+
+    def __init__(
+        self,
+        session_id: str,
+        config: SessionConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.id = session_id
+        self.config = config
+        self._clock = clock
+        # Workload/model validation happens here, so a bad ``open`` frame
+        # fails before the registry ever records the session.
+        options = dict(config.options)
+        sources = options.pop("sources", None)
+        if sources is not None:
+            options["sources"] = tuple(sources)
+        self.checker = StreamingChecker(
+            workload=config.workload,
+            consistency_model=config.consistency_model,
+            process_edges=config.process_edges,
+            realtime_edges=config.realtime_edges,
+            timestamp_edges=config.timestamp_edges,
+            **options,
+        )
+        self.pending: deque = deque()
+        self.ops_ingested = 0
+        self.chunks_checked = 0
+        self.keys_reanalyzed = 0
+        self.keys_reused = 0
+        self.analyze_seconds = 0.0
+        self.max_chunk_seconds = 0.0
+        self.last_update: Optional[StreamUpdate] = None
+        self.error: Optional[BaseException] = None
+        self.closed = False
+        self.last_activity = clock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Operations buffered but not yet analyzed."""
+        return len(self.pending)
+
+    @property
+    def has_work(self) -> bool:
+        """True when the analyzer loop should give this session a slice."""
+        return bool(self.pending) and self.error is None and not self.closed
+
+    @property
+    def state(self) -> str:
+        if self.closed:
+            return "closed"
+        if self.error is not None:
+            return "poisoned"
+        return "open"
+
+    def touch(self) -> None:
+        self.last_activity = self._clock()
+
+    def buffer(self, ops: Sequence[Op]) -> None:
+        """Accept one ``append`` batch into the backlog."""
+        if self.closed:
+            raise ServiceError(f"session {self.id!r} is closed")
+        if self.error is not None:
+            raise ServiceError(
+                f"session {self.id!r} is poisoned: {self.error}"
+            )
+        self.pending.extend(ops)
+        self.ops_ingested += len(ops)
+        self.touch()
+
+    def analyze_chunk(self) -> StreamUpdate:
+        """Run one bounded slice: up to ``chunk_ops`` backlog operations.
+
+        A failing chunk poisons the session exactly like
+        :meth:`StreamingChecker.extend` poisons its stream; the rest of
+        the backlog is discarded because the prefix it would extend can
+        no longer be trusted.
+        """
+        if self.error is not None:
+            raise self.error
+        take = min(len(self.pending), self.config.chunk_ops)
+        chunk = [self.pending.popleft() for _ in range(take)]
+        begin = self._clock()
+        try:
+            update = self.checker.extend(chunk)
+        except BaseException as exc:
+            self.error = exc
+            self.pending.clear()
+            raise
+        finally:
+            elapsed = self._clock() - begin
+            self.analyze_seconds += elapsed
+            self.max_chunk_seconds = max(self.max_chunk_seconds, elapsed)
+        self.chunks_checked += 1
+        self.keys_reanalyzed += update.reanalyzed_keys
+        self.keys_reused += update.reused_keys
+        self.last_update = update
+        return update
+
+    def verdict(self) -> StreamUpdate:
+        """The verdict for everything ingested (backlog must be drained).
+
+        A session that never analyzed a chunk gets the verdict on the
+        empty observation, matching ``check_stream([])``.
+        """
+        if self.error is not None:
+            raise ServiceError(
+                f"session {self.id!r} is poisoned: {self.error}"
+            )
+        if self.pending:
+            raise ServiceError(
+                f"session {self.id!r} still has {len(self.pending)} "
+                "unanalyzed operations"
+            )
+        if self.last_update is None:
+            return self.analyze_chunk()
+        return self.last_update
+
+    def stats(self) -> Dict[str, Any]:
+        """The per-session counters the ``stats`` frame reports."""
+        record: Dict[str, Any] = {
+            "state": self.state,
+            "workload": self.config.workload,
+            "model": self.config.consistency_model,
+            "chunk_ops": self.config.chunk_ops,
+            "ops_ingested": self.ops_ingested,
+            "backlog": self.backlog,
+            "chunks_checked": self.chunks_checked,
+            "keys_reanalyzed": self.keys_reanalyzed,
+            "keys_reused": self.keys_reused,
+            "analyze_seconds": round(self.analyze_seconds, 4),
+            "max_chunk_seconds": round(self.max_chunk_seconds, 4),
+        }
+        if self.error is not None:
+            record["error"] = str(self.error)
+        update = self.last_update
+        if update is not None:
+            record["last_verdict"] = {
+                "chunk": update.chunk,
+                "txns": update.txns,
+                "valid": update.result.valid,
+                "anomalies": len(update.result.anomalies),
+                "new_anomalies": len(update.new_anomalies),
+                "resolved": update.resolved,
+            }
+        return record
+
+
+class SessionRegistry:
+    """All live sessions, plus admission, scheduling, and eviction policy."""
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        max_pending_ops: int = 50_000,
+        idle_timeout: float = 300.0,
+        default_chunk_ops: int = DEFAULT_CHUNK_OPS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions <= 0:
+            raise ServiceError("max_sessions must be positive")
+        if max_pending_ops <= 0:
+            raise ServiceError("max_pending_ops must be positive")
+        self.max_sessions = max_sessions
+        self.max_pending_ops = max_pending_ops
+        self.idle_timeout = idle_timeout
+        self.default_chunk_ops = default_chunk_ops
+        self.clock = clock
+        self.sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self._rotation: deque = deque()  # round-robin order of session ids
+        self._auto_id = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_evicted = 0
+        self.ops_total = 0
+        self.chunks_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def open(
+        self,
+        config: Optional[SessionConfig] = None,
+        session_id: Optional[str] = None,
+    ) -> Session:
+        if session_id is None:
+            self._auto_id += 1
+            session_id = f"session-{self._auto_id}"
+        if session_id in self.sessions:
+            raise ServiceError(f"session {session_id!r} already open")
+        if len(self.sessions) >= self.max_sessions:
+            raise ServiceError(
+                f"session table full ({self.max_sessions}); close a "
+                "session or let idle ones evict"
+            )
+        session = Session(
+            session_id, config or SessionConfig(), clock=self.clock
+        )
+        self.sessions[session_id] = session
+        self._rotation.append(session_id)
+        self.sessions_opened += 1
+        return session
+
+    def get(self, session_id: Any) -> Session:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ServiceError(
+                f"unknown session {session_id!r} (never opened, closed, "
+                "or evicted as idle)"
+            )
+        return session
+
+    def close(self, session_id: str) -> Dict[str, Any]:
+        """Remove a session; returns its final counters."""
+        session = self.get(session_id)
+        session.closed = True
+        final = session.stats()
+        del self.sessions[session_id]
+        self._rotation.remove(session_id)
+        self.sessions_closed += 1
+        return final
+
+    def evict_idle(self, now: Optional[float] = None) -> List[str]:
+        """Drop sessions idle past the timeout (only with empty backlogs:
+        buffered work is never silently discarded)."""
+        now = self.clock() if now is None else now
+        victims = [
+            session_id
+            for session_id, session in self.sessions.items()
+            if not session.pending
+            and now - session.last_activity >= self.idle_timeout
+        ]
+        for session_id in victims:
+            session = self.sessions.pop(session_id)
+            session.closed = True
+            self._rotation.remove(session_id)
+            self.sessions_evicted += 1
+        return victims
+
+    # ------------------------------------------------------------------
+    # Admission and scheduling
+
+    def accepts(self, session: Session) -> bool:
+        """High-watermark admission: may this session buffer another batch?
+
+        A batch is admitted while the backlog is *below* the limit, so
+        one batch may overshoot it — which keeps arbitrary client batch
+        sizes deadlock-free (a batch larger than the whole buffer still
+        gets in, one admission at a time).
+        """
+        return session.backlog < self.max_pending_ops
+
+    def append(self, session_id: str, ops: Sequence[Op]) -> Session:
+        """Buffer a decoded batch into a session (the ``append`` frame)."""
+        session = self.get(session_id)
+        session.buffer(ops)
+        self.ops_total += len(ops)
+        return session
+
+    def next_runnable(self) -> Optional[Session]:
+        """The next session owed an analysis slice, round-robin."""
+        for _ in range(len(self._rotation)):
+            session_id = self._rotation[0]
+            self._rotation.rotate(-1)
+            session = self.sessions.get(session_id)
+            if session is not None and session.has_work:
+                return session
+        return None
+
+    def run_slice(
+        self,
+    ) -> Optional[Tuple[Session, Optional[StreamUpdate], Optional[BaseException]]]:
+        """Analyze one bounded chunk of the next runnable session.
+
+        Returns ``None`` when no session has work; otherwise the session
+        plus either its fresh update or the exception that poisoned it
+        (already recorded on the session — the server keeps running).
+        """
+        session = self.next_runnable()
+        if session is None:
+            return None
+        self.chunks_total += 1
+        try:
+            update = session.analyze_chunk()
+        except Exception as exc:
+            return session, None, exc
+        return session, update, None
+
+    def drain(self, session: Session) -> None:
+        """Synchronously analyze a session's whole backlog (client-less
+        use: tests, in-process embedding).  The server's analyzer loop is
+        the asynchronous equivalent, fair across sessions."""
+        while session.has_work:
+            session.analyze_chunk()
+
+    def has_work(self) -> bool:
+        return any(s.has_work for s in self.sessions.values())
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Server-wide counters for the ``stats`` frame."""
+        return {
+            "sessions_open": len(self.sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "ops_ingested": self.ops_total,
+            "chunks_checked": self.chunks_total,
+            "backlog": sum(s.backlog for s in self.sessions.values()),
+            "max_sessions": self.max_sessions,
+            "max_pending_ops": self.max_pending_ops,
+            "idle_timeout": self.idle_timeout,
+        }

@@ -100,6 +100,92 @@ class TestErrorSemantics:
             )
 
 
+class TestServiceAbusePaths:
+    """The call shapes a multiplexing daemon hits: empty chunks, reads
+    interleaved with extends, and extends against a poisoned stream."""
+
+    def test_empty_chunk_extend_is_a_cheap_recheck(self):
+        txns = (
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", [1])]),
+        )
+        checker = StreamingChecker()
+        first = checker.extend(ops_of(*txns))
+        update = checker.extend([])
+        # A no-op chunk still produces a full (batch-identical) verdict...
+        assert update.chunk == 2
+        assert update.ops == 0
+        assert update.txns == first.txns
+        assert update.new_anomalies == ()
+        assert update.resolved == 0
+        batch = check(History(ops_of(*txns)))
+        assert update.result.valid == batch.valid
+        assert [a.message for a in update.result.anomalies] == [
+            a.message for a in batch.anomalies
+        ]
+        # ...and every per-key plan comes from cache: nothing was dirtied.
+        assert update.reanalyzed_keys == 0
+        assert update.reused_keys >= 1
+
+    def test_empty_first_chunk_is_the_empty_observation(self):
+        checker = StreamingChecker()
+        update = checker.extend([])
+        assert update.result.valid
+        assert (update.chunk, update.ops, update.txns) == (1, 0, 0)
+
+    def test_extend_after_verdict_reads_stays_batch_identical(self):
+        """Reading (and rendering) a verdict must not perturb later
+        chunks — the daemon interleaves verdict frames with appends."""
+        ops = ops_of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [append("x", 2), r("x", [1, 2])]),
+            ("ok", 0, [r("x", [1])]),
+        )
+        # Renumber the compact transactions into one op stream.
+        ops = [
+            Op(i, op.type, op.process, op.value, op.ts)
+            for i, op in enumerate(ops)
+        ]
+        checker = StreamingChecker()
+        mid = checker.extend(ops[:3])
+        # Consume the verdict the way the service does: render the
+        # report, walk the anomalies, serialize the summary.
+        mid.result.report()
+        mid.summary()
+        list(mid.result.anomalies)
+        final = checker.extend(ops[3:])
+        batch = check(History(ops))
+        assert final.result.valid == batch.valid
+        assert final.result.anomaly_types == batch.anomaly_types
+        assert [a.message for a in final.result.anomalies] == [
+            a.message for a in batch.anomalies
+        ]
+
+    def test_poisoned_stream_replays_the_same_exception(self):
+        checker = StreamingChecker()
+        with pytest.raises(HistoryError) as first:
+            checker.extend(
+                [Op(0, OpType.OK, 0, (append("x", 1),))]  # orphan completion
+            )
+        # Every later extend -- even an empty one -- re-raises the very
+        # same exception object; nothing new is ingested.
+        with pytest.raises(HistoryError) as again:
+            checker.extend([])
+        assert again.value is first.value
+        with pytest.raises(HistoryError) as still:
+            checker.extend(ops_of(("ok", 0, [append("y", 1)])))
+        assert still.value is first.value
+        assert len(checker.history) == 0
+
+    def test_poisoned_result_keeps_last_good_verdict(self):
+        checker = StreamingChecker()
+        good = checker.extend(ops_of(("ok", 0, [append("x", 1)])))
+        with pytest.raises(HistoryError):
+            checker.extend([Op(99, OpType.OK, 5, (append("x", 2),))])
+        # The last successful verdict is still readable.
+        assert checker.result is good.result
+
+
 class TestStreamUpdate:
     def test_summary_mentions_new_anomalies(self):
         checker = StreamingChecker()

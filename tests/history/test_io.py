@@ -136,6 +136,23 @@ class TestMalformedInput:
         text = "\n" + dumps_history(history).replace("\n", "\n\n")
         assert loads_history(text).op_count == history.op_count
 
+    def test_crlf_line_endings_tolerated(self):
+        """Histories shipped through Windows tooling load unchanged."""
+        history = builder_history()
+        crlf = dumps_history(history).replace("\n", "\r\n")
+        back = loads_history(crlf)
+        assert back.op_count == history.op_count
+        assert dumps_history(back) == dumps_history(history)
+
+    def test_crlf_with_blank_lines_keeps_line_numbers(self):
+        """Error positions count physical lines, blank and CRLF included."""
+        history = builder_history()
+        lines = dumps_history(history).splitlines()
+        lines.insert(1, "")          # a blank line to skip
+        lines[3] = "{broken"         # physical line 4
+        with pytest.raises(HistoryError, match="line 4"):
+            loads_history("\r\n".join(lines) + "\r\n")
+
     def test_pairing_still_validated(self):
         # A completion with no invocation is rejected by History itself.
         with pytest.raises(HistoryError):
@@ -215,8 +232,27 @@ class TestStreamingSources:
     def test_iter_op_chunks_rejects_nonpositive_size(self):
         from repro.history import iter_op_chunks
 
-        with pytest.raises(ValueError, match="chunk_size"):
+        with pytest.raises(
+            ValueError, match="chunk_size must be positive, got 0"
+        ):
             list(iter_op_chunks(io.StringIO(""), 0))
+        with pytest.raises(
+            ValueError, match="chunk_size must be positive, got -3"
+        ):
+            list(iter_op_chunks(io.StringIO(""), -3))
+
+    def test_iter_op_chunks_skips_blank_and_crlf_lines(self):
+        """Chunk sizes count operations, not physical lines."""
+        from repro.history import iter_op_chunks
+
+        history = builder_history()
+        ragged = "\r\n" + dumps_history(history).replace("\n", "\r\n\r\n")
+        chunks = list(iter_op_chunks(io.StringIO(ragged), 3))
+        assert [len(c) for c in chunks[:-1]] == [3] * (len(chunks) - 1)
+        flat = [op for chunk in chunks for op in chunk]
+        assert flat == list(
+            loads_history(dumps_history(history)).ops
+        )
 
     def test_truncated_final_line_raises(self):
         history = builder_history()

@@ -1,0 +1,295 @@
+"""The service oracle: multiplexed sessions == independent batch checks.
+
+The checker service promises that multiplexing is purely a *scheduling*
+strategy: however many sessions share the daemon, however their ``append``
+frames interleave, and wherever the frame boundaries fall (including
+mid-transaction), each session's final verdict must be byte-identical to
+a one-shot batch ``check()`` of that session's operations alone — same
+anomalies in the same order with the same messages and evidence, same
+graph interning order, same verdict.
+
+The heavy sweep drives :class:`SessionRegistry` directly — the exact
+admission/scheduling code the asyncio server runs, minus the sockets —
+with hypothesis choosing the workloads, fault injectors, frame
+boundaries, and the global interleaving of frames and analysis slices.
+A final socket-level test pins the same property through the real daemon
+with real concurrent client threads.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import History, check
+from repro.db import FaunaInternal, Isolation, TiDBRetry, YugaByteStaleRead
+from repro.generator import RunConfig, WorkloadConfig, run_workload
+from repro.service import (
+    BackgroundService,
+    ServiceClient,
+    SessionConfig,
+    SessionRegistry,
+)
+
+WORKLOADS = ["list-append", "rw-register", "grow-set", "counter"]
+
+FAULTS = {
+    "none": None,
+    "tidb-retry": lambda rng: TiDBRetry(rng),
+    "yugabyte-stale-read": lambda rng: YugaByteStaleRead(
+        rng, probability=0.4, staleness=3
+    ),
+    "fauna-internal": lambda rng: FaunaInternal(rng, probability=0.4, staleness=2),
+}
+
+
+def make_ops(workload, fault, seed, txns=120):
+    history = run_workload(
+        RunConfig(
+            txns=txns,
+            concurrency=6,
+            isolation=Isolation.SNAPSHOT_ISOLATION,
+            workload=WorkloadConfig(workload=workload, active_keys=5),
+            seed=seed,
+            crash_probability=0.02,
+            faults=FAULTS[fault],
+        )
+    )
+    return list(history.ops)
+
+
+def check_options(workload):
+    if workload == "rw-register":
+        return {
+            "sources": (
+                "initial-state",
+                "write-follows-read",
+                "process",
+                "realtime",
+            )
+        }
+    return {}
+
+
+def session_config(workload, chunk_ops):
+    return SessionConfig(
+        workload=workload,
+        chunk_ops=chunk_ops,
+        options=check_options(workload),
+    )
+
+
+def analysis_signature(analysis):
+    """Everything inference produced, in order."""
+    return (
+        [(a.name, a.txns, a.message, tuple(sorted(a.data.items(), key=repr)))
+         for a in analysis.anomalies],
+        list(analysis.graph.nodes()),          # interning order matters
+        sorted(analysis.graph.edges()),
+        sorted(analysis.evidence.items()),
+    )
+
+
+def result_signature(result):
+    """The full verdict, including rendered cycle witnesses."""
+    return (
+        result.valid,
+        result.consistency_model,
+        result.anomaly_types,
+        tuple((a.name, a.txns, a.message) for a in result.anomalies),
+        frozenset(result.impossible),
+        frozenset(result.not_),
+        frozenset(result.but_possibly),
+    ) + analysis_signature(result.analysis)
+
+
+def framed(ops, cut_points):
+    """Split an op stream into append frames at the given boundaries."""
+    cuts = [0] + sorted({c % (len(ops) + 1) for c in cut_points}) + [len(ops)]
+    return [ops[a:b] for a, b in zip(cuts, cuts[1:]) if b > a]
+
+
+def interleave(registry, streams, schedule, slices_between=1):
+    """Feed per-session frame queues through the registry, interleaved.
+
+    ``schedule`` picks which session sends its next frame at each step
+    (indices wrap); after each frame the analyzer runs ``slices_between``
+    bounded slices, so frame arrival and analysis interleave arbitrarily
+    — exactly the server's life, minus the sockets.
+    """
+    queues = {name: list(frames) for name, frames in streams.items()}
+    step = 0
+    while any(queues.values()):
+        names = [name for name, frames in queues.items() if frames]
+        pick = schedule[step % len(schedule)] % len(names) if schedule else 0
+        name = names[pick]
+        session = registry.get(name)
+        # Respect admission exactly like the server: analyze until the
+        # session is back under its watermark.
+        while not registry.accepts(session):
+            if registry.run_slice() is None:
+                break
+        registry.append(name, queues[name].pop(0))
+        for _ in range(slices_between):
+            registry.run_slice()
+        step += 1
+    # Drain everything, round-robin, and collect verdicts.
+    while registry.has_work():
+        registry.run_slice()
+    return {
+        name: registry.get(name).verdict().result for name in streams
+    }
+
+
+class TestInterleavedEquivalence:
+    """Deterministic sweeps: every workload x injector, fixed interleaves."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("fault", ["none", "tidb-retry", "fauna-internal"])
+    def test_three_sessions_round_robin(self, workload, fault):
+        registry = SessionRegistry()
+        streams = {}
+        batches = {}
+        for index in range(3):
+            ops = make_ops(workload, fault, seed=40 + index)
+            registry.open(session_config(workload, chunk_ops=64), f"s{index}")
+            streams[f"s{index}"] = framed(ops, (37, 112, 251, 380))
+            batches[f"s{index}"] = check(
+                History(ops), workload=workload, **check_options(workload)
+            )
+        verdicts = interleave(registry, streams, schedule=[0, 1, 2])
+        for name, result in verdicts.items():
+            assert result_signature(result) == result_signature(
+                batches[name]
+            ), name
+
+    def test_mixed_workload_sessions(self):
+        """Sessions with different workloads share one registry."""
+        registry = SessionRegistry()
+        streams = {}
+        batches = {}
+        for index, workload in enumerate(WORKLOADS):
+            ops = make_ops(workload, "tidb-retry", seed=7 + index, txns=80)
+            registry.open(session_config(workload, chunk_ops=33), workload)
+            streams[workload] = framed(ops, (11, 59, 140))
+            batches[workload] = check(
+                History(ops), workload=workload, **check_options(workload)
+            )
+        verdicts = interleave(registry, streams, schedule=[3, 0, 2, 1, 0])
+        for name, result in verdicts.items():
+            assert result_signature(result) == result_signature(
+                batches[name]
+            ), name
+
+    def test_tight_watermark_interleaving(self):
+        """Backpressure-forced analysis between frames changes nothing."""
+        registry = SessionRegistry(max_pending_ops=48)
+        streams = {}
+        batches = {}
+        for index in range(2):
+            ops = make_ops("list-append", "yugabyte-stale-read", seed=70 + index)
+            registry.open(session_config("list-append", 16), f"s{index}")
+            streams[f"s{index}"] = framed(ops, tuple(range(25, 400, 31)))
+            batches[f"s{index}"] = check(History(ops))
+        verdicts = interleave(registry, streams, schedule=[0, 1, 1, 0])
+        for name, result in verdicts.items():
+            assert result_signature(result) == result_signature(batches[name])
+
+
+class TestRandomizedEquivalence:
+    """Hypothesis chooses sessions, faults, frames, and the interleaving."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        data=st.data(),
+        n_sessions=st.integers(min_value=1, max_value=3),
+        chunk_ops=st.sampled_from([7, 50, 333]),
+        slices_between=st.integers(min_value=0, max_value=3),
+        schedule=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=12
+        ),
+    )
+    def test_random_multiplexing(
+        self, data, n_sessions, chunk_ops, slices_between, schedule
+    ):
+        registry = SessionRegistry()
+        streams = {}
+        batches = {}
+        for index in range(n_sessions):
+            workload = data.draw(st.sampled_from(WORKLOADS), label="workload")
+            fault = data.draw(st.sampled_from(sorted(FAULTS)), label="fault")
+            seed = data.draw(
+                st.integers(min_value=0, max_value=2**16), label="seed"
+            )
+            cuts = data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=2**16), max_size=6
+                ),
+                label="cuts",
+            )
+            ops = make_ops(workload, fault, seed, txns=80)
+            name = f"s{index}"
+            registry.open(session_config(workload, chunk_ops), name)
+            streams[name] = framed(ops, tuple(cuts))
+            batches[name] = check(
+                History(ops), workload=workload, **check_options(workload)
+            )
+        verdicts = interleave(
+            registry, streams, schedule, slices_between=slices_between
+        )
+        for name, result in verdicts.items():
+            assert result_signature(result) == result_signature(batches[name])
+
+
+class TestSocketLevelEquivalence:
+    """The same property through the real daemon and concurrent clients."""
+
+    def test_threaded_clients_byte_identical_reports(self):
+        specs = {
+            "clean": ("list-append", "none", 21),
+            "tidb": ("list-append", "tidb-retry", 22),
+            "fauna": ("rw-register", "fauna-internal", 23),
+        }
+        streams = {
+            name: (workload, make_ops(workload, fault, seed))
+            for name, (workload, fault, seed) in specs.items()
+        }
+        reports = {}
+
+        def drive(name):
+            workload, ops = streams[name]
+            opts = check_options(workload)
+            wire_options = (
+                {"sources": list(opts["sources"])} if opts else None
+            )
+            with ServiceClient(address) as client:
+                sid = client.open_session(
+                    session_id=name,
+                    workload=workload,
+                    chunk_ops=48,
+                    options=wire_options,
+                )
+                for start in range(0, len(ops), 29):
+                    client.append(sid, ops[start:start + 29])
+                reports[name] = client.verdict(sid, report=True)["report"]
+
+        with BackgroundService(port=0) as bg:
+            address = bg.tcp_address
+            threads = [
+                threading.Thread(target=drive, args=(name,))
+                for name in streams
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+        for name, (workload, ops) in streams.items():
+            batch = check(
+                History(ops), workload=workload, **check_options(workload)
+            )
+            assert reports[name] == batch.report(), name

@@ -1,0 +1,143 @@
+"""The service wire protocol: framing, op records, verdict records."""
+
+import json
+
+import pytest
+
+from repro import History, append, check_stream, r
+from repro.errors import HistoryError, ProtocolError
+from repro.history import encode_op
+from repro.history.io import dumps_history
+from repro.service.protocol import (
+    decode_frame,
+    decode_ops,
+    encode_frame,
+    encode_ops,
+    record_summary,
+    request_type,
+    update_record,
+)
+
+
+def history():
+    return History.of(
+        ("ok", 0, [append("x", 1)]),
+        ("ok", 1, [r("x", [1])]),
+    )
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"type": "open", "workload": "list-append", "chunk": 64}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_wire_bytes_are_one_line(self):
+        data = encode_frame({"type": "stats", "note": "a\nb"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1  # embedded newlines stay escaped
+
+    def test_str_and_bytes_both_decode(self):
+        assert decode_frame('{"type": "stats"}') == {"type": "stats"}
+        assert decode_frame(b'{"type": "stats"}\r\n') == {"type": "stats"}
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_frame(b"not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2]\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_frame(b"\n")
+
+    def test_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_frame(b'\xff\xfe{"type": "stats"}\n')
+
+    def test_request_type_validation(self):
+        assert request_type({"type": "verdict"}) == "verdict"
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            request_type({"type": "launch"})
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            request_type({})
+
+
+class TestOpRecords:
+    def test_reuses_the_jsonl_encoding(self):
+        """An append frame's ops are exactly the JSON-lines file records."""
+        ops = list(history().ops)
+        file_records = [
+            json.loads(line)
+            for line in dumps_history(history()).splitlines()
+        ]
+        assert encode_ops(ops) == file_records
+        assert encode_ops(ops) == [encode_op(op) for op in ops]
+
+    def test_round_trip(self):
+        from repro.history import loads_history
+
+        ops = list(history().ops)
+        # Decoding canonicalizes sequence values to tuples, exactly like
+        # a JSON-lines file round trip does.
+        canonical = list(loads_history(dumps_history(history())).ops)
+        assert decode_ops(encode_ops(ops)) == canonical
+        assert decode_ops(encode_ops(canonical)) == canonical
+
+    def test_malformed_record_positions(self):
+        records = encode_ops(list(history().ops))
+        records[2] = {"index": 2}
+        # Frames are one physical line; errors point at the array slot.
+        with pytest.raises(HistoryError, match=r"ops\[2\]: malformed"):
+            decode_ops(records)
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ProtocolError, match="array"):
+            decode_ops({"index": 0})
+
+
+class TestVerdictRecord:
+    def test_record_shape_and_summary(self):
+        ops = list(history().ops)
+        updates = []
+        from repro.core.incremental import StreamingChecker
+
+        checker = StreamingChecker()
+        updates.append(checker.extend(ops[:2]))
+        updates.append(checker.extend(ops[2:]))
+        record = update_record(updates[-1])
+        assert record["type"] == "verdict"
+        assert record["chunk"] == 2
+        assert record["txns"] == 2
+        assert record["valid"] is True
+        assert record["model"] == "serializable"
+        assert record["anomalies"] == 0
+        # The record is JSON-representable as-is (it rides the wire).
+        assert json.loads(json.dumps(record)) == record
+        # And the wire-side summary matches the local one.
+        assert record_summary(record) == updates[-1].summary()
+
+    def test_summary_parity_with_anomalies(self):
+        bad = History.of(
+            ("ok", 0, [append("x", 1)]),
+            ("ok", 1, [r("x", (99,))]),
+        )
+        from repro.core.incremental import StreamingChecker
+
+        checker = StreamingChecker()
+        update = checker.extend(list(bad.ops))
+        record = update_record(update)
+        assert record["valid"] is False
+        assert record["new_anomalies"]
+        assert record_summary(record) == update.summary()
+
+    def test_final_record_matches_check_stream(self):
+        ops = list(history().ops)
+        result = check_stream([ops])
+        from repro.core.incremental import StreamingChecker
+
+        checker = StreamingChecker()
+        record = update_record(checker.extend(ops))
+        assert record["valid"] == result.valid
+        assert record["anomaly_types"] == list(result.anomaly_types)

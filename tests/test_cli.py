@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_parser, build_serve_parser, main
 
 
 class TestParser:
@@ -189,3 +191,104 @@ class TestFollowMode:
     def test_rejects_nonpositive_chunk(self, capsys):
         with pytest.raises(SystemExit):
             main(["--follow", "--chunk", "0"])
+
+
+class TestFollowJson:
+    """--json: per-chunk verdict deltas in the service's record shape."""
+
+    def test_json_lines_are_verdict_records(self, tmp_path, capsys):
+        path = tmp_path / "observation.jsonl"
+        args = [
+            "--txns", "400",
+            "--isolation", "snapshot-isolation",
+            "--fault", "tidb-retry",
+            "--model", "snapshot-isolation",
+            "--seed", "3",
+        ]
+        code = main(["--quiet"] + args + ["--dump-history", str(path)])
+        capsys.readouterr()
+        assert code == 1
+        code = main([
+            "--in", str(path),
+            "--model", "snapshot-isolation",
+            "--follow", "--chunk", "150", "--json", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        records = [
+            json.loads(line)
+            for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(records) >= 3  # one per chunk
+        for record in records:
+            assert record["type"] == "verdict"
+            assert record["model"] == "snapshot-isolation"
+            assert set(record) >= {
+                "chunk", "ops", "txns", "valid", "anomalies",
+                "anomaly_types", "new_anomalies", "resolved",
+                "reanalyzed_keys", "reused_keys",
+            }
+        assert [r["chunk"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
+        assert records[-1]["valid"] is False
+        # The records are exactly the service's verdict replies (minus
+        # the session id the daemon adds): re-stream the same chunks and
+        # compare each printed line to update_record() of that chunk.
+        from repro.core.incremental import StreamingChecker
+        from repro.history import iter_op_chunks
+        from repro.service.protocol import update_record
+
+        checker = StreamingChecker(consistency_model="snapshot-isolation")
+        with open(path, encoding="utf-8") as fh:
+            expected = [
+                update_record(checker.extend(chunk))
+                for chunk in iter_op_chunks(fh, 150)
+            ]
+        assert records == expected
+
+    def test_json_summary_parity(self, capsys):
+        """The JSON lines carry what the text summary narrates."""
+        code = main(["--txns", "120", "--seed", "5",
+                     "--follow", "--chunk", "90", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        records = [
+            json.loads(line) for line in out.splitlines()
+            if line.startswith("{")
+        ]
+        assert records and all(r["valid"] for r in records)
+
+    def test_json_requires_follow_or_connect(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--json", "--txns", "10"])
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_serve_parser().parse_args(["--port", "7907"])
+        assert args.port == 7907
+        assert args.max_sessions == 64
+        assert args.max_pending_ops == 50_000
+        assert args.idle_timeout == 300.0
+
+    def test_serve_requires_a_listener(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_rejects_nonpositive_chunk(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "7907", "--chunk", "0"])
+
+    def test_connect_rejects_shards_and_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--connect", "127.0.0.1:7907", "--shards", "2"])
+        with pytest.raises(SystemExit):
+            main(["--connect", "127.0.0.1:7907", "--profile"])
+
+    def test_connect_refused_when_no_daemon(self, capsys):
+        # Port 1 is never listening; the client fails loudly, not silently.
+        with pytest.raises(OSError):
+            main(["--quiet", "--txns", "10",
+                  "--connect", "127.0.0.1:1"])
