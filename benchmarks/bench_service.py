@@ -17,11 +17,16 @@ a unix socket, driven by the load generator with N interleaved sessions
   session, so ops/s should hold roughly flat as sessions grow, and that
   flatness is the claim worth tracking.
 
+``--durability`` runs the same sweep against a *durable* daemon — WAL on
+every append, periodic checkpoints (``--checkpoint-every``), the chosen
+``--fsync`` policy — so the journal's steady-state overhead is a recorded
+number, not folklore.
+
 Rows append to ``BENCH_elle_scaling.json`` as ``service_scaling`` runs.
 ``--baseline PATH --tolerance X`` turns the run into a CI regression
 guard: each row's throughput is compared against the best committed
-``service_scaling`` row at the same (sessions, txns, chunk) shape, and
-the process exits 2 when it is more than ``X`` times slower.
+``service_scaling`` row at the same (sessions, txns, chunk, durability)
+shape, and the process exits 2 when it is more than ``X`` times slower.
 
 Every session's verdict is asserted against a local batch ``check()`` of
 the same operations (validity, anomaly types, and count) — the full
@@ -66,25 +71,44 @@ def _batch_expectations(streams, workload):
 
 
 def _measure(streams, args):  # pragma: no cover - manual entry point
+    import shutil
+    import tempfile
+
     from repro.service import BackgroundService, run_load
 
     sessions = len(streams)
     sock = os.path.join(args.socket_dir, f"bench-{sessions}.sock")
     if os.path.exists(sock):
         os.unlink(sock)
-    with BackgroundService(unix_path=sock, port=None):
-        out = run_load(
-            f"unix:{sock}",
-            workload=args.workload,
-            frame_ops=args.frame_ops,
-            chunk_ops=args.chunk,
-            streams=streams,
+    service_kwargs = {}
+    data_dir = None
+    if args.durability:
+        from repro.service import DurabilityManager
+
+        data_dir = tempfile.mkdtemp(prefix="bench-durability-")
+        service_kwargs["durability"] = DurabilityManager(
+            data_dir,
+            checkpoint_every=args.checkpoint_every,
+            fsync=args.fsync,
         )
+    try:
+        with BackgroundService(unix_path=sock, port=None, **service_kwargs):
+            out = run_load(
+                f"unix:{sock}",
+                workload=args.workload,
+                frame_ops=args.frame_ops,
+                chunk_ops=args.chunk,
+                streams=streams,
+            )
+    finally:
+        if data_dir is not None:
+            shutil.rmtree(data_dir, ignore_errors=True)
     session_stats = out["stats"]["sessions"].values()
     chunks = sum(s["chunks_checked"] for s in session_stats)
     analyze = sum(s["analyze_seconds"] for s in session_stats)
     row = {
         "mode": "service",
+        "durability": bool(args.durability),
         "sessions": sessions,
         "txns_per_session": args.txns,
         "workload": args.workload,
@@ -100,6 +124,9 @@ def _measure(streams, args):  # pragma: no cover - manual entry point
         ),
         "analyze_seconds": round(analyze, 4),
     }
+    if args.durability:
+        row["fsync"] = args.fsync
+        row["checkpoint_every"] = args.checkpoint_every
     return row, out["verdicts"]
 
 
@@ -114,7 +141,8 @@ def _verify(verdicts, expected):  # pragma: no cover - manual entry point
 def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
     """Throughput guard against the best committed service rows.
 
-    Matches by (sessions, txns_per_session, chunk_ops, workload) among
+    Matches by (sessions, txns_per_session, chunk_ops, workload,
+    durability) among
     the five most recent ``service_scaling`` runs (the same recency
     window the batch guard uses, so a one-off fast machine ages out).
     """
@@ -135,6 +163,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
                 row.get("txns_per_session"),
                 row.get("chunk_ops"),
                 row.get("workload", "list-append"),
+                row.get("durability", False),
             )
             if key not in best or row["ops_per_second"] > best[key]:
                 best[key] = row["ops_per_second"]
@@ -147,6 +176,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
             row["txns_per_session"],
             row["chunk_ops"],
             row["workload"],
+            row.get("durability", False),
         )
         reference = best.get(key)
         if reference is None:
@@ -192,6 +222,25 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
     parser.add_argument("--socket-dir", default="/tmp",
                         help="directory for the benchmark unix sockets")
     parser.add_argument(
+        "--durability",
+        action="store_true",
+        help="run the daemon with a write-ahead log and checkpoints on a "
+        "throwaway data dir, measuring the durable-ingest overhead",
+    )
+    parser.add_argument(
+        "--fsync",
+        default="batch",
+        choices=["always", "batch", "never"],
+        help="fsync policy for --durability (default: batch)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=20_000,
+        metavar="OPS",
+        help="checkpoint cadence for --durability (default: 20000)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -223,8 +272,9 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
         row, verdicts = _measure(streams, args)
         _verify(verdicts, expected)
         results.append(row)
+        mode = f" [durable, fsync={args.fsync}]" if args.durability else ""
         print(
-            f"{sessions:>3} sessions x {args.txns} txns: "
+            f"{sessions:>3} sessions x {args.txns} txns{mode}: "
             f"{row['ops_per_second']:>9.0f} ops/s, "
             f"mean chunk {row['mean_chunk_seconds'] * 1e3:.1f} ms, "
             f"max {row['max_chunk_seconds'] * 1e3:.1f} ms "

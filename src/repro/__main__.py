@@ -217,9 +217,51 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="write the final stats snapshot here on graceful drain",
     )
     parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="make sessions durable: write-ahead op journals and periodic "
+        "checkpoints under DIR, so a killed daemon restarts where it left "
+        "off (see README, 'Durability & crash recovery')",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=20_000,
+        metavar="OPS",
+        help="with --data-dir: checkpoint a session's checker state every "
+        "N analyzed ops (default: 20000); restart cost is the WAL tail "
+        "since the last checkpoint",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=["always", "batch", "never"],
+        default="batch",
+        metavar="POLICY",
+        help="with --data-dir: 'always' fsyncs the journal before every "
+        "ack (power-loss safe, slowest), 'batch' (default) flushes every "
+        "ack to the OS (kill -9 safe) and fsyncs at checkpoints, 'never' "
+        "skips fsync entirely (tests)",
+    )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="reject frames longer than this with a structured "
+        "frame-too-large error instead of buffering them "
+        f"(default: {_default_max_frame_bytes()})",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress startup/drain lines"
     )
     return parser
+
+
+def _default_max_frame_bytes() -> int:
+    from .service.protocol import MAX_FRAME_BYTES
+
+    return MAX_FRAME_BYTES
 
 
 def _generate(args, fault_factory):
@@ -384,12 +426,25 @@ def _serve_main(argv: Optional[List[str]]) -> int:
         parser.error("need --port and/or --unix to listen on")
     if args.chunk <= 0:
         parser.error("--chunk must be positive")
+    if args.checkpoint_every <= 0:
+        parser.error("--checkpoint-every must be positive")
+    if args.max_frame_bytes is not None and args.max_frame_bytes <= 0:
+        parser.error("--max-frame-bytes must be positive")
     registry = SessionRegistry(
         max_sessions=args.max_sessions,
         max_pending_ops=args.max_pending_ops,
         idle_timeout=args.idle_timeout,
         default_chunk_ops=args.chunk,
     )
+    durability = None
+    if args.data_dir is not None:
+        from .service.durability import DurabilityManager
+
+        durability = DurabilityManager(
+            args.data_dir,
+            checkpoint_every=args.checkpoint_every,
+            fsync=args.fsync,
+        )
     asyncio.run(
         serve(
             host=args.host,
@@ -397,6 +452,10 @@ def _serve_main(argv: Optional[List[str]]) -> int:
             unix_path=args.unix,
             registry=registry,
             stats_path=args.stats_json,
+            durability=durability,
+            max_frame_bytes=args.max_frame_bytes
+            if args.max_frame_bytes is not None
+            else _default_max_frame_bytes(),
             quiet=args.quiet,
         )
     )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -31,8 +33,34 @@ class ServiceError(ReproError):
     Covers session misuse (unknown, duplicate, closed, or poisoned
     sessions), server-side limits (session table full), and — on the
     client — error replies received from a remote daemon.
+
+    ``code`` is a stable machine-readable identifier carried on the wire
+    in error replies (``{"type": "error", "code": ..., "error": ...}``),
+    so clients can branch without parsing prose.
     """
+
+    default_code = "service-error"
+
+    def __init__(self, message: str = "", code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code if code is not None else self.default_code
 
 
 class ProtocolError(ServiceError):
     """A malformed frame on the checker-service wire."""
+
+    default_code = "bad-frame"
+
+
+class ServiceUnavailableError(ServiceError, ConnectionError):
+    """The daemon cannot be reached: connect/read timed out, the
+    connection was refused or reset, or the peer closed mid-request.
+
+    Raised by the client instead of hanging on a dead peer; retryable by
+    construction — the request was either never delivered or its effect
+    is resumable via the sequence-numbered append protocol.  Also a
+    :class:`ConnectionError` so callers that caught the raw ``OSError``
+    of earlier releases keep working.
+    """
+
+    default_code = "unavailable"

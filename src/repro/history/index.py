@@ -70,6 +70,11 @@ def _stage(profile, name: str):
 #: The object-level view; slices *store* parallel int arrays instead.
 Slotted = Tuple[Transaction, int, MicroOp]
 
+def _dead_ref() -> None:
+    """Stands in for a pickled-away owner weakref until it is re-wired."""
+    return None
+
+
 #: An observation-order position: (transaction position, micro-op position).
 #: Lexicographic comparison equals the historical transaction-major scan
 #: order, and — unlike a flat running counter — stays stable when the
@@ -334,6 +339,23 @@ class KeySlice:
             f"writes={len(self.w_txn)}, reads={len(self.r_txn)})"
         )
 
+    # ------------------------------------------------------------------
+    # Pickling (service checkpoints serialize whole checker states)
+
+    def __getstate__(self) -> dict:
+        # The owner weakref cannot pickle; HistoryIndex.__setstate__
+        # re-wires it when the owning index is restored.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_owner_ref"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._owner_ref = _dead_ref  # replaced by the index's setstate
+
 
 class HistoryIndex:
     """Per-key columnar views of a history, computed in one pass and shared."""
@@ -405,6 +427,25 @@ class HistoryIndex:
                 "index.interned_values",
                 sum(len(s.first_writer) for s in self.slices.values()),
             )
+
+    # ------------------------------------------------------------------
+    # Pickling (service checkpoints serialize whole checker states)
+
+    def __getstate__(self) -> dict:
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "__weakref__"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        # Restore the slices' back-references: they pickled without their
+        # owner weakref (see KeySlice.__getstate__).
+        ref = weakref.ref(self)
+        for slice_ in self.slices.values():
+            slice_._owner_ref = ref
 
     # ------------------------------------------------------------------
     # Construction

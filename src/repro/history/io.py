@@ -118,25 +118,71 @@ def dump_ops(ops: Iterable[Op], fh) -> int:
     return count
 
 
-def load_ops(fh) -> Iterator[Op]:
-    """Yield operations from an open text file.
+def iter_json_lines(
+    fh, allow_torn_tail: bool = False
+) -> Iterator[tuple]:
+    """Yield ``(line_number, record)`` pairs from a JSON-lines stream.
 
-    Blank lines are skipped and CRLF line endings are tolerated (histories
-    captured on Windows or shipped through tools that rewrite newlines
-    load unchanged); error messages still count physical lines.
+    The framing layer every JSON-lines reader here shares (history files,
+    the service WAL).  Blank lines are skipped and CRLF line endings are
+    tolerated.  With ``allow_torn_tail=True`` a *final* line that is not
+    valid JSON is silently dropped instead of raising — the signature of a
+    writer that died mid-record (crash, full disk, ``kill -9``), which is
+    exactly the state WAL replay and crash recovery must shrug off.  A
+    malformed line with more data after it still raises: that is
+    corruption, not a torn tail.
     """
+    pending = None  # (line_number, text) awaiting proof it isn't the tail
+    line_number = 0
     for line_number, line in enumerate(fh, start=1):
+        if pending is not None:
+            number, text = pending
+            raise HistoryError(f"line {number}: not JSON: {text}")
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if allow_torn_tail:
+                # Hold the error until we know whether more lines follow.
+                pending = (line_number, str(exc))
+                continue
             raise HistoryError(f"line {line_number}: not JSON: {exc}") from None
-        yield decode_op(record, line_number)
+        yield line_number, record
+    # A pending decode error on the very last line is a torn tail: drop it.
 
 
-def iter_op_chunks(fh, chunk_size: int) -> Iterator[List[Op]]:
+def load_ops(fh, allow_torn_tail: bool = False) -> Iterator[Op]:
+    """Yield operations from an open text file.
+
+    Blank lines are skipped and CRLF line endings are tolerated (histories
+    captured on Windows or shipped through tools that rewrite newlines
+    load unchanged); error messages still count physical lines.
+    ``allow_torn_tail=True`` drops a truncated final record instead of
+    raising — the WAL-replay contract (see :func:`iter_json_lines`); a
+    final line that parses as JSON but is missing operation fields is
+    treated the same way (truncation can land between two closing braces).
+    """
+    if not allow_torn_tail:
+        for line_number, record in iter_json_lines(fh):
+            yield decode_op(record, line_number)
+        return
+    held = None  # (line_number, record): not yet proven non-final
+    for line_number, record in iter_json_lines(fh, allow_torn_tail=True):
+        if held is not None:
+            yield decode_op(held[1], held[0])
+        held = (line_number, record)
+    if held is not None:
+        try:
+            yield decode_op(held[1], held[0])
+        except HistoryError:
+            pass  # final record truncated to valid-but-incomplete JSON
+
+
+def iter_op_chunks(
+    fh, chunk_size: int, allow_torn_tail: bool = False
+) -> Iterator[List[Op]]:
     """Yield operations from an open text stream in lists of ``chunk_size``.
 
     The streaming ingest path (``python -m repro --follow --chunk N``):
@@ -144,12 +190,13 @@ def iter_op_chunks(fh, chunk_size: int) -> Iterator[List[Op]]:
     sockets, ``stdin`` — and yields each chunk as soon as enough lines have
     arrived.  The final chunk may be shorter.  The format is line-framed:
     a truncated final line (a writer died mid-record) raises
-    :class:`~repro.errors.HistoryError` like any malformed line.
+    :class:`~repro.errors.HistoryError` like any malformed line, unless
+    ``allow_torn_tail=True`` (the WAL-replay mode) drops it.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     batch: List[Op] = []
-    for op in load_ops(fh):
+    for op in load_ops(fh, allow_torn_tail=allow_torn_tail):
         batch.append(op)
         if len(batch) >= chunk_size:
             yield batch
@@ -166,12 +213,17 @@ def dump_history(history: History, target: PathOrFile) -> int:
     return dump_ops(history.ops, target)
 
 
-def load_history(source: PathOrFile) -> History:
-    """Load a history from JSON lines (validating pairing as usual)."""
+def load_history(source: PathOrFile, allow_torn_tail: bool = False) -> History:
+    """Load a history from JSON lines (validating pairing as usual).
+
+    ``allow_torn_tail=True`` drops a truncated final record instead of
+    raising — for reading files whose writer may have died mid-record
+    (the service WAL, a crashed ``--dump-history`` run).
+    """
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as fh:
-            return History(list(load_ops(fh)))
-    return History(list(load_ops(source)))
+            return History(list(load_ops(fh, allow_torn_tail=allow_torn_tail)))
+    return History(list(load_ops(source, allow_torn_tail=allow_torn_tail)))
 
 
 def dumps_history(history: History) -> str:

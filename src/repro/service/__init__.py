@@ -32,6 +32,7 @@ sessions' — pinned by ``tests/properties/test_service_equivalence.py``.
 """
 
 from .client import ServiceClient, parse_address, run_load, session_workload
+from .durability import DurabilityManager, SessionStore
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -53,11 +54,13 @@ __all__ = [
     "BackgroundService",
     "CheckerService",
     "DEFAULT_CHUNK_OPS",
+    "DurabilityManager",
     "MAX_FRAME_BYTES",
     "ServiceClient",
     "Session",
     "SessionConfig",
     "SessionRegistry",
+    "SessionStore",
     "decode_frame",
     "decode_ops",
     "encode_frame",

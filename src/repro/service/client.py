@@ -4,7 +4,17 @@
 unix socket: every request writes one line and reads one reply line, so
 the client needs no event loop and embeds anywhere — test harnesses,
 CI scripts, ``python -m repro --connect``.  Error replies raise
-:class:`~repro.errors.ServiceError` with the server's message.
+:class:`~repro.errors.ServiceError` with the server's message and code.
+
+Every connect, read, and write is bounded by a timeout: a frozen or dead
+daemon surfaces as :class:`~repro.errors.ServiceUnavailableError` instead
+of a hang.  With ``retries > 0`` the client also *recovers*: it redials
+with exponential backoff, re-opens its sessions with ``resume`` (the
+daemon restores them — live, or from its durability directory after a
+crash), and re-sends the interrupted request.  Appends carry client-side
+sequence numbers, so a re-sent batch the server already journaled and
+applied is acknowledged again without being re-applied — resume is
+idempotent and no acked operation is ever lost or doubled.
 
 :func:`run_load` is the standing load generator: it builds N independent
 observations from the existing workload generator (optionally with a
@@ -22,7 +32,7 @@ import uuid
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..db import INJECTORS, Isolation
-from ..errors import ServiceError
+from ..errors import ServiceError, ServiceUnavailableError
 from ..generator import RunConfig, WorkloadConfig, run_workload
 from ..history.ops import Op
 from .protocol import decode_frame, encode_frame, encode_ops
@@ -42,34 +52,157 @@ def parse_address(text: str) -> Address:
     return (host or "127.0.0.1", int(port))
 
 
-class ServiceClient:
-    """A lockstep connection to a running checker daemon."""
+class _SessionState:
+    """Client-side resume bookkeeping for one open session."""
 
-    def __init__(self, address: Address, timeout: float = 60.0) -> None:
+    __slots__ = ("open_frame", "next_seq")
+
+    def __init__(self, open_frame: Dict[str, Any]) -> None:
+        self.open_frame = open_frame
+        self.next_seq = 1  # sequence number the next append will carry
+
+
+class ServiceClient:
+    """A lockstep connection to a running checker daemon.
+
+    ``timeout`` bounds every connect, write, and reply read; expiry (or a
+    refused/reset/closed connection) raises
+    :class:`~repro.errors.ServiceUnavailableError`.  ``retries`` is how
+    many times one request may redial after such a failure — the default
+    0 keeps the historical fail-fast behavior; chaos-facing callers pass
+    e.g. ``retries=5`` and survive a daemon ``kill -9`` mid-stream.
+    ``backoff`` is the first retry delay, doubling per attempt up to
+    ``max_backoff``.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 60.0,
+        *,
+        retries: int = 0,
+        backoff: float = 0.2,
+        max_backoff: float = 5.0,
+    ) -> None:
         if isinstance(address, str):
             address = parse_address(address)
-        if isinstance(address, str):  # "unix:PATH", kept verbatim
-            scheme = len("unix:")
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(address[scheme:])
-        else:
-            self._sock = socket.create_connection(address, timeout=timeout)
-        self._fh = self._sock.makefile("rwb")
+        self.address: Address = address
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+        self._sessions: Dict[str, _SessionState] = {}
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # Transport
+
+    def _connect(self) -> None:
+        try:
+            if isinstance(self.address, str):  # "unix:PATH", kept verbatim
+                scheme = len("unix:")
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.address[scheme:])
+            else:
+                sock = socket.create_connection(
+                    self.address, timeout=self.timeout
+                )
+        except (OSError, socket.timeout) as exc:
+            raise ServiceUnavailableError(
+                f"cannot connect to {self.address!r}: {exc}"
+            ) from None
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+
+    def _drop_connection(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _exchange(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw round trip.  Transport failure drops the connection and
+        raises :class:`ServiceUnavailableError`; a structured error reply
+        raises :class:`ServiceError` (the connection stays good)."""
+        if self._fh is None:
+            self._connect()
+            self._resume_sessions()
+        try:
+            self._fh.write(encode_frame(frame))
+            self._fh.flush()
+            line = self._fh.readline()
+        except socket.timeout:
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                f"request timed out after {self.timeout}s "
+                "(daemon frozen or unreachable)"
+            ) from None
+        except (OSError, ValueError) as exc:
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                f"connection to checker service lost: {exc}"
+            ) from None
+        if not line:
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                "connection closed by server mid-request"
+            )
+        reply = decode_frame(line)
+        if reply.get("type") == "error":
+            raise ServiceError(
+                reply.get("error", "unknown service error"),
+                code=reply.get("code"),
+            )
+        return reply
+
+    def _resume_sessions(self) -> None:
+        """Re-attach every tracked session on a fresh connection.
+
+        ``resume: true`` makes the re-open idempotent: the daemon attaches
+        to a live session, restores an evicted/crashed one from disk, or
+        creates it fresh — and its ``applied_seq`` reply tells us which
+        appends it has already durably applied, so the pending re-send in
+        :meth:`request` dedupes instead of doubling.
+        """
+        for state in self._sessions.values():
+            reply = self._exchange(state.open_frame)
+            applied = reply.get("applied_seq", 0)
+            state.next_seq = max(state.next_seq, applied + 1)
 
     # ------------------------------------------------------------------
 
     def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one frame, await its reply; error replies raise."""
-        self._fh.write(encode_frame(frame))
-        self._fh.flush()
-        line = self._fh.readline()
-        if not line:
-            raise ServiceError("connection closed by server")
-        reply = decode_frame(line)
-        if reply.get("type") == "error":
-            raise ServiceError(reply.get("error", "unknown service error"))
-        return reply
+        """Send one frame, await its reply; error replies raise.
+
+        Retries transport failures (up to ``self.retries`` times, with
+        exponential backoff) by reconnecting, resuming every open
+        session, and re-sending this frame verbatim.  Appends are safe to
+        re-send because they carry sequence numbers; the other frames are
+        read-only or idempotent by construction.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(frame)
+            except ServiceUnavailableError:
+                if attempt >= self.retries:
+                    raise
+                delay = min(
+                    self.backoff * (2 ** attempt), self.max_backoff
+                )
+                attempt += 1
+                time.sleep(delay)
 
     def open_session(
         self,
@@ -79,7 +212,18 @@ class ServiceClient:
         chunk_ops: Optional[int] = None,
         timestamp_edges: bool = False,
         options: Optional[Dict[str, Any]] = None,
+        resume: Optional[bool] = None,
+        fresh: bool = False,
     ) -> str:
+        """Open (or, with ``resume``, re-attach) a checking session.
+
+        ``resume`` defaults to on exactly when the client retries: a
+        retried ``open`` whose first ack was lost must not fail as a
+        duplicate.  ``fresh=True`` asks a durable daemon to discard any
+        on-disk state under this id first.
+        """
+        if resume is None:
+            resume = self.retries > 0
         frame: Dict[str, Any] = {
             "type": "open",
             "session": session_id or f"c-{uuid.uuid4().hex[:12]}",
@@ -91,14 +235,33 @@ class ServiceClient:
             frame["chunk"] = chunk_ops
         if options:
             frame["options"] = options
-        return self.request(frame)["session"]
+        if resume:
+            frame["resume"] = True
+        if fresh:
+            frame["fresh"] = True
+        reply = self.request(frame)
+        opened = reply["session"]
+        # Track for reconnect: later resumes must not wipe state again.
+        reopen = dict(frame, session=opened, resume=True)
+        reopen.pop("fresh", None)
+        state = _SessionState(reopen)
+        state.next_seq = reply.get("applied_seq", 0) + 1
+        self._sessions[opened] = state
+        return opened
 
     def append(self, session_id: str, ops: Sequence[Op]) -> Dict[str, Any]:
-        return self.request({
+        frame: Dict[str, Any] = {
             "type": "append",
             "session": session_id,
             "ops": encode_ops(ops),
-        })
+        }
+        state = self._sessions.get(session_id)
+        if state is not None:
+            frame["seq"] = state.next_seq
+        reply = self.request(frame)
+        if state is not None:
+            state.next_seq = reply.get("applied_seq", state.next_seq) + 1
+        return reply
 
     def verdict(self, session_id: str, report: bool = False) -> Dict[str, Any]:
         return self.request({
@@ -114,13 +277,19 @@ class ServiceClient:
         return self.request(frame)
 
     def close_session(self, session_id: str) -> Dict[str, Any]:
-        return self.request({"type": "close", "session": session_id})
+        self._sessions.pop(session_id, None)
+        try:
+            return self.request({"type": "close", "session": session_id})
+        except ServiceError as exc:
+            if self.retries > 0 and exc.code == "unknown-session":
+                # The close itself was retried and its first ack lost:
+                # the session is gone, which is what we asked for.
+                return {"type": "closed", "session": session_id}
+            raise
 
     def close(self) -> None:
-        try:
-            self._fh.close()
-        finally:
-            self._sock.close()
+        self._sessions.clear()
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -179,6 +348,8 @@ def run_load(
     chunk_ops: int = 1000,
     report: bool = False,
     streams: Optional[Dict[str, Sequence[Op]]] = None,
+    timeout: float = 60.0,
+    retries: int = 0,
 ) -> Dict[str, Any]:
     """Drive N interleaved sessions against a daemon; returns the verdicts.
 
@@ -206,7 +377,7 @@ def run_load(
         }
     else:
         sessions = len(streams)
-    with ServiceClient(address) as client:
+    with ServiceClient(address, timeout=timeout, retries=retries) as client:
         for name in streams:
             client.open_session(
                 session_id=name,

@@ -14,16 +14,30 @@ Request frames (client to server):
     the session explicitly; otherwise the server assigns one.  ``chunk``
     bounds the analysis slice (operations per incremental re-check);
     ``options`` passes workload extras (e.g. rw-register ``sources``).
-    Reply: ``opened``.
+    ``"resume": true`` makes the open idempotent: it attaches to a live
+    session of that id, restores one from the daemon's durability
+    directory (``--data-dir``) after a crash or eviction, or creates it
+    fresh — and the reply's ``applied_seq`` says which appends the daemon
+    has already durably applied, so a reconnecting client re-sends only
+    the unacked tail.  ``"fresh": true`` discards on-disk state under the
+    id first.  Reply: ``opened`` (with ``applied_seq``, plus
+    ``resumed``/``ops_ingested`` when state was restored).
 
 ``append``
-    ``{"type": "append", "session": ..., "ops": [...]}`` — buffer a batch
-    of operations.  Each element is exactly the record
+    ``{"type": "append", "session": ..., "seq": N, "ops": [...]}`` —
+    buffer a batch of operations.  Each element is exactly the record
     :func:`repro.history.io.encode_op` writes to JSON-lines files, so a
-    history file *is* a sequence of valid ``ops`` entries.  Reply:
-    ``appended`` (with the post-accept backlog) — sent only once the
-    session's buffer is below its high-watermark, which is how
-    backpressure propagates to a lockstep client.
+    history file *is* a sequence of valid ``ops`` entries.  ``seq``
+    (optional, client-assigned, strictly increasing per session) makes
+    re-delivery after a reconnect safe: a batch at or below the session's
+    ``applied_seq`` is acknowledged again without being re-applied, and
+    half-applied batches dedupe op-by-op on the strictly increasing
+    history index.  On a durable daemon the batch is journaled to the
+    write-ahead log *before* the ack.  Reply: ``appended`` (with the
+    post-accept backlog, ``seq``, ``applied_seq``, and ``deduped`` when
+    duplicates were dropped) — sent only once the session's buffer is
+    below its high-watermark, which is how backpressure propagates to a
+    lockstep client.
 
 ``verdict``
     ``{"type": "verdict", "session": ..., "report": false}`` — drain the
@@ -40,8 +54,15 @@ Request frames (client to server):
     ``{"type": "close", "session": ...}`` — drain, then discard the
     session; the reply carries its final counters.
 
-Any failure produces ``{"type": "error", "error": "...", "session": ...}``
-instead of the normal reply; the connection stays usable.
+Any failure produces ``{"type": "error", "code": "...", "error": "...",
+"session": ...}`` instead of the normal reply; the connection stays
+usable.  ``code`` is stable and machine-readable: ``bad-frame`` (not a
+JSON object, unknown type, malformed fields), ``frame-too-large`` (a line
+over the server's byte limit — rejected and skipped without poisoning the
+session), ``unknown-session``, ``duplicate-session``, ``server-full``,
+``poisoned``, ``draining``, ``bad-request``, ``internal``; the client
+additionally raises ``unavailable`` locally when the daemon cannot be
+reached at all.
 """
 
 from __future__ import annotations

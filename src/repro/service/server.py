@@ -31,6 +31,7 @@ import signal
 from typing import Any, Dict, List, Optional
 
 from ..errors import ProtocolError, ReproError, ServiceError
+from .durability import DurabilityManager
 from .protocol import (
     MAX_FRAME_BYTES,
     decode_frame,
@@ -56,14 +57,20 @@ class CheckerService:
         port: Optional[int] = None,
         unix_path: Optional[str] = None,
         stats_path: Optional[str] = None,
+        durability: Optional[DurabilityManager] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
     ) -> None:
         if port is None and unix_path is None:
             raise ServiceError("need a TCP port and/or a unix socket path")
+        if max_frame_bytes <= 0:
+            raise ServiceError("max_frame_bytes must be positive")
         self.registry = registry if registry is not None else SessionRegistry()
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.stats_path = stats_path
+        self.durability = durability
+        self.max_frame_bytes = max_frame_bytes
         self.addresses: List[str] = []
         self._servers: List[asyncio.AbstractServer] = []
         self._connections: set = set()
@@ -72,6 +79,11 @@ class CheckerService:
         self._progress = asyncio.Condition()
         self._draining = False
         self._stopped = asyncio.Event()
+        if durability is not None:
+            # Idle eviction must leave a restorable session behind: the
+            # final checkpoint covers everything analyzed (eviction only
+            # fires on empty backlogs), so a later open restores it.
+            self.registry.on_evict = self._checkpoint_for_eviction
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -84,7 +96,7 @@ class CheckerService:
         """
         if self.port is not None:
             server = await asyncio.start_server(
-                self._handle, self.host, self.port, limit=MAX_FRAME_BYTES
+                self._handle, self.host, self.port, limit=self.max_frame_bytes
             )
             bound = server.sockets[0].getsockname()
             self.port = bound[1]
@@ -92,7 +104,7 @@ class CheckerService:
             self._servers.append(server)
         if self.unix_path is not None:
             server = await asyncio.start_unix_server(
-                self._handle, self.unix_path, limit=MAX_FRAME_BYTES
+                self._handle, self.unix_path, limit=self.max_frame_bytes
             )
             self.addresses.append(f"unix:{self.unix_path}")
             self._servers.append(server)
@@ -131,6 +143,13 @@ class CheckerService:
         # describe a fully analyzed state.
         while self.registry.has_work():
             self.registry.run_slice()
+        if self.durability is not None:
+            # A drained daemon restarts from checkpoints alone: every
+            # healthy session's full state lands on disk before exit.
+            for session in self.registry.sessions.values():
+                if session.error is None:
+                    self.durability.checkpoint(session)
+            self.durability.close()
         for writer in list(self._connections):
             writer.close()
         if self.unix_path is not None:
@@ -150,7 +169,7 @@ class CheckerService:
 
     def stats_record(self) -> Dict[str, Any]:
         """The full stats snapshot (the ``stats`` frame body, plus state)."""
-        return {
+        record = {
             "type": "stats",
             "addresses": list(self.addresses),
             "draining": self._draining,
@@ -160,6 +179,19 @@ class CheckerService:
                 for session_id, session in self.registry.sessions.items()
             },
         }
+        if self.durability is not None:
+            record["durability"] = self.durability.stats()
+        return record
+
+    def _checkpoint_for_eviction(self, session) -> None:
+        """The registry's pre-eviction hook (durable daemons only)."""
+        if session.error is None:
+            try:
+                self.durability.checkpoint(session)
+            except Exception:  # pragma: no cover - disk full etc.
+                # Losing a checkpoint degrades restart cost (full WAL
+                # replay), never correctness: the WAL has every acked op.
+                pass
 
     # ------------------------------------------------------------------
     # Background tasks
@@ -174,6 +206,20 @@ class CheckerService:
                     self._progress.notify_all()
                 await self._work.wait()
                 continue
+            session, update, exc = outcome
+            if (
+                self.durability is not None
+                and update is not None
+                and exc is None
+            ):
+                # Periodic checkpoints ride the analyzer's cadence: after
+                # a slice lands, snapshot if enough new ops were analyzed
+                # since the last one.  Synchronous, like the slice itself
+                # — bounded work between yields.
+                try:
+                    self.durability.maybe_checkpoint(session)
+                except Exception:  # pragma: no cover - disk full etc.
+                    pass  # degraded restart cost only; the WAL is intact
             # One chunk analyzed (or a session poisoned — also progress):
             # wake verdict waiters and backpressured appends, then yield
             # the loop so socket I/O interleaves between slices.
@@ -199,16 +245,31 @@ class CheckerService:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if not exc.partial:
+                        break  # clean EOF between frames
+                    line = exc.partial  # final frame missing its newline
+                except asyncio.LimitOverrunError as exc:
+                    # Oversized frame: discard through the next newline,
+                    # answer with a structured error, and keep both the
+                    # connection and the session alive — one bad frame
+                    # must not poison anything.
+                    dropped = await self._discard_oversized_line(
+                        reader, exc
+                    )
                     writer.write(encode_frame({
                         "type": "error",
-                        "error": f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                        "code": "frame-too-large",
+                        "error": (
+                            f"frame exceeds {self.max_frame_bytes} bytes; "
+                            "split the append into smaller batches"
+                        ),
                     }))
                     await writer.drain()
-                    break
-                if not line:
-                    break
+                    if not dropped:  # EOF inside the oversized line
+                        break
+                    continue
                 reply = await self._reply_for(line)
                 writer.write(encode_frame(reply))
                 await writer.drain()
@@ -222,23 +283,58 @@ class CheckerService:
             except (ConnectionError, BrokenPipeError):
                 pass
 
+    @staticmethod
+    async def _discard_oversized_line(reader, overrun) -> bool:
+        """Consume bytes through the oversized line's newline, so the
+        parser re-synchronizes on the following frame.  Returns False at
+        EOF.
+
+        ``readuntil`` raises ``LimitOverrunError`` *without* consuming:
+        ``overrun.consumed`` is the scanned prefix (up to the separator
+        when one was found, the whole buffer when not), so exactly that
+        much is dropped — bytes after the newline belong to the next
+        frame and survive.
+        """
+        while True:
+            if overrun.consumed:
+                await reader.readexactly(overrun.consumed)
+            try:
+                # Either the separator itself (sep-found case) or the
+                # line's next byte (sep-not-yet-seen case).
+                if await reader.readexactly(1) == b"\n":
+                    return True
+            except asyncio.IncompleteReadError:
+                return False
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.IncompleteReadError:
+                return False
+            except asyncio.LimitOverrunError as exc:
+                overrun = exc
+
     async def _reply_for(self, line: bytes) -> Dict[str, Any]:
         session_id = None
         try:
             frame = decode_frame(line)
             session_id = frame.get("session")
             return await self._dispatch(frame)
-        except ProtocolError as exc:
-            return {"type": "error", "error": str(exc), "session": session_id}
         except (ReproError, ValueError) as exc:
-            # Session poisonings, bad configs, unknown sessions: the
-            # request fails, the connection (and server) live on.
-            return {"type": "error", "error": str(exc), "session": session_id}
+            # Malformed frames, session poisonings, bad configs, unknown
+            # sessions: the request fails with a structured, coded error;
+            # the connection (and server) live on.
+            return {
+                "type": "error",
+                "code": getattr(exc, "code", "bad-request"),
+                "error": str(exc),
+                "session": session_id,
+            }
         except Exception as exc:  # pragma: no cover - defensive
             # A daemon must outlive its bugs; the frame fails loudly
             # instead of tearing the connection (and every session) down.
             return {
                 "type": "error",
+                "code": "internal",
                 "error": f"internal error: {type(exc).__name__}: {exc}",
                 "session": session_id,
             }
@@ -246,7 +342,9 @@ class CheckerService:
     async def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         kind = request_type(frame)
         if self._draining and kind in ("open", "append"):
-            raise ServiceError("server is draining; no new work accepted")
+            raise ServiceError(
+                "server is draining; no new work accepted", code="draining"
+            )
         if kind == "open":
             return self._open(frame)
         if kind == "stats":
@@ -270,6 +368,42 @@ class CheckerService:
         # deep inside a later analysis slice.
         if not isinstance(chunk, int) or isinstance(chunk, bool):
             raise ProtocolError(f"open chunk must be an integer, got {chunk!r}")
+        session_id = frame.get("session")
+        resume = bool(frame.get("resume"))
+        if frame.get("fresh") and self._durable_state(session_id):
+            # Explicit wipe: the client wants a clean slate under a
+            # recycled id, not whatever a previous run left on disk.
+            if session_id not in self.registry.sessions:
+                self.durability.drop(session_id, destroy=True)
+        elif resume and session_id is not None:
+            # Idempotent reattach: a reconnecting client re-opens its
+            # session — live (the daemon never died, only the socket),
+            # on disk (the daemon restarted, or evicted it), or gone
+            # (fresh start).  The ``applied_seq`` in the reply tells the
+            # client exactly which appends to re-send.
+            existing = self.registry.sessions.get(session_id)
+            if existing is None and self._durable_state(session_id):
+                existing = self.durability.recover_session(
+                    session_id, self.registry
+                )
+                existing.resumed = True
+                self._work.set()
+            if existing is not None:
+                return self._opened_reply(existing, resumed=True)
+        elif (
+            session_id is not None
+            and session_id not in self.registry.sessions
+            and self._durable_state(session_id)
+        ):
+            # A plain open of a session that left durable state behind
+            # (idle-evicted, or the daemon restarted under it) restores
+            # from disk rather than silently starting empty.
+            session = self.durability.recover_session(
+                session_id, self.registry
+            )
+            session.resumed = True
+            self._work.set()
+            return self._opened_reply(session, resumed=True)
         config = SessionConfig(
             workload=frame.get("workload", "list-append"),
             consistency_model=frame.get(
@@ -281,14 +415,35 @@ class CheckerService:
             timestamp_edges=frame.get("timestamp_edges", False),
             options=options,
         )
-        session = self.registry.open(config, frame.get("session"))
-        return {
+        session = self.registry.open(config, session_id)
+        if self.durability is not None:
+            try:
+                self.durability.open_session(session)
+            except BaseException:
+                self.registry.close(session.id)
+                raise
+        return self._opened_reply(session, resumed=False)
+
+    def _durable_state(self, session_id: Any) -> bool:
+        return (
+            self.durability is not None
+            and isinstance(session_id, str)
+            and self.durability.has_state(session_id)
+        )
+
+    def _opened_reply(self, session, resumed: bool) -> Dict[str, Any]:
+        reply = {
             "type": "opened",
             "session": session.id,
-            "workload": config.workload,
-            "model": config.consistency_model,
-            "chunk": config.chunk_ops,
+            "workload": session.config.workload,
+            "model": session.config.consistency_model,
+            "chunk": session.config.chunk_ops,
+            "applied_seq": session.applied_seq,
         }
+        if resumed:
+            reply["resumed"] = True
+            reply["ops_ingested"] = session.ops_ingested
+        return reply
 
     def _stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         session_id = frame.get("session")
@@ -303,6 +458,13 @@ class CheckerService:
 
     async def _append(self, session, frame: Dict[str, Any]) -> Dict[str, Any]:
         ops = decode_ops(frame.get("ops", ()))
+        seq = frame.get("seq")
+        if seq is not None and (
+            not isinstance(seq, int) or isinstance(seq, bool) or seq <= 0
+        ):
+            raise ProtocolError(
+                f"append seq must be a positive integer, got {seq!r}"
+            )
         # Backpressure: hold the reply until the backlog is below the
         # high-watermark.  The analyzer's progress notifications wake us;
         # a poisoning also unblocks (buffer() will then refuse the batch),
@@ -316,15 +478,49 @@ class CheckerService:
             ):
                 await self._progress.wait()
         if self._draining:
-            raise ServiceError("server is draining; no new work accepted")
-        self.registry.append(session.id, ops)
+            raise ServiceError(
+                "server is draining; no new work accepted", code="draining"
+            )
+        if seq is not None and seq <= session.applied_seq:
+            # Duplicate delivery: the batch was applied and acked, but the
+            # ack never reached the client (it reconnected and re-sent).
+            # Acking again without re-applying makes re-delivery a no-op.
+            return {
+                "type": "appended",
+                "session": session.id,
+                "ops": 0,
+                "deduped": len(ops),
+                "buffered": session.backlog,
+                "seq": seq,
+                "applied_seq": session.applied_seq,
+            }
+        # Op-level dedupe catches the half-applied case: the server logged
+        # and buffered the batch, then died before acking.  Indices are
+        # strictly increasing across a stream, so anything at or below the
+        # high-water mark has already been accepted.
+        fresh = session.dedupe_ops(ops)
+        deduped = len(ops) - len(fresh)
+        if seq is None:
+            seq = session.applied_seq + 1
+        if self.durability is not None and fresh:
+            # WAL first, ack second: once the reply goes out the ops must
+            # survive a crash, so they hit the journal (flushed, and
+            # fsynced per policy) before they are even buffered.
+            self.durability.log_append(session, seq, fresh)
+        self.registry.append(session.id, fresh)
+        session.applied_seq = seq
         self._work.set()
-        return {
+        reply = {
             "type": "appended",
             "session": session.id,
-            "ops": len(ops),
+            "ops": len(fresh),
             "buffered": session.backlog,
+            "seq": seq,
+            "applied_seq": session.applied_seq,
         }
+        if deduped:
+            reply["deduped"] = deduped
+        return reply
 
     async def _verdict(self, session, frame: Dict[str, Any]) -> Dict[str, Any]:
         await self._drain_session(session)
@@ -338,6 +534,10 @@ class CheckerService:
     async def _close(self, session) -> Dict[str, Any]:
         await self._drain_session(session)
         final = self.registry.close(session.id)
+        if self.durability is not None:
+            # An explicit close is the end of the session's story: its
+            # journal and checkpoints have nothing left to recover.
+            self.durability.drop(session.id, destroy=True)
         return {"type": "closed", "session": session.id, "stats": final}
 
     async def _drain_session(self, session) -> None:
@@ -355,13 +555,17 @@ async def serve(
     unix_path: Optional[str] = None,
     registry: Optional[SessionRegistry] = None,
     stats_path: Optional[str] = None,
+    durability: Optional[DurabilityManager] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
     quiet: bool = False,
     ready: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run a daemon until SIGTERM/SIGINT, then drain; returns final stats.
 
     ``ready``, when given, is called with the service once the listeners
-    are bound (tests use it to learn ephemeral ports).
+    are bound (tests use it to learn ephemeral ports).  ``durability``
+    makes every session crash-recoverable (see
+    :mod:`repro.service.durability`).
     """
     service = CheckerService(
         registry,
@@ -369,6 +573,8 @@ async def serve(
         port=port,
         unix_path=unix_path,
         stats_path=stats_path,
+        durability=durability,
+        max_frame_bytes=max_frame_bytes,
     )
     addresses = await service.start()
     if not quiet:

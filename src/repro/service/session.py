@@ -105,6 +105,14 @@ class Session:
         self.error: Optional[BaseException] = None
         self.closed = False
         self.last_activity = clock()
+        # Durability / resume bookkeeping (see repro.service.durability):
+        # the highest acked append sequence number, the highest operation
+        # index accepted (analyzed or buffered — the duplicate-delivery
+        # dedupe line), and how many ops the newest checkpoint covers.
+        self.applied_seq = 0
+        self.last_buffered_index = -1
+        self.checkpointed_ops = 0
+        self.resumed = False
 
     # ------------------------------------------------------------------
 
@@ -135,11 +143,29 @@ class Session:
             raise ServiceError(f"session {self.id!r} is closed")
         if self.error is not None:
             raise ServiceError(
-                f"session {self.id!r} is poisoned: {self.error}"
+                f"session {self.id!r} is poisoned: {self.error}",
+                code="poisoned",
             )
         self.pending.extend(ops)
         self.ops_ingested += len(ops)
+        if ops:
+            self.last_buffered_index = max(
+                self.last_buffered_index, ops[-1].index
+            )
         self.touch()
+
+    def dedupe_ops(self, ops: Sequence[Op]) -> List[Op]:
+        """Drop operations this session has already accepted.
+
+        Operation indices are strictly increasing across a stream
+        (:meth:`History.extend` enforces it), so everything at or below
+        ``last_buffered_index`` is a duplicate delivery — a reconnecting
+        client re-sending a batch the daemon journaled (maybe partially
+        acked) before dying.  Idempotent resume falls out: re-sending is
+        always safe.
+        """
+        threshold = self.last_buffered_index
+        return [op for op in ops if op.index > threshold]
 
     def analyze_chunk(self) -> StreamUpdate:
         """Run one bounded slice: up to ``chunk_ops`` backlog operations.
@@ -178,7 +204,8 @@ class Session:
         """
         if self.error is not None:
             raise ServiceError(
-                f"session {self.id!r} is poisoned: {self.error}"
+                f"session {self.id!r} is poisoned: {self.error}",
+                code="poisoned",
             )
         if self.pending:
             raise ServiceError(
@@ -203,6 +230,8 @@ class Session:
             "keys_reused": self.keys_reused,
             "analyze_seconds": round(self.analyze_seconds, 4),
             "max_chunk_seconds": round(self.max_chunk_seconds, 4),
+            "applied_seq": self.applied_seq,
+            "resumed": self.resumed,
         }
         if self.error is not None:
             record["error"] = str(self.error)
@@ -242,6 +271,11 @@ class SessionRegistry:
         self.sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._rotation: deque = deque()  # round-robin order of session ids
         self._auto_id = 0
+        #: Called with each session just before idle eviction drops it.
+        #: The durability layer hangs its final checkpoint here, so an
+        #: evicted session can be restored from disk instead of starting
+        #: empty when a client reopens it.
+        self.on_evict: Optional[Callable[[Session], None]] = None
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_evicted = 0
@@ -260,11 +294,15 @@ class SessionRegistry:
             self._auto_id += 1
             session_id = f"session-{self._auto_id}"
         if session_id in self.sessions:
-            raise ServiceError(f"session {session_id!r} already open")
+            raise ServiceError(
+                f"session {session_id!r} already open",
+                code="duplicate-session",
+            )
         if len(self.sessions) >= self.max_sessions:
             raise ServiceError(
                 f"session table full ({self.max_sessions}); close a "
-                "session or let idle ones evict"
+                "session or let idle ones evict",
+                code="server-full",
             )
         session = Session(
             session_id, config or SessionConfig(), clock=self.clock
@@ -279,7 +317,8 @@ class SessionRegistry:
         if session is None:
             raise ServiceError(
                 f"unknown session {session_id!r} (never opened, closed, "
-                "or evicted as idle)"
+                "or evicted as idle)",
+                code="unknown-session",
             )
         return session
 
@@ -304,7 +343,10 @@ class SessionRegistry:
             and now - session.last_activity >= self.idle_timeout
         ]
         for session_id in victims:
-            session = self.sessions.pop(session_id)
+            session = self.sessions[session_id]
+            if self.on_evict is not None:
+                self.on_evict(session)
+            del self.sessions[session_id]
             session.closed = True
             self._rotation.remove(session_id)
             self.sessions_evicted += 1

@@ -297,3 +297,89 @@ class TestStreamingSources:
         assert [t.id for t in rebuilt.transactions] == [
             t.id for t in history.transactions
         ]
+
+
+class TestTornTail:
+    """``allow_torn_tail``: forgiving exactly one truncated final record.
+
+    The WAL-replay contract (see ``repro.service.durability``): a writer
+    that died mid-record — crash, ``kill -9``, full disk — leaves a
+    JSON-lines file whose final line is garbage at some byte offset.
+    That torn tail is dropped; anything else malformed still raises.
+    """
+
+    def full_text(self):
+        return dumps_history(builder_history())
+
+    def test_truncation_at_every_byte_of_the_last_record(self):
+        """Every possible tear point of the final record loads cleanly
+        as the intact-prefix history."""
+        text = self.full_text()
+        lines = text.splitlines(keepends=True)
+        prefix = "".join(lines[:-1])
+        intact = dumps_history(load_history(io.StringIO(prefix)))
+        last = lines[-1]
+        for offset in range(len(last) - 1):  # full line would be untorn
+            torn = prefix + last[:offset]
+            # Strict mode refuses anything that isn't valid JSON...
+            if offset:
+                with pytest.raises(HistoryError):
+                    load_history(io.StringIO(torn))
+            # ...torn-tail mode yields exactly the intact prefix.
+            recovered = load_history(
+                io.StringIO(torn), allow_torn_tail=True
+            )
+            assert dumps_history(recovered) == intact, offset
+
+    def test_torn_tail_only_forgives_the_final_line(self):
+        """A malformed line with more data after it is corruption."""
+        text = self.full_text()
+        lines = text.splitlines(keepends=True)
+        corrupted = lines[0][: len(lines[0]) // 2].rstrip("\n") + "\n"
+        body = corrupted + "".join(lines[1:])
+        with pytest.raises(HistoryError, match="not JSON"):
+            load_history(io.StringIO(body), allow_torn_tail=True)
+
+    def test_torn_tail_drops_valid_json_missing_fields(self):
+        """Truncation can land between two closing braces, leaving valid
+        JSON that is not a complete op record — still a torn tail."""
+        text = self.full_text()
+        body = text + '{"index": 99}\n'
+        recovered = load_history(io.StringIO(body), allow_torn_tail=True)
+        assert dumps_history(recovered) == text
+        # Without the flag it is an error, as before.
+        with pytest.raises(HistoryError, match="malformed"):
+            load_history(io.StringIO(body))
+
+    def test_iter_op_chunks_allows_torn_tail(self):
+        from repro.history.io import iter_op_chunks
+
+        text = self.full_text()
+        torn = text[:-4]  # tear the final record
+        with pytest.raises(HistoryError):
+            list(iter_op_chunks(io.StringIO(torn), 2))
+        chunks = list(
+            iter_op_chunks(io.StringIO(torn), 2, allow_torn_tail=True)
+        )
+        total = sum(len(chunk) for chunk in chunks)
+        assert total == len(builder_history().ops) - 1
+
+    def test_empty_and_whitespace_files(self):
+        assert not load_history(
+            io.StringIO(""), allow_torn_tail=True
+        ).ops
+        assert not load_history(
+            io.StringIO("\n  \n"), allow_torn_tail=True
+        ).ops
+
+    def test_torn_tail_of_a_single_record_file(self):
+        text = (
+            '{"index": 0, "type": "invoke", "process": 0, '
+            '"value": [["append", "x", 1]]}\n'
+        )
+        assert load_history(io.StringIO(text)).ops  # sanity: intact loads
+        for offset in range(len(text) - 1):
+            recovered = load_history(
+                io.StringIO(text[:offset]), allow_torn_tail=True
+            )
+            assert not recovered.ops, offset

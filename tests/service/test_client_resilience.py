@@ -1,0 +1,237 @@
+"""Client-side failure behavior: timeouts, dead peers, reconnect+resume.
+
+The blocking client must never hang on a daemon that froze, died, or
+dropped the connection — every failure surfaces as a typed
+:class:`~repro.errors.ServiceUnavailableError` within the configured
+timeout.  With ``retries`` it goes further: redial, re-open every session
+with ``resume``, re-send the interrupted frame.  These tests script the
+server side with plain sockets so each failure mode is exact and
+deterministic; the end-to-end kill -9 path lives in
+``test_crash_recovery.py``.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError, ServiceUnavailableError
+from repro.service import BackgroundService, ServiceClient
+from repro.service.client import session_workload
+
+
+class ScriptedServer:
+    """A thread that accepts connections and plays back a script.
+
+    Each script entry handles one accepted connection: a list of actions,
+    where ``("reply", frame)`` reads one request line then writes the
+    frame, ``("swallow",)`` reads a line and never answers (the frozen
+    daemon), and ``("hangup",)`` reads a line then closes (killed
+    mid-call).  When the script runs dry the listener closes.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.requests = []
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    @property
+    def address(self):
+        return f"127.0.0.1:{self.port}"
+
+    def _serve(self):
+        for actions in self.script:
+            try:
+                conn, _peer = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                fh = conn.makefile("rwb")
+                for action in actions:
+                    line = fh.readline()
+                    if not line:
+                        break
+                    self.requests.append(json.loads(line))
+                    if action[0] == "reply":
+                        fh.write(
+                            json.dumps(action[1]).encode() + b"\n"
+                        )
+                        fh.flush()
+                    elif action[0] == "swallow":
+                        time.sleep(5)  # longer than any test timeout
+                        break
+                    elif action[0] == "hangup":
+                        break
+        self.sock.close()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TestTimeoutsAndDeadPeers:
+    def test_connect_refused_is_unavailable(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(ServiceUnavailableError, match="cannot connect"):
+            ServiceClient(f"127.0.0.1:{dead_port}", timeout=0.5)
+
+    def test_frozen_server_times_out_instead_of_hanging(self):
+        server = ScriptedServer([[("swallow",)]])
+        try:
+            client = ServiceClient(server.address, timeout=0.3)
+            begin = time.monotonic()
+            with pytest.raises(ServiceUnavailableError, match="timed out"):
+                client.stats()
+            assert time.monotonic() - begin < 3.0
+            client.close()
+        finally:
+            server.close()
+
+    def test_server_death_mid_call_is_unavailable(self):
+        server = ScriptedServer([[("hangup",)]])
+        try:
+            client = ServiceClient(server.address, timeout=1.0)
+            with pytest.raises(
+                ServiceUnavailableError, match="closed by server"
+            ):
+                client.stats()
+            client.close()
+        finally:
+            server.close()
+
+    def test_unavailable_is_a_service_error(self):
+        # Callers that only catch ServiceError keep working.
+        assert issubclass(ServiceUnavailableError, ServiceError)
+
+    def test_error_replies_carry_their_code(self):
+        with BackgroundService(port=0) as bg:
+            with ServiceClient(bg.tcp_address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.verdict("never-opened")
+                assert excinfo.value.code == "unknown-session"
+
+    def test_frozen_server_mid_append_times_out(self):
+        """An append (not just a control frame) also cannot hang."""
+        opened = {
+            "type": "opened", "session": "s", "workload": "list-append",
+            "model": "serializable", "chunk": 1000, "applied_seq": 0,
+        }
+        server = ScriptedServer([[("reply", opened), ("swallow",)]])
+        ops = session_workload(txns=5, seed=1)
+        try:
+            client = ServiceClient(server.address, timeout=0.3)
+            client.open_session(session_id="s")
+            with pytest.raises(ServiceUnavailableError):
+                client.append("s", ops)
+            client.close()
+        finally:
+            server.close()
+
+
+class TestReconnectAndResume:
+    def test_retry_reconnects_resumes_and_resends(self):
+        """Connection dies mid-append: the client redials, re-opens with
+        ``resume``, and re-sends the same sequence-numbered batch."""
+        opened = {
+            "type": "opened", "session": "s", "workload": "list-append",
+            "model": "serializable", "chunk": 1000, "applied_seq": 0,
+        }
+        reopened = dict(opened, resumed=True)
+        appended = {
+            "type": "appended", "session": "s", "ops": 12, "buffered": 12,
+            "seq": 1, "applied_seq": 1,
+        }
+        server = ScriptedServer([
+            # Connection 1: open succeeds, append gets the axe.
+            [("reply", opened), ("hangup",)],
+            # Connection 2: the resume open, then the re-sent append.
+            [("reply", reopened), ("reply", appended)],
+        ])
+        ops = session_workload(txns=5, seed=2)
+        try:
+            client = ServiceClient(
+                server.address, timeout=1.0, retries=3, backoff=0.05
+            )
+            sid = client.open_session(session_id="s", resume=False)
+            reply = client.append(sid, ops)
+            assert reply["applied_seq"] == 1
+            client.close()
+        finally:
+            server.close()
+        kinds = [r["type"] for r in server.requests]
+        assert kinds == ["open", "append", "open", "append"]
+        # The re-open asked to resume; both appends carried seq 1.
+        assert server.requests[2]["resume"] is True
+        assert server.requests[1]["seq"] == 1
+        assert server.requests[3]["seq"] == 1
+
+    def test_resume_skips_batches_the_server_already_applied(self):
+        """If the ack (not the batch) was lost, the resumed ``applied_seq``
+        advances the client's cursor so nothing is double-counted."""
+        opened = {
+            "type": "opened", "session": "s", "workload": "list-append",
+            "model": "serializable", "chunk": 1000, "applied_seq": 0,
+        }
+        # The daemon applied seq 1 before dying: the resume reply says so.
+        reopened = dict(opened, resumed=True, applied_seq=1)
+        deduped = {
+            "type": "appended", "session": "s", "ops": 0, "deduped": 12,
+            "buffered": 0, "seq": 1, "applied_seq": 1,
+        }
+        server = ScriptedServer([
+            [("reply", opened), ("hangup",)],
+            [("reply", reopened), ("reply", deduped)],
+        ])
+        ops = session_workload(txns=5, seed=2)
+        try:
+            client = ServiceClient(
+                server.address, timeout=1.0, retries=3, backoff=0.05
+            )
+            sid = client.open_session(session_id="s", resume=False)
+            reply = client.append(sid, ops)
+            assert reply["deduped"] == 12
+            # The next append moves on to seq 2.
+            assert client._sessions[sid].next_seq == 2
+            client.close()
+        finally:
+            server.close()
+
+    def test_no_retries_by_default(self):
+        """retries=0 keeps the historical fail-fast contract."""
+        server = ScriptedServer([[("hangup",)]])
+        try:
+            client = ServiceClient(server.address, timeout=1.0)
+            with pytest.raises(ServiceUnavailableError):
+                client.stats()
+            client.close()
+        finally:
+            server.close()
+        assert len(server.requests) == 1  # no silent re-send
+
+    def test_backoff_grows_exponentially(self):
+        server = ScriptedServer([[("hangup",)] for _ in range(4)])
+        try:
+            client = ServiceClient(
+                server.address, timeout=1.0, retries=3, backoff=0.05,
+                max_backoff=0.2,
+            )
+            begin = time.monotonic()
+            with pytest.raises(ServiceUnavailableError):
+                client.stats()
+            elapsed = time.monotonic() - begin
+            # 0.05 + 0.1 + 0.2 of sleep at minimum, across 4 attempts.
+            assert elapsed >= 0.3
+            client.close()
+        finally:
+            server.close()

@@ -141,3 +141,137 @@ class TestVerdictRecord:
         record = update_record(checker.extend(ops))
         assert record["valid"] == result.valid
         assert record["anomaly_types"] == list(result.anomaly_types)
+
+
+class TestWireHardening:
+    """Oversized and unknown frames: structured refusal, nothing poisoned."""
+
+    def run_conversation(self, conversation, **service_kwargs):
+        import asyncio
+
+        from repro.service import CheckerService
+
+        async def main():
+            service = CheckerService(port=0, **service_kwargs)
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            try:
+                return await conversation(service, reader, writer)
+            finally:
+                writer.close()
+                await service.drain()
+
+        return asyncio.run(main())
+
+    @staticmethod
+    async def request(reader, writer, frame):
+        writer.write(encode_frame(frame))
+        await writer.drain()
+        return decode_frame(await reader.readline())
+
+    def test_unknown_frame_type_gets_coded_error(self):
+        async def conversation(service, reader, writer):
+            opened = await self.request(reader, writer, {
+                "type": "open", "session": "s",
+            })
+            assert opened["type"] == "opened"
+            bad = await self.request(reader, writer, {
+                "type": "explode", "session": "s",
+            })
+            assert bad["type"] == "error"
+            assert bad["code"] == "bad-frame"
+            assert "explode" in bad["error"]
+            # The connection and the session both survived.
+            stats = await self.request(reader, writer, {
+                "type": "stats", "session": "s",
+            })
+            assert stats["stats"]["state"] == "open"
+
+        self.run_conversation(conversation)
+
+    def test_non_object_and_non_json_frames(self):
+        async def conversation(service, reader, writer):
+            writer.write(b"[1, 2, 3]\n")
+            await writer.drain()
+            reply = decode_frame(await reader.readline())
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad-frame"
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = decode_frame(await reader.readline())
+            assert reply["code"] == "bad-frame"
+            # Still usable afterwards.
+            stats = await self.request(reader, writer, {"type": "stats"})
+            assert stats["type"] == "stats"
+
+        self.run_conversation(conversation)
+
+    def test_oversized_frame_rejected_and_skipped(self):
+        """A frame over the limit gets frame-too-large, and the *next*
+        frame on the same connection still parses — the reader resyncs on
+        the newline instead of poisoning the byte stream."""
+        limit = 4096
+
+        async def conversation(service, reader, writer):
+            opened = await self.request(reader, writer, {
+                "type": "open", "session": "s",
+            })
+            assert opened["type"] == "opened"
+            huge = {
+                "type": "append", "session": "s",
+                "ops": ["x" * (limit * 4)],
+            }
+            reply = await self.request(reader, writer, huge)
+            assert reply["type"] == "error"
+            assert reply["code"] == "frame-too-large"
+            assert str(limit) in reply["error"]
+            # The session took no damage and normal frames still work.
+            stats = await self.request(reader, writer, {
+                "type": "stats", "session": "s",
+            })
+            assert stats["stats"]["state"] == "open"
+            assert stats["stats"]["ops_ingested"] == 0
+
+        self.run_conversation(conversation, max_frame_bytes=limit)
+
+    def test_oversized_frame_followed_by_pipelined_frame(self):
+        """Bytes after the oversized line's newline belong to the next
+        frame and must not be discarded with it."""
+        limit = 2048
+
+        async def conversation(service, reader, writer):
+            huge = encode_frame({"type": "open", "pad": "y" * (limit * 3)})
+            tail = encode_frame({"type": "stats"})
+            writer.write(huge + tail)  # one write: both frames in flight
+            await writer.drain()
+            first = decode_frame(await reader.readline())
+            assert first["code"] == "frame-too-large"
+            second = decode_frame(await reader.readline())
+            assert second["type"] == "stats"
+
+        self.run_conversation(conversation, max_frame_bytes=limit)
+
+    def test_bad_append_seq_is_rejected_cleanly(self):
+        async def conversation(service, reader, writer):
+            await self.request(reader, writer, {"type": "open", "session": "s"})
+            for seq in (0, -3, True, "one"):
+                reply = await self.request(reader, writer, {
+                    "type": "append", "session": "s", "seq": seq, "ops": [],
+                })
+                assert reply["type"] == "error", seq
+                assert reply["code"] == "bad-frame", seq
+            stats = await self.request(reader, writer, {
+                "type": "stats", "session": "s",
+            })
+            assert stats["stats"]["state"] == "open"
+
+        self.run_conversation(conversation)
+
+    def test_max_frame_bytes_must_be_positive(self):
+        from repro.errors import ServiceError
+        from repro.service import CheckerService
+
+        with pytest.raises(ServiceError, match="max_frame_bytes"):
+            CheckerService(port=0, max_frame_bytes=0)

@@ -64,7 +64,7 @@ class TestFrameDispatch:
             assert opened == {
                 "type": "opened", "session": "t",
                 "workload": "list-append", "model": "serializable",
-                "chunk": 16,
+                "chunk": 16, "applied_seq": 0,
             }
             from repro.service import encode_ops
 

@@ -243,3 +243,89 @@ class TestRegistry:
         registry.append("rw", list(history.ops))
         registry.drain(registry.get("rw"))
         assert registry.get("rw").verdict().result.valid
+
+
+class TestEvictionDurability:
+    """Idle eviction with a durability layer: state survives on disk."""
+
+    def test_on_evict_hook_fires_before_drop(self):
+        clock = FakeClock()
+        registry = SessionRegistry(idle_timeout=10.0, clock=clock)
+        registry.open(session_id="victim")
+        seen = []
+        registry.on_evict = lambda session: seen.append(
+            (session.id, session.id in registry.sessions)
+        )
+        clock.now = 11.0
+        registry.evict_idle()
+        # The hook saw the session while it was still registered, so a
+        # checkpoint taken inside it captures complete state.
+        assert seen == [("victim", True)]
+
+    def test_evicted_then_reopened_session_restores_from_disk(self, tmp_path):
+        """An evicted session is not an empty session: reopening it on a
+        durable daemon restores the checker from the eviction checkpoint
+        instead of silently starting over."""
+        import asyncio
+
+        from repro import check
+        from repro.service import CheckerService, DurabilityManager
+
+        ops = ops_for(txns=60, seed=13, fault="tidb-retry")
+        expected = check(History(ops))
+
+        async def main():
+            from repro.service.protocol import (
+                decode_frame,
+                encode_frame,
+                encode_ops,
+            )
+
+            async def request(reader, writer, frame):
+                writer.write(encode_frame(frame))
+                await writer.drain()
+                return decode_frame(await reader.readline())
+
+            durability = DurabilityManager(str(tmp_path), fsync="never")
+            registry = SessionRegistry(idle_timeout=10.0)
+            service = CheckerService(registry, port=0, durability=durability)
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port
+            )
+            await request(reader, writer, {
+                "type": "open", "session": "evictee", "chunk": 16,
+            })
+            await request(reader, writer, {
+                "type": "append", "session": "evictee", "seq": 1,
+                "ops": encode_ops(ops),
+            })
+            first = await request(reader, writer, {
+                "type": "verdict", "session": "evictee",
+            })
+            # Force the idle eviction (backlog is empty post-verdict).
+            far_future = registry.clock() + 1_000.0
+            assert registry.evict_idle(now=far_future) == ["evictee"]
+            assert "evictee" not in registry.sessions
+            # A plain re-open restores from disk, not an empty session.
+            reopened = await request(reader, writer, {
+                "type": "open", "session": "evictee",
+            })
+            second = await request(reader, writer, {
+                "type": "verdict", "session": "evictee", "report": True,
+            })
+            stats = await request(reader, writer, {
+                "type": "stats", "session": "evictee",
+            })
+            writer.close()
+            await service.drain()
+            return reopened, first, second, stats
+
+        reopened, first, second, stats = asyncio.run(main())
+        assert reopened["resumed"] is True
+        assert reopened["applied_seq"] == 1
+        assert reopened["ops_ingested"] == len(ops)
+        assert stats["stats"]["resumed"] is True
+        assert stats["stats"]["ops_ingested"] == len(ops)
+        assert second["valid"] == first["valid"] == expected.valid
+        assert second["report"] == expected.report()
