@@ -28,6 +28,11 @@ from typing import Any, Dict, List, Tuple
 from ..history.ops import ADD, APPEND, INCREMENT, READ, WRITE, Transaction
 from .anomalies import INTERNAL, Anomaly
 
+try:  # Optional acceleration for the candidate sweep.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy job
+    _np = None
+
 # Sentinel kinds for per-key knowledge.
 _KNOWN = "known"    # exact value known (after a read)
 _SUFFIX = "suffix"  # only our own appended suffix known
@@ -167,3 +172,24 @@ def check_internal(txns, workload: str) -> List[Anomaly]:
     for txn in txns:
         anomalies.extend(checker(txn))
     return anomalies
+
+
+def internal_candidate_positions(index, lo: int, hi: int) -> List[int]:
+    """Positions in ``[lo, hi)`` that need a per-transaction internal check.
+
+    The replay only ever fires for committed transactions whose candidate
+    bit is set (a read-with-value follows an earlier micro-op on the same
+    key), so the sweep is a bitwise AND over the two status columns.  With
+    numpy that is one vectorized pass; the pure-Python twin walks the
+    bytearrays directly.
+    """
+    committed = index.txn_committed
+    candidates = index.internal_candidates
+    if _np is not None and hi - lo >= 1024:
+        mask = _np.frombuffer(committed[lo:hi], dtype=_np.uint8) & _np.frombuffer(
+            candidates[lo:hi], dtype=_np.uint8
+        )
+        return [p + lo for p in _np.flatnonzero(mask).tolist()]
+    return [
+        pos for pos in range(lo, hi) if committed[pos] and candidates[pos]
+    ]

@@ -51,8 +51,18 @@ from ..history import History, Transaction
 from ..history.index import HistoryIndex
 from .analysis import Analysis, EdgeKey, Evidence
 from .anomalies import Anomaly
-from .internal import INTERNAL_CHECKERS
+from .internal import INTERNAL_CHECKERS, internal_candidate_positions
 from .profiling import Profile, stage
+
+try:  # Optional: the whole-index columnar fast path is numpy-backed.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy job
+    _np = None
+
+#: Histories below this size run the classic per-key path even when numpy
+#: is available: the columnar pass has fixed setup cost (column builds,
+#: screens) that only pays off once the per-key Python loop dominates.
+COLUMNAR_MIN_TXNS = 512
 
 #: Batch sort key: (phase, major, minor).  Phases order anomaly groups the
 #: way the historical analyzers emitted them: 0 = internal consistency
@@ -214,9 +224,49 @@ class KeyspacePlan:
         """All anomaly and edge batches derived from one key."""
         raise NotImplementedError
 
+    def analyze_index(
+        self, analysis: Analysis, profile: Optional[Profile] = None
+    ) -> bool:
+        """Whole-index fast path: analyze every key in one vectorized pass.
+
+        Returns ``True`` when the plan fully handled the analysis
+        (including the merge into ``analysis``); ``False`` to fall back to
+        the classic per-key chunk path.  The base plan has no columnar
+        implementation — per-key :meth:`analyze_key` *is* the pure-Python
+        twin, selected exactly like the fallbacks in ``csr.py`` /
+        ``edgelog.py`` (numpy missing, or the history below
+        :data:`COLUMNAR_MIN_TXNS`).
+        """
+        return False
+
     def check_internal(self, txn: Transaction) -> List[Anomaly]:
         """Internal-consistency anomalies for one committed transaction."""
         return INTERNAL_CHECKERS[self.workload](txn)
+
+    def columnar_eligible(self) -> bool:
+        """Shared gate for :meth:`analyze_index` implementations."""
+        return (
+            _np is not None
+            and len(self.index.transactions) >= COLUMNAR_MIN_TXNS
+        )
+
+    def internal_anomaly_blocks(self) -> List[AnomalyBlock]:
+        """The internal-consistency sweep over all transactions, as blocks.
+
+        Used by ``analyze_index`` implementations; byte-identical to the
+        sweep inside :func:`_analyze_chunk` (same tags, same order), with
+        the candidate scan vectorized.
+        """
+        index = self.index
+        transactions = index.transactions
+        txn_ids = index.txn_ids
+        check_internal = self.check_internal
+        blocks: List[AnomalyBlock] = []
+        for pos in internal_candidate_positions(index, 0, len(transactions)):
+            found = check_internal(transactions[pos])
+            if found:
+                blocks.append(((PHASE_INTERNAL, txn_ids[pos], 0), found))
+        return blocks
 
 
 #: Registered plans: workload name -> plan class (populated by analyzers).
@@ -268,15 +318,12 @@ def _analyze_chunk(
     edge_blocks: List[EdgeBlock] = []
     index = plan.index
     transactions = index.transactions
-    committed = index.txn_committed
-    candidates = index.internal_candidates
     txn_ids = index.txn_ids
     check_internal = plan.check_internal
-    for pos in range(txn_lo, txn_hi):
-        if committed[pos] and candidates[pos]:
-            found = check_internal(transactions[pos])
-            if found:
-                anomaly_blocks.append(((PHASE_INTERNAL, txn_ids[pos], 0), found))
+    for pos in internal_candidate_positions(index, txn_lo, txn_hi):
+        found = check_internal(transactions[pos])
+        if found:
+            anomaly_blocks.append(((PHASE_INTERNAL, txn_ids[pos], 0), found))
     keys = plan.keys()
     analyze_key = plan.analyze_key
     for key in keys[key_lo:key_hi]:
@@ -318,6 +365,104 @@ def _merge(analysis: Analysis, batches: Sequence[Batch]) -> None:
             setdefault(edge_key, evidence)
     else:
         analysis.evidence = combined
+
+
+class LazyEvidence(dict):
+    """Evidence map that materializes per-edge records on first read.
+
+    The columnar fast path knows every clean key's evidence is
+    *reconstructible* from the index columns (the trace, the installed
+    writers), so instead of building hundreds of thousands of
+    :class:`Evidence` tuples up front it stores a thunk.  The thunk yields
+    evidence fragments in **reverse tag order** — the exact replay of
+    :func:`_merge`'s ``combined.update(fragment)`` loop — so the
+    materialized dict is byte-identical to the eager one.  A clean history
+    never reads evidence (no anomalies → no cycle witnesses to explain),
+    which is where the laziness pays.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, pending: Callable[[], Any]) -> None:
+        super().__init__()
+        self._pending = pending
+
+    def _materialize(self) -> None:
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            update = super().update
+            for fragment in pending():
+                update(fragment)
+
+    def __len__(self):
+        self._materialize()
+        return super().__len__()
+
+    def __iter__(self):
+        self._materialize()
+        return super().__iter__()
+
+    def __contains__(self, key):
+        self._materialize()
+        return super().__contains__(key)
+
+    def __getitem__(self, key):
+        self._materialize()
+        return super().__getitem__(key)
+
+    def __eq__(self, other):
+        self._materialize()
+        return super().__eq__(other)
+
+    def __ne__(self, other):
+        self._materialize()
+        return super().__ne__(other)
+
+    __hash__ = None
+
+    def get(self, key, default=None):
+        self._materialize()
+        return super().get(key, default)
+
+    def setdefault(self, key, default=None):
+        self._materialize()
+        return super().setdefault(key, default)
+
+    def pop(self, *args):
+        self._materialize()
+        return super().pop(*args)
+
+    def popitem(self):
+        self._materialize()
+        return super().popitem()
+
+    def update(self, *args, **kwargs):
+        self._materialize()
+        return super().update(*args, **kwargs)
+
+    def items(self):
+        self._materialize()
+        return super().items()
+
+    def keys(self):
+        self._materialize()
+        return super().keys()
+
+    def values(self):
+        self._materialize()
+        return super().values()
+
+    def copy(self):
+        self._materialize()
+        return dict(self)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        self._materialize()
+        return super().__repr__()
+
+    def __reduce__(self):
+        self._materialize()
+        return (dict, (dict(self),))
 
 
 # Worker-side state.  Under the ``fork`` start method the parent sets
@@ -370,6 +515,11 @@ def execute_plan(
         profile.count("keyspace.shards", shards)
 
     if shards == 1:
+        # Whole-index columnar fast path first; a plan without one (or a
+        # history below the columnar threshold, or no numpy) declines and
+        # the classic per-key loop below is the pure-Python twin.
+        if plan.analyze_index(analysis, profile):
+            return
         n_txns = len(plan.index.transactions)
         n_keys = len(plan.keys())
         with stage(profile, "analyze/keys"):

@@ -30,7 +30,8 @@ per-key work across a worker pool with byte-identical results.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from operator import itemgetter
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..history import History, Transaction
 from ..history.index import check_unique_writes, duplicate_write_error
@@ -51,6 +52,7 @@ from .keyspace import (
     PHASE_READ,
     Batch,
     KeyspacePlan,
+    LazyEvidence,
     ReadCheckStyle,
     check_recoverable_read,
     execute_plan,
@@ -59,6 +61,11 @@ from .keyspace import (
 from .orders import add_process_edges, add_realtime_edges, add_timestamp_edges
 from .profiling import Profile, stage
 from .validate import validate_workload_indexed
+
+try:  # Optional: the whole-index columnar fast path is numpy-backed.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy job
+    _np = None
 
 
 def build_append_index(
@@ -185,6 +192,365 @@ class ListAppendPlan(KeyspacePlan):
 
     def key_pos(self, key: Any) -> int:
         return self._key_pos[key]
+
+    # ------------------------------------------------------------------
+    # Whole-index columnar pass
+
+    def analyze_index(self, analysis: Analysis, profile=None) -> bool:
+        """Analyze every key in one vectorized sweep over the CSR columns.
+
+        The per-key screens of :meth:`analyze_key` become single numpy
+        passes over the concatenated columns: per-key maximal reads
+        (``maximum.reduceat``), the committed-final-append stream ``S``
+        (one mask over ``w_final``), and the clean-key test ``S == trace
+        and every read a prefix``.  A key that passes is *clean*: its
+        recoverability / G1a / G1b / dirty-update / duplicate screens are
+        proven silent, its installed version order is exactly ``S``, and
+        its ww/wr/rw edges are computable as bulk id arrays — so the
+        per-key plan invocation is skipped entirely.  Flagged reads land
+        in ``(key, position)`` survivor arrays and their keys fall back
+        to :meth:`analyze_key`, the pure-Python twin, whose batches merge
+        in the same tag order as ever.  Output — anomalies, graph
+        emission order, evidence precedence — is byte-identical to the
+        classic path; the sharding/streaming/service oracles pin that.
+        """
+        if not self.columnar_eligible() or not self._keys:
+            return False
+        np = _np
+        index = self.index
+        cols = index.columns("read")
+
+        with stage(profile, "analyze/columnar-screen"):
+            nk = len(cols.keys)
+            rv = cols.r_val
+            wv = cols.w_val
+            n_reads = len(rv)
+            r_indptr = cols.r_indptr
+            r_len_l = [-1 if v is None else len(v) for v in rv]
+            r_len = np.asarray(r_len_l, dtype=np.int64)
+            key_of_read = np.repeat(
+                np.arange(nk, dtype=np.int64), np.diff(r_indptr)
+            )
+            starts = r_indptr[:-1]
+            # Every key in read order has >= 1 committed value-bearing
+            # read, so the reduceat segments are never empty.  Unknown
+            # (None) reads carry length -1: they never win the max and
+            # are skipped everywhere, exactly like the classic path's
+            # filtered copy.
+            maxlen = np.maximum.reduceat(r_len, starts)
+            # First maximal read per key (max() picks the first maximum).
+            is_max = np.flatnonzero(r_len == maxlen[key_of_read])
+            longest_idx = is_max[
+                np.unique(key_of_read[is_max], return_index=True)[1]
+            ]
+
+            # S: every append of a non-aborted writer, per key in stream
+            # order.  Indeterminate writers belong — their appends can be
+            # read and installed (the per-key path only breaks the chain
+            # on aborted or garbage elements).  ``s_final`` marks the
+            # last append of each writer's run: the *installed* versions.
+            wm = cols.aborted[cols.w_txn] == 0
+            w_indptr = cols.w_indptr
+            cum = np.zeros(len(wm) + 1, dtype=np.int64)
+            np.cumsum(wm, out=cum[1:])
+            s_count = cum[w_indptr[1:]] - cum[w_indptr[:-1]]
+            s_idx = np.flatnonzero(wm)
+            s_txn = cols.w_txn[s_idx]
+            s_final = cols.w_final[s_idx]
+            s_indptr = np.zeros(nk + 1, dtype=np.int64)
+            np.cumsum(s_count, out=s_indptr[1:])
+            n_s = len(s_txn)
+
+            # Candidate clean keys, three vectorized gates: (a) at least
+            # as many surviving appends as the longest read has elements
+            # (appends after the last read sit in ``S`` beyond the trace
+            # and never enter the version order); (b) every known read
+            # ends on an installed position — a read ending mid-run saw
+            # an intermediate version (a G1b candidate) and survives to
+            # the per-key path.  The Python finishing loop then verifies
+            # (c) ``trace == S[:maxlen]`` elementwise with a duplicate
+            # check — the prefix compare stays exact, never hashed.
+            base = s_indptr[key_of_read]
+            count_ok = s_count >= maxlen
+            gather = (r_len > 0) & (r_len <= s_count[key_of_read])
+            if n_s:
+                ends_ok = (r_len <= 0) | (
+                    gather
+                    & s_final[np.where(gather, base + r_len - 1, 0)]
+                )
+            else:
+                ends_ok = r_len <= 0
+            candidates = np.flatnonzero(
+                count_ok & np.logical_and.reduceat(ends_ok, starts)
+            )
+            # Survivor (key, read) arrays from the vectorized screen:
+            # flagged reads in keys that passed the count gate.
+            flagged_idx = np.flatnonzero(~ends_ok & count_ok[key_of_read])
+            survivor_keys: List[int] = key_of_read[flagged_idx].tolist()
+            survivor_reads: List[int] = flagged_idx.tolist()
+
+            r_indptr_l = r_indptr.tolist()
+            s_indptr_l = s_indptr.tolist()
+            s_idx_l = s_idx.tolist()
+            longest_l = longest_idx.tolist()
+            clean_bits = bytearray(nk)
+            for k in candidates.tolist():
+                trace = rv[longest_l[k]]
+                tlen = len(trace)
+                slo = s_indptr_l[k]
+                if (
+                    tuple(wv[i] for i in s_idx_l[slo : slo + tlen]) != trace
+                    or len(set(trace)) != tlen
+                ):
+                    continue
+                lo, hi = r_indptr_l[k], r_indptr_l[k + 1]
+                prefixes = {tlen: trace}
+                flagged = -1
+                for i in range(lo, hi):
+                    length = r_len_l[i]
+                    if length < 0:
+                        continue  # unknown read: filtered, never judged
+                    prefix = prefixes.get(length)
+                    if prefix is None:
+                        prefix = prefixes[length] = trace[:length]
+                    if rv[i] != prefix:
+                        flagged = i
+                        break
+                if flagged >= 0:
+                    survivor_keys.append(k)
+                    survivor_reads.append(flagged)
+                    continue
+                clean_bits[k] = 1
+            clean = np.frombuffer(bytes(clean_bits), dtype=np.uint8).astype(
+                bool
+            )
+            fallback = np.flatnonzero(~clean).tolist()
+
+            # Bulk wr/rw/ww edge columns for the clean keys, in the exact
+            # per-key emission order: the ww chain first, then per read a
+            # wr slot followed by an rw slot.  Everything below is in the
+            # transaction-position domain until the final id gather.
+            r_txn = cols.r_txn
+            if n_s:
+                s_key = np.repeat(
+                    np.arange(nk, dtype=np.int64), np.diff(s_indptr)
+                )
+                # The ww chain links consecutive *installed* versions
+                # within the trace (in-segment offsets >= maxlen were
+                # never read); one run per writer, so adjacent installed
+                # writers are always distinct transactions.
+                in_trace = (
+                    np.arange(n_s, dtype=np.int64) - s_indptr[s_key]
+                ) < maxlen[s_key]
+                inst = clean[s_key] & s_final & in_trace
+                ii = np.flatnonzero(inst)
+                pair = s_key[ii[1:]] == s_key[ii[:-1]] if len(ii) else ii
+                ww_u = s_txn[ii[:-1][pair]]
+                ww_v = s_txn[ii[1:][pair]]
+                ww_key = s_key[ii[1:][pair]]
+                cum_inst = np.zeros(n_s + 1, dtype=np.int64)
+                np.cumsum(inst, out=cum_inst[1:])
+                inst_count = cum_inst[s_indptr[1:]] - cum_inst[s_indptr[:-1]]
+                ww_count = np.maximum(inst_count - 1, 0)
+
+                clean_r = clean[key_of_read]
+                wr_valid = clean_r & (r_len > 0)
+                producer = s_txn[np.where(wr_valid, base + r_len - 1, 0)]
+                wr_emit = wr_valid & (producer != r_txn)
+                # rw: the run starting right after the read's last element
+                # is the next installed version's writer (clean reads end
+                # on installed positions, so position ``length`` starts a
+                # fresh run whose final append is still inside the trace).
+                rw_valid = clean_r & (r_len >= 0) & (r_len < maxlen[key_of_read])
+                nwriter = s_txn[np.where(rw_valid, base + r_len, 0)]
+                rw_emit = rw_valid & (nwriter != r_txn)
+
+                u2 = np.empty(2 * n_reads, dtype=np.int64)
+                v2 = np.empty(2 * n_reads, dtype=np.int64)
+                l2 = np.empty(2 * n_reads, dtype=np.int64)
+                m2 = np.empty(2 * n_reads, dtype=bool)
+                u2[0::2] = producer
+                v2[0::2] = r_txn
+                l2[0::2] = WR
+                m2[0::2] = wr_emit
+                u2[1::2] = r_txn
+                v2[1::2] = nwriter
+                l2[1::2] = RW
+                m2[1::2] = rw_emit
+                re_u = u2[m2]
+                re_v = v2[m2]
+                re_l = l2[m2]
+                re_key = np.repeat(key_of_read, 2)[m2]
+
+                cum_re = np.zeros(n_reads + 1, dtype=np.int64)
+                np.cumsum(
+                    wr_emit.astype(np.int64) + rw_emit.astype(np.int64),
+                    out=cum_re[1:],
+                )
+                re_count = cum_re[r_indptr[1:]] - cum_re[r_indptr[:-1]]
+                ww_cum = np.zeros(nk + 1, dtype=np.int64)
+                np.cumsum(ww_count, out=ww_cum[1:])
+                re_cum = np.zeros(nk + 1, dtype=np.int64)
+                np.cumsum(re_count, out=re_cum[1:])
+                out_indptr = ww_cum + re_cum
+                total = int(out_indptr[-1])
+                out_u = np.empty(total, dtype=np.int64)
+                out_v = np.empty(total, dtype=np.int64)
+                out_l = np.empty(total, dtype=np.int64)
+                ww_dest = np.arange(len(ww_u), dtype=np.int64) + re_cum[ww_key]
+                re_dest = (
+                    np.arange(len(re_u), dtype=np.int64) + ww_cum[re_key + 1]
+                )
+                out_u[ww_dest] = ww_u
+                out_u[re_dest] = re_u
+                out_v[ww_dest] = ww_v
+                out_v[re_dest] = re_v
+                out_l[ww_dest] = WW
+                out_l[re_dest] = re_l
+                ids_np = cols.txn_ids
+                out_u = ids_np[out_u]
+                out_v = ids_np[out_v]
+            else:
+                out_u = out_v = out_l = np.empty(0, dtype=np.int64)
+                out_indptr = np.zeros(nk + 1, dtype=np.int64)
+
+            anomaly_blocks = self.internal_anomaly_blocks()
+
+        if profile is not None:
+            profile.count("keyspace.columnar_keys", nk - len(fallback))
+            profile.count("keyspace.fallback_keys", len(fallback))
+            profile.count("keyspace.survivor_reads", len(survivor_reads))
+
+        with stage(profile, "analyze/fallback"):
+            edge_blocks = []
+            analyze_key = self.analyze_key
+            keys = self._keys
+            for k in fallback:
+                key_anomalies, key_edges = analyze_key(keys[k])
+                anomaly_blocks.extend(key_anomalies)
+                edge_blocks.extend(key_edges)
+
+        with stage(profile, "analyze/merge"):
+            tag = itemgetter(0)
+            anomaly_blocks.sort(key=tag)
+            anomalies = analysis.anomalies
+            for _tag, found in anomaly_blocks:
+                anomalies.extend(found)
+            edge_blocks.sort(key=tag)
+
+            # Graph: bulk clean-key columns and fallback fragments
+            # interleave in key order — runs of consecutive clean keys go
+            # in as one memcpy each.  Duplicate emissions in the bulk
+            # stream freeze identically to the fragment-dict dedup (first
+            # appearance interns, labels OR together).
+            graph = analysis.graph
+            out_indptr_l = out_indptr.tolist()
+            prev = 0
+            for (_phase, kp, _minor), fragment in edge_blocks:
+                lo, hi = out_indptr_l[prev], out_indptr_l[kp]
+                if hi > lo:
+                    graph.add_edge_columns(
+                        out_u[lo:hi], out_v[lo:hi], out_l[lo:hi]
+                    )
+                graph.add_edge_keys(fragment)
+                prev = kp
+            lo, hi = out_indptr_l[prev], out_indptr_l[nk]
+            if hi > lo:
+                graph.add_edge_columns(out_u[lo:hi], out_v[lo:hi], out_l[lo:hi])
+
+            # Evidence: replay the merge's reversed-tag update lazily; a
+            # clean history never reads it.
+            fragment_at = {kp: frag for (_p, kp, _m), frag in edge_blocks}
+            ctx = (
+                cols,
+                r_indptr_l,
+                r_len_l,
+                s_indptr_l,
+                s_txn.tolist(),
+                s_final.tolist(),
+                longest_l,
+                index.txn_ids,
+            )
+            clean_l = clean.tolist()
+            build = self._clean_fragment
+
+            def pending():
+                for kp in range(nk - 1, -1, -1):
+                    fragment = fragment_at.get(kp)
+                    if fragment is not None:
+                        yield fragment
+                    elif clean_l[kp]:
+                        yield build(ctx, kp)
+
+            analysis.evidence = LazyEvidence(pending)
+        return True
+
+    @staticmethod
+    def _clean_fragment(ctx, k: int) -> Dict[Tuple[int, int, int], Evidence]:
+        """Rebuild one clean key's evidence fragment from the columns.
+
+        Mirrors :meth:`analyze_key`'s fragment construction exactly: the
+        ww chain along the installed versions (for a clean key, the
+        ``s_final`` positions of the trace), then per read the wr and rw
+        records, first emission winning.
+        """
+        (
+            cols,
+            r_indptr_l,
+            r_len_l,
+            s_indptr_l,
+            s_txn_l,
+            s_final_l,
+            longest_l,
+            ids,
+        ) = ctx
+        rv = cols.r_val
+        trace = rv[longest_l[k]]
+        tlen = len(trace)
+        key = cols.keys[k]
+        slo = s_indptr_l[k]
+        s_seg = s_txn_l[slo : slo + tlen]
+        inst_pos = [p for p in range(tlen) if s_final_l[slo + p]]
+        n_inst = len(inst_pos)
+        r_txn = cols.r_txn
+        longest_id = ids[r_txn[longest_l[k]]]
+        fragment: Dict[Tuple[int, int, int], Evidence] = {}
+        for j in range(1, n_inst):
+            pwriter = s_seg[inst_pos[j - 1]]
+            nwriter = s_seg[inst_pos[j]]
+            edge = (ids[pwriter], ids[nwriter], WW)
+            if edge not in fragment:
+                fragment[edge] = Evidence(
+                    WW, key, trace[inst_pos[j]], trace[inst_pos[j - 1]], longest_id
+                )
+        next_installed: List[int] = []
+        kk = 0
+        for b in range(-1, tlen):
+            while kk < n_inst and inst_pos[kk] <= b:
+                kk += 1
+            next_installed.append(kk)
+        lo, hi = r_indptr_l[k], r_indptr_l[k + 1]
+        for i in range(lo, hi):
+            length = r_len_l[i]
+            if length < 0:
+                continue  # unknown read: filtered, no edges
+            reader = r_txn[i]
+            if length:
+                producer = s_seg[length - 1]
+                if producer != reader:
+                    edge = (ids[producer], ids[reader], WR)
+                    if edge not in fragment:
+                        fragment[edge] = Evidence(WR, key, trace[length - 1])
+            nxt = next_installed[length]
+            if nxt < n_inst:
+                writer = s_seg[inst_pos[nxt]]
+                if reader != writer:
+                    edge = (ids[reader], ids[writer], RW)
+                    if edge not in fragment:
+                        fragment[edge] = Evidence(
+                            RW, key, trace[inst_pos[nxt]], rv[i]
+                        )
+        return fragment
 
     def analyze_key(self, key: Any) -> Batch:
         """One key's read checks, version order, and dependency edges.

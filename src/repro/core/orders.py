@@ -52,6 +52,37 @@ def add_process_edges(analysis: Analysis) -> None:
     committed = index.txn_committed
     aborted = index.txn_aborted
     ids = index.txn_ids
+    total = len(ids)
+    if _np is not None and total >= 1024:
+        chains = [p for p in index.proc_positions.values() if p]
+        if not chains:
+            return
+        flat = _np.concatenate(
+            [_np.asarray(p, dtype=_np.int64) for p in chains]
+        )
+        lengths = _np.asarray([len(p) for p in chains], dtype=_np.int64)
+        seg = _np.repeat(_np.arange(len(chains), dtype=_np.int64), lengths)
+        committed_np = _np.frombuffer(committed, dtype=_np.uint8)
+        aborted_np = _np.frombuffer(aborted, dtype=_np.uint8)
+        # Running "last committed position" per chain: a segment-reset
+        # prefix max.  Offsetting each segment by a stride larger than any
+        # position makes later segments dominate earlier ones, so one
+        # global accumulate never leaks a maximum across a chain boundary.
+        stride = total + 2
+        x = _np.where(committed_np[flat] != 0, flat, -1)
+        acc = _np.maximum.accumulate(x + seg * stride) - seg * stride
+        prev = _np.empty_like(acc)
+        prev[0] = -1
+        prev[1:] = acc[:-1]
+        starts = _np.zeros(len(flat), dtype=bool)
+        starts[_np.cumsum(lengths[:-1])] = True
+        prev[starts] = -1
+        emit = (aborted_np[flat] == 0) & (prev >= 0)
+        ids_np = _np.asarray(ids, dtype=_np.int64)
+        analysis.add_order_edge_arrays(
+            ids_np[prev[emit]], ids_np[flat[emit]], PROCESS
+        )
+        return
     for positions in index.proc_positions.values():
         sources: List[int] = []
         targets: List[int] = []
@@ -97,9 +128,11 @@ def add_realtime_edges(analysis: Analysis) -> None:
         pending = keep & ~observed
         ticks = _np.cumsum(pending) + sentinel
         resolved = _np.where(observed, complete_np, ticks)[keep]
-        iv_ids = _np.asarray(ids, dtype=_np.int64)[keep].tolist()
-        iv_invoke = _np.asarray(invoke, dtype=_np.int64)[keep].tolist()
-        iv_complete = resolved.tolist()
+        # Stay columnar: the reduction and the edge-log ingest both take
+        # numpy arrays directly, no per-element boxing round-trip.
+        iv_ids = _np.asarray(ids, dtype=_np.int64)[keep]
+        iv_invoke = _np.asarray(invoke, dtype=_np.int64)[keep]
+        iv_complete = resolved
     else:
         iv_ids: List[int] = []
         iv_invoke: List[int] = []

@@ -25,6 +25,11 @@ from typing import Iterable, Iterator, Sequence, Tuple
 
 from .csr import ALL_EDGES, CSRGraph
 
+try:  # Optional acceleration; every path below has a pure-Python twin.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy job
+    _np = None
+
 
 class EdgeLogGraph:
     """A mutable graph optimized for bulk emission then frozen traversal.
@@ -73,12 +78,41 @@ class EdgeLogGraph:
         """Append parallel endpoint arrays sharing one label (order edges)."""
         if label == 0:
             raise ValueError("edge label must have at least one bit set")
-        if not us:
+        n = len(us)
+        if n == 0:
             return
         self._csr = None
-        self._u.extend(us)
-        self._v.extend(vs)
-        self._l.extend([label] * len(us))
+        if _np is not None and isinstance(us, _np.ndarray):
+            # numpy int64 shares array('q')'s native 8-byte layout, so the
+            # append is a memcpy instead of per-element boxing.
+            self._u.frombytes(us.astype(_np.int64, copy=False).tobytes())
+            self._v.frombytes(
+                _np.asarray(vs).astype(_np.int64, copy=False).tobytes()
+            )
+        else:
+            self._u.extend(us)
+            self._v.extend(vs)
+        self._l.extend(array("q", [label]) * n)
+
+    def add_edge_columns(
+        self, us: "_np.ndarray", vs: "_np.ndarray", labels: "_np.ndarray"
+    ) -> None:
+        """Append parallel numpy columns with per-edge labels in one memcpy.
+
+        The whole-index analyzer emits its clean-key wr/rw/ww stream here;
+        labels are dependency bits, non-zero by construction.
+        """
+        if len(us) == 0:
+            return
+        self._csr = None
+        if _np is not None and isinstance(us, _np.ndarray):
+            self._u.frombytes(us.astype(_np.int64, copy=False).tobytes())
+            self._v.frombytes(vs.astype(_np.int64, copy=False).tobytes())
+            self._l.frombytes(labels.astype(_np.int64, copy=False).tobytes())
+        else:
+            self._u.extend(us)
+            self._v.extend(vs)
+            self._l.extend(labels)
 
     def add_edge_keys(self, triples: Iterable[Tuple[int, int, int]]) -> None:
         """Append pre-validated ``(u, v, label)`` triples in bulk.

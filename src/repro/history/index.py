@@ -54,6 +54,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..errors import WorkloadError
 from .ops import OpType, READ, MicroOp, Transaction
 
+try:  # Optional: the whole-index column views are numpy-backed.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy job
+    _np = None
+
 
 def _stage(profile, name: str):
     """``profile.stage(name)`` or a no-op context when profiling is off.
@@ -357,6 +362,96 @@ class KeySlice:
         self._owner_ref = _dead_ref  # replaced by the index's setstate
 
 
+class IndexColumns:
+    """Whole-index CSR columns: every key's streams concatenated flat.
+
+    The per-key :class:`KeySlice` arrays answer "what happened on key k";
+    the whole-index analyzer wants "what happened on *every* key" as one
+    vectorizable pass.  ``IndexColumns`` concatenates the committed-read
+    and write substreams of all keys (in a chosen key order) into single
+    numpy arrays with per-key ``indptr`` offsets — the same CSR shape
+    :mod:`repro.graph.csr` uses for adjacency.  Values stay as flat Python
+    lists (they are arbitrary objects); everything integral is int64.
+
+    ``w_final`` marks the last write of each ``(key, txn)`` run — for
+    list-append keys that is the writer's final append, the candidate
+    element of the installed version order.  Transaction status columns
+    are *copies* of the index's bytearrays (a ``frombuffer`` view would
+    pin the bytearray and break streaming appends).
+
+    Built lazily via :meth:`HistoryIndex.columns` and cached against the
+    index mutation clock, so batch re-checks share one build and any
+    extension invalidates it.
+    """
+
+    __slots__ = (
+        "keys",
+        "r_txn",
+        "r_seq",
+        "r_indptr",
+        "r_val",
+        "w_txn",
+        "w_seq",
+        "w_indptr",
+        "w_val",
+        "w_final",
+        "committed",
+        "aborted",
+        "txn_ids",
+    )
+
+    def __init__(self, index: "HistoryIndex", order: str) -> None:
+        np = _np
+        keys = index.read_key_order if order == "read" else index.key_order
+        self.keys: List[Any] = list(keys)
+        slices = [index.slices[key] for key in self.keys]
+        nk = len(slices)
+        r_counts = np.zeros(nk + 1, dtype=np.int64)
+        w_counts = np.zeros(nk + 1, dtype=np.int64)
+        for i, entry in enumerate(slices):
+            r_counts[i + 1] = len(entry.r_txn)
+            w_counts[i + 1] = len(entry.w_txn)
+        self.r_indptr = np.cumsum(r_counts)
+        self.w_indptr = np.cumsum(w_counts)
+        n_r = int(self.r_indptr[-1])
+        n_w = int(self.w_indptr[-1])
+        self.r_txn = np.empty(n_r, dtype=np.int64)
+        self.r_seq = np.empty(n_r, dtype=np.int64)
+        self.w_txn = np.empty(n_w, dtype=np.int64)
+        self.w_seq = np.empty(n_w, dtype=np.int64)
+        r_val: List[Any] = []
+        w_val: List[Any] = []
+        r_starts = self.r_indptr[:-1].tolist()
+        w_starts = self.w_indptr[:-1].tolist()
+        for i, entry in enumerate(slices):
+            lo = r_starts[i]
+            self.r_txn[lo : lo + len(entry.r_txn)] = entry.r_txn
+            self.r_seq[lo : lo + len(entry.r_seq)] = entry.r_seq
+            r_val += entry.r_val
+            lo = w_starts[i]
+            self.w_txn[lo : lo + len(entry.w_txn)] = entry.w_txn
+            self.w_seq[lo : lo + len(entry.w_seq)] = entry.w_seq
+            w_val += entry.w_val
+        self.r_val = r_val
+        self.w_val = w_val
+        # Last write of each (key, txn) run.  Writes are key-major (by
+        # construction) and, within a key, transaction-major with each
+        # transaction's writes consecutive, so a run ends where either
+        # the writer or the key changes.
+        w_final = np.empty(n_w, dtype=bool)
+        if n_w:
+            w_final[-1] = True
+            w_key = np.repeat(np.arange(nk, dtype=np.int64), np.diff(self.w_indptr))
+            w_final[:-1] = (self.w_txn[1:] != self.w_txn[:-1]) | (
+                w_key[1:] != w_key[:-1]
+            )
+        self.w_final = w_final
+        # bytes() makes a copy: no buffer export pins the live bytearrays.
+        self.committed = np.frombuffer(bytes(index.txn_committed), dtype=np.uint8)
+        self.aborted = np.frombuffer(bytes(index.txn_aborted), dtype=np.uint8)
+        self.txn_ids = np.asarray(index.txn_ids, dtype=np.int64)
+
+
 class HistoryIndex:
     """Per-key columnar views of a history, computed in one pass and shared."""
 
@@ -377,6 +472,7 @@ class HistoryIndex:
         "mop_fns",
         "_pos",
         "_clock",
+        "_columns",
     )
 
     def __init__(
@@ -413,6 +509,9 @@ class HistoryIndex:
         #: new slice's versions exceed every version the old one had.
         #: Anything cached against a (key, version) pair stays sound.
         self._clock = 0
+        #: order -> (clock, IndexColumns): the cached whole-index column
+        #: views, rebuilt when the mutation clock moves.  Not pickled.
+        self._columns: Dict[str, Tuple[int, IndexColumns]] = {}
         with _stage(profile, "index/scan"):
             self._register_txns(0, self.transactions)
             scan = self._scan_txn
@@ -432,13 +531,16 @@ class HistoryIndex:
     # Pickling (service checkpoints serialize whole checker states)
 
     def __getstate__(self) -> dict:
+        # ``_columns`` is a derived numpy cache: cheap to rebuild, not
+        # worth serializing into service checkpoints.
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot != "__weakref__"
+            if slot not in ("__weakref__", "_columns")
         }
 
     def __setstate__(self, state: dict) -> None:
+        self._columns = {}
         for slot, value in state.items():
             setattr(self, slot, value)
         # Restore the slices' back-references: they pickled without their
@@ -749,6 +851,24 @@ class HistoryIndex:
 
     # ------------------------------------------------------------------
     # Access
+
+    def columns(self, order: str = "read") -> Optional[IndexColumns]:
+        """The whole-index CSR column view for a key ``order``, cached.
+
+        ``order`` is ``"read"`` (keys in ``read_key_order``, the
+        list-append merge order) or ``"key"`` (``key_order``, first
+        appearance).  Returns ``None`` when numpy is unavailable — callers
+        fall back to the per-key object path.  The view is immutable; any
+        index mutation bumps the clock and the next call rebuilds.
+        """
+        if _np is None:
+            return None
+        cached = self._columns.get(order)
+        if cached is not None and cached[0] == self._clock:
+            return cached[1]
+        cols = IndexColumns(self, order)
+        self._columns[order] = (self._clock, cols)
+        return cols
 
     def slice(self, key: Any) -> KeySlice:
         return self.slices[key]

@@ -35,3 +35,48 @@ class TestPausedGc:
             assert not gc.isenabled()  # caller's disabled state preserved
         finally:
             gc.enable()
+
+    def test_double_exit_is_idempotent(self):
+        pause = paused_gc()
+        pause.__enter__()
+        pause.__exit__(None, None, None)
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            # A stray second exit must not re-enable a collector the
+            # caller has since disabled.
+            pause.__exit__(None, None, None)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_exit_without_enter_is_a_noop(self):
+        gc.disable()
+        try:
+            paused_gc().__exit__(None, None, None)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_instance_is_reusable_across_attempts(self):
+        pause = paused_gc()
+        for attempt in range(3):
+            with pytest.raises(RuntimeError):
+                with pause:
+                    assert not gc.isenabled()
+                    raise RuntimeError(f"attempt {attempt}")
+            assert gc.isenabled()
+
+    def test_restores_snapshot_even_if_body_toggled_the_collector(self):
+        with paused_gc():
+            gc.enable()  # a misbehaving callee flips the collector on
+        assert gc.isenabled()  # snapshot said enabled: restored, not doubled
+        gc.disable()
+        try:
+            with paused_gc():
+                gc.enable()  # body turns it on under a disabled snapshot
+            # Exit restores the entry snapshot (disabled), not the body's
+            # toggled state.
+            assert not gc.isenabled()
+        finally:
+            gc.enable()

@@ -9,6 +9,8 @@ tests pin the accumulation semantics, the report format, and the
 
 import time
 
+import pytest
+
 from repro import check
 from repro.__main__ import main
 from repro.core import Profile
@@ -126,6 +128,64 @@ class TestCheckProfiling:
         assert "index/scan" not in profile.stages
 
 
+class TestColumnarProfiling:
+    """The whole-index screen reports its stages and key accounting."""
+
+    @pytest.fixture(autouse=True)
+    def _force_columnar(self, monkeypatch):
+        import repro.core.keyspace as keyspace
+
+        if keyspace._np is None:
+            pytest.skip("columnar screens require numpy")
+        monkeypatch.setattr(keyspace, "COLUMNAR_MIN_TXNS", 0)
+
+    def test_list_append_screen_stages_and_key_accounting(self):
+        history = figure4_history(600, 4)
+        history._index = None
+        profile = Profile()
+        result = check(history, profile=profile)
+        assert result.valid
+        assert "analyze/columnar-screen" in profile.stages
+        assert "analyze/fallback" in profile.stages
+        assert "analyze/merge" in profile.stages
+        # The screen replaces the per-key plan loop entirely.
+        assert "analyze/keys" not in profile.stages
+        counters = profile.counters
+        assert counters["keyspace.columnar_keys"] > 0
+        assert (
+            counters["keyspace.columnar_keys"]
+            + counters["keyspace.fallback_keys"]
+            == counters["keyspace.keys"]
+        )
+        assert counters["keyspace.survivor_reads"] >= 0
+
+    def test_rw_register_screen_feeds_the_per_key_loop(self):
+        history = figure4_history(600, 4, workload="rw-register")
+        history._index = None
+        profile = Profile()
+        result = check(history, workload="rw-register", profile=profile)
+        assert result.valid
+        # The register screen precomputes per-read records but every key
+        # still runs the (pre-fed) per-key loop.
+        assert "analyze/columnar-screen" in profile.stages
+        assert "analyze/keys" in profile.stages
+        counters = profile.counters
+        assert counters["keyspace.columnar_keys"] == 0
+        assert counters["keyspace.fallback_keys"] == counters["keyspace.keys"]
+        assert counters["keyspace.survivor_reads"] >= 0
+
+    def test_small_histories_skip_the_screen(self, monkeypatch):
+        import repro.core.keyspace as keyspace
+
+        monkeypatch.setattr(keyspace, "COLUMNAR_MIN_TXNS", 512)
+        history = figure4_history(300, 4)
+        history._index = None
+        profile = Profile()
+        check(history, profile=profile)
+        assert "analyze/columnar-screen" not in profile.stages
+        assert "analyze/keys" in profile.stages
+
+
 class TestProfileCLI:
     def test_profile_flag_prints_stage_table(self, capsys):
         code = main(["--quiet", "--txns", "100", "--seed", "1", "--profile"])
@@ -134,6 +194,18 @@ class TestProfileCLI:
         assert "profile:" in out
         assert "analyze" in out
         assert "counters:" in out
+
+    def test_profile_flag_surfaces_columnar_screen_stage(self, capsys):
+        import repro.core.keyspace as keyspace
+
+        if keyspace._np is None:
+            pytest.skip("columnar screens require numpy")
+        # 600 generated transactions cross COLUMNAR_MIN_TXNS (512).
+        code = main(["--quiet", "--txns", "600", "--seed", "1", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analyze/columnar-screen" in out
+        assert "keyspace.columnar_keys" in out
 
     def test_without_flag_no_profile_output(self, capsys):
         code = main(["--quiet", "--txns", "100", "--seed", "1"])
