@@ -130,6 +130,183 @@ def _measure(streams, args):  # pragma: no cover - manual entry point
     return row, out["verdicts"]
 
 
+def _completed(ops):
+    """Drop the transactions a wave left forever in flight.
+
+    Each wave's processes are never reused (``_shifted`` re-bases them),
+    so an invoke the wave didn't complete stays provisional for the rest
+    of the stream — and one permanently provisional transaction pins the
+    retirement horizon: nothing appended after it can ever freeze.  A
+    process alternates invoke/completion, so the only possibly-pending
+    invoke per process is its last op.
+    """
+    from repro.history.ops import OpType
+
+    last = {}
+    for op in ops:
+        last[op.process] = op
+    dangling = {
+        op.index for op in last.values() if op.type is OpType.INVOKE
+    }
+    return [op for op in ops if op.index not in dangling]
+
+
+def _shifted(ops, index_base, key_base, process_base):
+    """Re-base one generated wave so it extends an existing stream.
+
+    Indices must be strictly increasing across a session's lifetime,
+    keys must be fresh (a retired key that recurs poisons the session),
+    and processes must be fresh too — a wave may end with a transaction
+    still in flight, and its process would then be invoking again in the
+    next wave with the prior invoke forever pending.  Every wave's ops
+    get all three shifted past the previous waves' maxima.
+    """
+    import dataclasses
+
+    out = []
+    for op in ops:
+        value = op.value
+        if value is not None:
+            value = tuple(
+                dataclasses.replace(mop, key=mop.key + key_base)
+                for mop in value
+            )
+        out.append(
+            dataclasses.replace(
+                op,
+                index=op.index + index_base,
+                process=op.process + process_base,
+                value=value,
+            )
+        )
+    return out
+
+
+def _soak(args):  # pragma: no cover - manual entry point
+    """Forever-stream survival: hours of traffic in minutes of shape.
+
+    A handful of auto-retiring sessions stream rotating-keyspace waves
+    for ``--soak`` seconds on one daemon.  The claim under test: resident
+    ops stay flat (bounded by the active window) while total ingested ops
+    grow without bound — the row records both, plus peak RSS, and the run
+    fails (exit 2) if residency grew past ``--mem-tolerance`` times its
+    first-wave footprint while total ops grew at least 10x.
+    """
+    import resource
+    import time
+
+    from repro.service import BackgroundService, ServiceClient
+    from repro.service.client import session_workload
+    from repro.service.session import SessionRegistry
+
+    sock = os.path.join(args.socket_dir, "bench-soak.sock")
+    if os.path.exists(sock):
+        os.unlink(sock)
+    registry = SessionRegistry(max_pending_ops=200_000)
+    sessions = [f"soak-{i}" for i in range(args.soak_sessions)]
+    wave_txns = args.soak_wave_txns
+    totals = {name: 0 for name in sessions}
+    key_base = {name: 0 for name in sessions}
+    index_base = {name: 0 for name in sessions}
+    process_base = {name: 0 for name in sessions}
+    resident_samples = []
+    waves = 0
+    begin = time.perf_counter()
+    with BackgroundService(unix_path=sock, port=None, registry=registry):
+        with ServiceClient(f"unix:{sock}", retries=2) as client:
+            for name in sessions:
+                client.open_session(
+                    session_id=name,
+                    chunk_ops=args.chunk,
+                    retire_idle_txns=args.retire_window,
+                )
+            deadline = time.perf_counter() + args.soak
+            while time.perf_counter() < deadline:
+                for offset, name in enumerate(sessions):
+                    ops = _completed(
+                        session_workload(
+                            seed=args.seed + waves * len(sessions) + offset,
+                            txns=wave_txns,
+                            active_keys=4,
+                            max_writes_per_key=4,
+                        )
+                    )
+                    shifted = _shifted(
+                        ops,
+                        index_base[name],
+                        key_base[name],
+                        process_base[name],
+                    )
+                    index_base[name] = shifted[-1].index + 1
+                    key_base[name] += 1 + max(
+                        mop.key
+                        for op in ops
+                        if op.value
+                        for mop in op.value
+                    )
+                    process_base[name] += 1 + max(
+                        op.process for op in ops
+                    )
+                    for i in range(0, len(shifted), args.frame_ops):
+                        client.append(name, shifted[i:i + args.frame_ops])
+                    totals[name] += len(shifted)
+                    client.verdict(name)
+                stats = client.stats()["server"]
+                resident_samples.append(stats["resident_ops"])
+                waves += 1
+            final = client.stats()["server"]
+            for name in sessions:
+                client.close_session(name)
+    elapsed = time.perf_counter() - begin
+    total_ops = sum(totals.values())
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    first_resident = resident_samples[0] if resident_samples else 0
+    max_resident = max(resident_samples) if resident_samples else 0
+    row = {
+        "mode": "service-soak",
+        "durability": False,
+        "sessions": args.soak_sessions,
+        "txns_per_session": wave_txns,
+        "workload": "list-append",
+        "chunk_ops": args.chunk,
+        "frame_ops": args.frame_ops,
+        "waves": waves,
+        "ops": total_ops,
+        "seconds": round(elapsed, 4),
+        "ops_per_second": round(total_ops / elapsed, 1) if elapsed else 0.0,
+        "peak_mb": round(peak_mb, 1),
+        "first_wave_resident_ops": first_resident,
+        "max_resident_ops": max_resident,
+        "retired_ops": final["retired_ops"],
+        "retired_txns": final["retired_txns"],
+        "growth": round(total_ops / max_resident, 1) if max_resident else 0.0,
+    }
+    print(
+        f"soak {elapsed:.0f}s: {waves} waves, {total_ops} ops total, "
+        f"resident peak {max_resident} ops "
+        f"(first wave {first_resident}), retired {final['retired_ops']} "
+        f"ops, RSS peak {peak_mb:.0f} MB, "
+        f"{row['ops_per_second']:.0f} ops/s"
+    )
+    failures = []
+    if total_ops < 10 * max(max_resident, 1):
+        failures.append(
+            f"total ops {total_ops} did not reach 10x the resident peak "
+            f"{max_resident}; soak too short to witness retirement"
+        )
+    if (
+        first_resident
+        and max_resident > args.mem_tolerance * first_resident
+    ):
+        failures.append(
+            f"resident ops grew {max_resident / first_resident:.1f}x over "
+            f"the first wave ({first_resident} -> {max_resident}); "
+            f"tolerance {args.mem_tolerance:g}x — retirement is not "
+            "keeping the stream O(active window)"
+        )
+    return row, failures
+
+
 def _verify(verdicts, expected):  # pragma: no cover - manual entry point
     for name, record in verdicts.items():
         batch = expected[name]
@@ -159,6 +336,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
             if "ops_per_second" not in row:
                 continue
             key = (
+                row.get("mode", "service"),
                 row.get("sessions"),
                 row.get("txns_per_session"),
                 row.get("chunk_ops"),
@@ -172,6 +350,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
         if "ops_per_second" not in row:
             continue
         key = (
+            row.get("mode", "service"),
             row["sessions"],
             row["txns_per_session"],
             row["chunk_ops"],
@@ -184,7 +363,7 @@ def _enforce_baseline(results, baseline_path, tolerance):  # pragma: no cover
             continue
         if row["ops_per_second"] < reference / tolerance:
             violations.append(
-                f"{key[0]} sessions/{key[1]} txns/chunk={key[2]}: "
+                f"{key[1]} sessions/{key[2]} txns/chunk={key[3]}: "
                 f"{row['ops_per_second']:.0f} ops/s vs best committed "
                 f"{reference:.0f} ops/s (tolerance {tolerance:g}x)"
             )
@@ -241,6 +420,48 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
         help="checkpoint cadence for --durability (default: 20000)",
     )
     parser.add_argument(
+        "--soak",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the forever-stream soak instead of the session sweep: "
+        "auto-retiring sessions ingest rotating-keyspace waves for this "
+        "long; the row records total vs resident ops and peak RSS, and "
+        "the run fails when residency grows past --mem-tolerance",
+    )
+    parser.add_argument(
+        "--soak-sessions",
+        type=int,
+        default=3,
+        metavar="N",
+        help="concurrent sessions during --soak (default: 3)",
+    )
+    parser.add_argument(
+        "--soak-wave-txns",
+        type=int,
+        default=150,
+        metavar="TXNS",
+        help="transactions per wave per session during --soak "
+        "(default: 150)",
+    )
+    parser.add_argument(
+        "--retire-window",
+        type=int,
+        default=50,
+        metavar="TXNS",
+        help="retire_idle_txns for soak sessions: the settled prefix "
+        "retires after each slice, sparing the newest N transactions "
+        "(default: 50)",
+    )
+    parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="--soak fails when peak resident ops exceed X times the "
+        "first wave's residency (default: 3.0)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
@@ -264,6 +485,19 @@ def main(argv=None) -> None:  # pragma: no cover - manual entry point
         "at the repository root)",
     )
     args = parser.parse_args(argv)
+
+    if args.soak is not None:
+        row, failures = _soak(args)
+        path = record_run(
+            "service_scaling", [row], path=args.out, cpu_count=os.cpu_count()
+        )
+        print(f"recorded to {path}")
+        if failures:
+            print("service soak FAILED:")
+            for line in failures:
+                print(f"  {line}")
+            sys.exit(2)
+        return
 
     results = []
     for sessions in args.sessions:

@@ -211,6 +211,55 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "their own (default: 1000)",
     )
     parser.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="global memory watermark (estimated resident footprint): "
+        "above it the daemon degrades gracefully — retire settled "
+        "prefixes of consenting sessions, checkpoint-and-evict the "
+        "coldest (durable daemons), then shed new opens with a "
+        "structured 'overloaded' error carrying retry_after "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--quantum",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deficit-scheduler quantum: seconds of analysis credit per "
+        "scheduling visit; an expensive session sits out rotations "
+        "proportional to its overdraft (default: 0.25)",
+    )
+    parser.add_argument(
+        "--session-max-ops",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help="default per-session total-ops quota; a batch past it is "
+        "refused with a structured 'quota' error (default: unbounded)",
+    )
+    parser.add_argument(
+        "--session-max-analyze-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-session analyze-time quota; appends are "
+        "refused with 'quota' once a session has consumed this much "
+        "checker time (default: unbounded)",
+    )
+    parser.add_argument(
+        "--retire-idle-txns",
+        type=int,
+        default=None,
+        metavar="TXNS",
+        help="default auto-retirement window: after each analysis slice "
+        "retire the settled prefix, sparing the newest N transactions — "
+        "for keyspace-rotating streams only (a retired key that recurs "
+        "poisons its session); keeps a forever-stream's resident state "
+        "O(active window) (default: off)",
+    )
+    parser.add_argument(
         "--stats-json",
         default=None,
         metavar="PATH",
@@ -418,7 +467,11 @@ def _serve_main(argv: Optional[List[str]]) -> int:
     import asyncio
 
     from .service.server import serve
-    from .service.session import SessionRegistry
+    from .service.session import (
+        DEFAULT_QUANTUM_SECONDS,
+        SessionConfig,
+        SessionRegistry,
+    )
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
@@ -430,11 +483,36 @@ def _serve_main(argv: Optional[List[str]]) -> int:
         parser.error("--checkpoint-every must be positive")
     if args.max_frame_bytes is not None and args.max_frame_bytes <= 0:
         parser.error("--max-frame-bytes must be positive")
+    if args.max_resident_mb is not None and args.max_resident_mb <= 0:
+        parser.error("--max-resident-mb must be positive")
+    if args.quantum is not None and args.quantum <= 0:
+        parser.error("--quantum must be positive")
+    default_limits = None
+    if (
+        args.session_max_ops is not None
+        or args.session_max_analyze_seconds is not None
+        or args.retire_idle_txns is not None
+    ):
+        default_limits = SessionConfig(
+            max_ops=args.session_max_ops,
+            max_analyze_seconds=args.session_max_analyze_seconds,
+            retire_idle_txns=args.retire_idle_txns or 0,
+        )
     registry = SessionRegistry(
         max_sessions=args.max_sessions,
         max_pending_ops=args.max_pending_ops,
         idle_timeout=args.idle_timeout,
         default_chunk_ops=args.chunk,
+        max_resident_bytes=(
+            int(args.max_resident_mb * 1024 * 1024)
+            if args.max_resident_mb is not None
+            else None
+        ),
+        quantum_seconds=(
+            args.quantum if args.quantum is not None
+            else DEFAULT_QUANTUM_SECONDS
+        ),
+        default_limits=default_limits,
     )
     durability = None
     if args.data_dir is not None:

@@ -17,7 +17,16 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..history import History
 from .analysis import Analysis
@@ -198,6 +207,8 @@ def finish_analysis(
     analysis: Analysis,
     consistency_model: str,
     profile: Optional[Profile] = None,
+    retired: Optional[Set[int]] = None,
+    frozen_cycles: Sequence[CycleAnomaly] = (),
 ) -> CheckResult:
     """Turn a completed analysis into a verdict: the checker's back half.
 
@@ -206,6 +217,14 @@ def finish_analysis(
     Shared by :func:`check` and the streaming checker
     (:mod:`repro.core.incremental`), so a streamed prefix's verdict is
     assembled by exactly the batch code path.
+
+    ``retired`` / ``frozen_cycles`` carry the streaming checker's settled
+    prefix: components made only of retired transactions are skipped in
+    the search and their cycles — rendered once, while the transaction
+    views still existed — are spliced back in before the deterministic
+    sort.  Retired and live cycles can never tie on the sort key (their
+    transaction sets are disjoint), so the combined order is byte-for-byte
+    what an unretired checker would produce.
     """
     stage = lambda name: _stage(profile, name)  # noqa: E731
     with stage("freeze"):
@@ -214,7 +233,9 @@ def finish_analysis(
         profile.count("graph.nodes", csr.node_count)
         profile.count("graph.edges", csr.edge_count)
     with stage("cycle-search"):
-        cycles = find_cycle_anomalies(analysis.graph, profile=profile)
+        cycles = find_cycle_anomalies(
+            analysis.graph, profile=profile, retired=retired
+        )
     with stage("explain"):
         explained = [
             CycleAnomaly(
@@ -225,6 +246,7 @@ def finish_analysis(
             )
             for c in cycles
         ]
+        explained.extend(frozen_cycles)
     all_anomalies = sort_anomalies(list(analysis.anomalies) + explained)
     types = tuple(sorted({a.name for a in all_anomalies}))
 

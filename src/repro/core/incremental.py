@@ -43,18 +43,37 @@ An error (malformed operation, broken recoverability contract) poisons the
 stream: the failing :meth:`StreamingChecker.extend` raises, and every later
 call re-raises the same error, because the half-extended history can no
 longer be trusted.
+
+**Settled-prefix retirement.**  A forever-stream grows without bound; for a
+daemon serving sessions for weeks the binding constraint is *memory*, not
+compute.  :meth:`StreamingChecker.retire` folds the settled part of the
+prefix — transactions whose outcome can no longer change and whose every
+analysis contribution is final — into a compact frozen summary (the tagged
+anomaly and edge blocks they produced, plus their pre-rendered cycle
+anomalies) and drops the per-op storage: the ops tuple entries, the
+Transaction views, and the per-key slice streams.  What stays resident is
+O(active window): live ops, live slices, and the per-transaction integer
+columns the order edges re-derive from.  The verdict stream after any mix
+of extends and retires is byte-identical to the unretired checker's —
+``tests/properties/test_retirement_equivalence.py`` pins this across
+workloads, fault injectors, and hypothesis-chosen retirement points,
+including through a checkpoint/restore cycle.  The one contract change: a
+retired key can never be touched again (the slice cannot be re-derived), so
+a recurrence raises :class:`~repro.errors.RetiredKeyError` and poisons the
+stream — streams that retire must rotate their keyspace.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..errors import WorkloadError
 from ..history import History
 from ..history.ops import Op
 from .analysis import Analysis
-from .anomalies import Anomaly
+from .anomalies import Anomaly, CycleAnomaly
 from .checker import CheckResult, finish_analysis
 from .consistency import SERIALIZABLE, _validate as _validate_model
 from .gcpause import paused_gc
@@ -148,6 +167,19 @@ class StreamingChecker:
         self._internal: Dict[int, Tuple[Tuple[int, int, int], list]] = {}
         self._prev_counts: Counter = Counter()
         self._error: Optional[BaseException] = None
+        #: Frozen summary of the retired prefix: the tagged anomaly and
+        #: edge blocks its keys and transactions contributed (re-merged on
+        #: every extension at their original tag positions, so interning
+        #: order and evidence precedence never drift), the merge position
+        #: each retired key froze at (a drift check), the pre-rendered
+        #: cycle anomalies among retired transactions, and the retired
+        #: transaction ids (components to skip in the cycle search).
+        self._frozen_anomalies: List[Tuple[Tuple[int, int, int], list]] = []
+        self._frozen_edges: List[Tuple[Tuple[int, int, int], dict]] = []
+        self._frozen_key_pos: Dict[Any, int] = {}
+        self._frozen_cycles: List[CycleAnomaly] = []
+        self._frozen_cycle_keys: Set[Tuple[Any, ...]] = set()
+        self._retired_ids: Set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -185,8 +217,9 @@ class StreamingChecker:
                     else:
                         self._internal.pop(txn.id, None)
         with stage(profile, "stream/keys"):
-            anomaly_blocks = list(self._internal.values())
-            edge_blocks = []
+            anomaly_blocks = list(self._frozen_anomalies)
+            anomaly_blocks.extend(self._internal.values())
+            edge_blocks = list(self._frozen_edges)
             index = plan.index
             cache = self._key_cache
             # Evict every dirty key up front.  The version clock alone
@@ -197,8 +230,23 @@ class StreamingChecker:
             for key in delta.dirty_keys or ():
                 cache.pop(key, None)
             reused = reanalyzed = 0
+            frozen_pos = self._frozen_key_pos
             for key in plan.keys():
                 slice_ = index.slices[key]
+                if slice_.retired:
+                    # The frozen batch re-merges at its recorded tag
+                    # position; if the live key order ever shifted under a
+                    # retired key the merge would silently drift, so fail
+                    # loudly instead (it cannot happen while every earlier
+                    # key is settled, which eligibility enforced).
+                    pinned = frozen_pos.get(key)
+                    if pinned is not None and plan.key_pos(key) != pinned:
+                        raise WorkloadError(
+                            f"retired key {key!r} shifted merge position "
+                            f"({pinned} -> {plan.key_pos(key)}); the frozen "
+                            "summary is no longer mergeable"
+                        )
+                    continue
                 pos = plan.key_pos(key)
                 entry = cache.get(key)
                 if (
@@ -225,7 +273,13 @@ class StreamingChecker:
                 add_realtime_edges(analysis)
             if self._timestamp_edges:
                 add_timestamp_edges(analysis)
-        result = finish_analysis(analysis, self.consistency_model, profile)
+        result = finish_analysis(
+            analysis,
+            self.consistency_model,
+            profile,
+            retired=self._retired_ids or None,
+            frozen_cycles=self._frozen_cycles,
+        )
         if profile is not None:
             profile.count("stream.keys_reused", reused)
             profile.count("stream.keys_reanalyzed", reanalyzed)
@@ -254,6 +308,255 @@ class StreamingChecker:
             resolved=resolved,
             reanalyzed_keys=reanalyzed,
             reused_keys=reused,
+        )
+
+    # ------------------------------------------------------------------
+    # Settled-prefix retirement
+
+    @property
+    def resident_ops(self) -> int:
+        """Ops still held in memory (total minus retired)."""
+        return self.history.resident_ops
+
+    @property
+    def retired_ops(self) -> int:
+        """Ops dropped by retirement (still counted in totals)."""
+        return self.history.retired_ops
+
+    @property
+    def retired_txns(self) -> int:
+        return len(self._retired_ids)
+
+    def estimated_bytes(self) -> int:
+        """A coarse resident-footprint estimate for governance accounting.
+
+        Deliberately a model, not a measurement: op records and their
+        micro-op tuples dominate a live window (~400 bytes each), the
+        per-transaction integer columns are the retained floor (~100 bytes
+        per transaction position, placeholders included), and each frozen
+        edge keeps its evidence record (~200 bytes).  Deterministic, so
+        watermark behavior is unit-testable without touching the RSS.
+        """
+        frozen_edges = sum(len(frag) for _tag, frag in self._frozen_edges)
+        return (
+            len(self.history.ops) * 400
+            + len(self.history.transactions) * 100
+            + frozen_edges * 200
+        )
+
+    def retire(
+        self,
+        allowed_keys: Optional[Iterable[Any]] = None,
+        min_idle_txns: int = 0,
+    ) -> Dict[str, Any]:
+        """Fold the settled prefix into the frozen summary and drop it.
+
+        A key *freezes* when every transaction that touched it is final
+        (its completion was observed, so no upgrade can ever rebuild the
+        slice): its analysis batch can never change, so the batch is frozen
+        and the slice's streams are released.  A transaction *retires* when
+        it is final, every key it touched is frozen, and no live
+        transaction can reach it through the dependency graph — the
+        in-closure that makes retirement safe for the cycle search: a
+        retired transaction's in-edges are fixed (value edges come from
+        frozen keys, order edges from transactions that precede it), so any
+        cycle through it walks backwards without ever leaving the retired
+        set — meaning every such cycle exists *now* and is frozen
+        pre-rendered.  Out-edges toward live transactions are harmless and
+        expected (process chains cross every retirement boundary): order
+        edges re-derive from the per-transaction columns, which retirement
+        keeps.
+
+        ``allowed_keys`` restricts which keys may freeze (callers that know
+        the future of the stream — tests, clients with rotating keyspaces —
+        pass the keys that will never recur); ``min_idle_txns`` is the
+        service's heuristic variant: only keys untouched by the last N
+        transactions freeze.  Touching a retired key later raises
+        :class:`~repro.errors.RetiredKeyError` and poisons the stream.
+
+        Returns a summary dict (``retired_txns``, ``retired_keys``,
+        ``retired_ops``, ``resident_ops``, ...); all-zero when nothing is
+        eligible, when no chunk was analyzed yet, or — because timestamp
+        edges derive from transaction views that retirement destroys — when
+        ``timestamp_edges`` is enabled (``reason`` says why).
+        """
+        if self._error is not None:
+            raise self._error
+        try:
+            return self._retire(allowed_keys, min_idle_txns)
+        except BaseException as exc:
+            self._error = exc
+            raise
+
+    def _summary(self, **overrides: Any) -> Dict[str, Any]:
+        summary = {
+            "retired_txns": 0,
+            "retired_keys": 0,
+            "retired_ops": 0,
+            "total_retired_txns": len(self._retired_ids),
+            "total_retired_ops": self.history.retired_ops,
+            "resident_ops": self.history.resident_ops,
+        }
+        summary.update(overrides)
+        return summary
+
+    def _retire(
+        self, allowed_keys: Optional[Iterable[Any]], min_idle_txns: int
+    ) -> Dict[str, Any]:
+        if self._timestamp_edges:
+            # add_timestamp_edges walks the Transaction views themselves;
+            # no dominance argument exists for database timestamps anyway.
+            return self._summary(reason="timestamp-edges")
+        if self.result is None:
+            return self._summary(reason="no-verdict")
+        index = self.history._index
+        if index is None:  # pragma: no cover - result implies a built index
+            return self._summary(reason="no-index")
+        if allowed_keys is not None and not isinstance(allowed_keys, set):
+            allowed_keys = set(allowed_keys)
+
+        transactions = self.history.transactions
+        n = len(transactions)
+        complete = index.txn_complete
+        ids = index.txn_ids
+        cache = self._key_cache
+
+        # -- candidate keys: live, permitted, idle, and freezable --------
+        # A key freezes either from its fresh cached batch (analyzed last
+        # extension) or as a no-batch key: one the plan never analyzes
+        # because nobody read it (read-ordered workloads only — the
+        # rw-register plan analyzes every key).
+        read_ordered = self.workload != "rw-register"
+        # A key's merge position is its rank in the key order — the count
+        # of keys anchored (first appearance / first committed read) before
+        # it.  A provisional transaction that later upgrades can add or
+        # remove anchors at its own position, shifting the rank of every
+        # key anchored after it; a frozen key's batch tags encode the rank,
+        # so only keys anchored strictly before every provisional
+        # transaction may freeze.
+        horizon = n
+        for p in range(n):
+            if transactions[p] is not None and complete[p] < 0:
+                horizon = p
+                break
+        candidates: Dict[Any, Tuple[Any, Optional[_CacheEntry]]] = {}
+        for key, slice_ in index.slices.items():
+            if slice_.retired:
+                continue
+            if allowed_keys is not None and key not in allowed_keys:
+                continue
+            if (
+                min_idle_txns
+                and slice_.op_txn
+                and slice_.op_txn[-1] >= n - min_idle_txns
+            ):
+                continue
+            anchor = slice_.first_read_seq
+            if not read_ordered or anchor is None:
+                anchor = slice_.first_seq
+            if anchor is not None and anchor[0] >= horizon:
+                continue
+            entry = cache.get(key)
+            if entry is not None and entry[0] == slice_.version:
+                candidates[key] = (slice_, entry)
+            elif (
+                entry is None
+                and read_ordered
+                and slice_.first_read_seq is None
+            ):
+                candidates[key] = (slice_, None)
+
+        # -- frozen keys: every toucher final ----------------------------
+        # A provisional toucher blocks the freeze: its completion would
+        # upgrade the transaction and rebuild the slice, which a stub
+        # cannot do.  Final touchers (committed, aborted, or indeterminate
+        # with the completion observed) never change again.
+        frozen = {
+            key: value
+            for key, value in candidates.items()
+            if all(complete[p] >= 0 for p in value[0].op_txn)
+        }
+
+        # -- retirable transactions: final, every key frozen -------------
+        slices = index.slices
+        retirable: List[int] = []
+        for p in range(n):
+            txn = transactions[p]
+            if txn is None or complete[p] < 0:
+                continue
+            for mop in txn.mops:
+                s = slices.get(mop.key)
+                if s is None or (not s.retired and mop.key not in frozen):
+                    break
+            else:
+                retirable.append(p)
+
+        if not retirable and not frozen:
+            return self._summary(reason="nothing-settled")
+
+        # -- in-closure: nothing retired is reachable from live ----------
+        # Walk the dependency graph forward from every live transaction;
+        # any retirement candidate it reaches stays resident.  Survivors'
+        # in-edges all come from survivors or earlier-retired transactions
+        # (both fixed forever), so no future cycle can include them without
+        # lying entirely inside the retired set — where every cycle already
+        # exists and is frozen below.
+        new_ids = {ids[p] for p in retirable}
+        if new_ids:
+            graph = self.result.analysis.graph
+            sealed = new_ids | self._retired_ids
+            adjacency: Dict[int, List[int]] = {}
+            for u, v, _label in graph.edges():
+                adjacency.setdefault(u, []).append(v)
+            stack = [u for u in graph.nodes() if u not in sealed]
+            visited = set(stack)
+            while stack:
+                u = stack.pop()
+                for v in adjacency.get(u, ()):
+                    if v not in visited:
+                        visited.add(v)
+                        stack.append(v)
+            if visited & new_ids:
+                new_ids -= visited
+                retirable = [p for p in retirable if ids[p] in new_ids]
+
+        if not retirable and not frozen:
+            return self._summary(reason="nothing-settled")
+
+        # -- freeze, then drop -------------------------------------------
+        total_retired = self._retired_ids | new_ids
+        for anomaly in self.result.anomalies:
+            if (
+                isinstance(anomaly, CycleAnomaly)
+                and anomaly.steps
+                and set(anomaly.txns) <= total_retired
+            ):
+                cycle_key = (anomaly.name, anomaly.txns)
+                if cycle_key not in self._frozen_cycle_keys:
+                    self._frozen_cycle_keys.add(cycle_key)
+                    self._frozen_cycles.append(anomaly)
+        for key, (_slice, entry) in frozen.items():
+            cache.pop(key, None)
+            if entry is not None:
+                _version, pos, batch = entry
+                key_anomalies, key_edges = batch
+                self._frozen_anomalies.extend(key_anomalies)
+                self._frozen_edges.extend(key_edges)
+                self._frozen_key_pos[key] = pos
+        for txn_id in new_ids:
+            block = self._internal.pop(txn_id, None)
+            if block is not None:
+                self._frozen_anomalies.append(block)
+        index.retire(retirable, frozen.keys())
+        dropped = self.history.retire_transactions(retirable)
+        self._retired_ids = total_retired
+        return self._summary(
+            retired_txns=len(retirable),
+            retired_keys=len(frozen),
+            retired_ops=dropped,
+            total_retired_txns=len(total_retired),
+            total_retired_ops=self.history.retired_ops,
+            resident_ops=self.history.resident_ops,
         )
 
 

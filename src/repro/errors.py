@@ -23,6 +23,31 @@ class WorkloadError(ReproError):
     """A history mixes micro-ops that a given analyzer cannot interpret."""
 
 
+class RetiredKeyError(WorkloadError):
+    """An operation touched a key whose settled prefix was retired.
+
+    Retirement (:meth:`repro.core.incremental.StreamingChecker.retire`)
+    drops a key's per-op storage once every transaction that touched it is
+    settled; the compact frozen summary cannot absorb new observations on
+    the key.  Streams that retire must therefore rotate their keyspace
+    (bounded writes per key); a recurrence is reported as this structured
+    error — poisoning only the offending session — never as a silently
+    wrong verdict.
+
+    ``code`` mirrors :class:`ServiceError` codes so the service can relay
+    the condition on the wire without wrapping.
+    """
+
+    code = "retired-key"
+
+    def __init__(self, key: object) -> None:
+        super().__init__(
+            f"key {key!r} was retired; retired keys cannot absorb new "
+            "operations (rotate the keyspace or disable retirement)"
+        )
+        self.key = key
+
+
 class GeneratorError(ReproError):
     """The workload generator was configured inconsistently."""
 
@@ -36,14 +61,23 @@ class ServiceError(ReproError):
 
     ``code`` is a stable machine-readable identifier carried on the wire
     in error replies (``{"type": "error", "code": ..., "error": ...}``),
-    so clients can branch without parsing prose.
+    so clients can branch without parsing prose.  ``retry_after``
+    (seconds, optional) rides shed replies — ``code="overloaded"`` — so a
+    well-behaved client backs off for the server-suggested interval
+    instead of hammering an overloaded daemon.
     """
 
     default_code = "service-error"
 
-    def __init__(self, message: str = "", code: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        message: str = "",
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code if code is not None else self.default_code
+        self.retry_after = retry_after
 
 
 class ProtocolError(ServiceError):

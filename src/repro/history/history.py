@@ -81,11 +81,21 @@ class History:
     (unless) its completion arrives.
     """
 
-    __slots__ = ("ops", "transactions", "_by_id", "_index", "_pending", "_pos_by_id")
+    __slots__ = (
+        "ops",
+        "transactions",
+        "_by_id",
+        "_index",
+        "_pending",
+        "_pos_by_id",
+        "_max_index",
+        "_retired_ops",
+        "_retired_txns",
+    )
 
     def __init__(self, ops: Sequence[Op] = ()) -> None:
         self.ops: Tuple[Op, ...] = ()
-        self.transactions: List[Transaction] = []
+        self.transactions: List[Optional[Transaction]] = []
         self._by_id: Dict[int, Transaction] = {}
         self._index = None
         #: Pending invocations: process -> invoke Op.
@@ -93,6 +103,13 @@ class History:
         #: Transaction id -> position in ``transactions`` (invocation order,
         #: so positions are stable as the history grows).
         self._pos_by_id: Dict[int, int] = {}
+        #: Highest op index ever observed; survives retirement dropping the
+        #: tail-less ``ops`` tuple entries it came from.
+        self._max_index = -1
+        #: Ops dropped by retirement (their count still figures in totals).
+        self._retired_ops = 0
+        #: Retired positions: ``transactions[pos] is None`` for each.
+        self._retired_txns = 0
         self._apply(ops)
 
     # ------------------------------------------------------------------
@@ -161,7 +178,7 @@ class History:
         pending = self._pending
         by_id = self._by_id
         pos_by_id = self._pos_by_id
-        last = self.ops[-1].index if self.ops else None
+        last = self._max_index if self._max_index >= 0 else None
         new_ids: Dict[int, None] = {}
         upgraded: List[Tuple[Transaction, Transaction]] = []
         for op in new_ops:
@@ -215,6 +232,8 @@ class History:
                 if txn.id not in new_ids:
                     upgraded.append((old, txn))
         self.ops += new_ops
+        if last is not None:
+            self._max_index = last
         return HistoryDelta(
             new=tuple(by_id[i] for i in new_ids),
             upgraded=tuple(upgraded),
@@ -245,7 +264,9 @@ class History:
         return len(self.transactions)
 
     def __iter__(self) -> Iterator[Transaction]:
-        return iter(self.transactions)
+        # Retired positions hold ``None`` placeholders (positions must stay
+        # stable for the index columns); iteration yields live views only.
+        return (t for t in self.transactions if t is not None)
 
     def __getitem__(self, txn_id: int) -> Transaction:
         try:
@@ -255,34 +276,81 @@ class History:
 
     @property
     def op_count(self) -> int:
+        return len(self.ops) + self._retired_ops
+
+    @property
+    def resident_ops(self) -> int:
+        """Ops still held in memory (total minus retired)."""
         return len(self.ops)
+
+    @property
+    def retired_ops(self) -> int:
+        return self._retired_ops
 
     def oks(self) -> List[Transaction]:
         """Definitely-committed transactions."""
-        return [t for t in self.transactions if t.committed]
+        return [t for t in self.transactions if t is not None and t.committed]
 
     def fails(self) -> List[Transaction]:
         """Definitely-aborted transactions."""
-        return [t for t in self.transactions if t.aborted]
+        return [t for t in self.transactions if t is not None and t.aborted]
 
     def infos(self) -> List[Transaction]:
         """Indeterminate transactions."""
-        return [t for t in self.transactions if t.indeterminate]
+        return [
+            t for t in self.transactions if t is not None and t.indeterminate
+        ]
 
     def possibly_committed(self) -> List[Transaction]:
         """Transactions that committed in at least one interpretation (ok | info)."""
-        return [t for t in self.transactions if not t.aborted]
+        return [
+            t for t in self.transactions if t is not None and not t.aborted
+        ]
 
     def processes(self) -> List[int]:
         """Distinct processes, in first-appearance order."""
         seen: Dict[int, None] = {}
         for t in self.transactions:
-            seen.setdefault(t.process, None)
+            if t is not None:
+                seen.setdefault(t.process, None)
         return list(seen)
 
     @property
     def max_index(self) -> int:
-        return self.ops[-1].index if self.ops else -1
+        return self._max_index
+
+    def retire_transactions(self, positions: Sequence[int]) -> int:
+        """Drop the per-op storage of settled transactions, in place.
+
+        Each position's :class:`~repro.history.ops.Transaction` view and
+        its invoke/completion :class:`~repro.history.ops.Op` records are
+        released; the position itself keeps a ``None`` placeholder so that
+        every index column, process chain, and ``_pos_by_id`` entry stays
+        valid.  Callers (the streaming checker) are responsible for having
+        frozen whatever analysis output those transactions contributed —
+        the history alone cannot re-derive it afterwards.  Returns the
+        number of ops dropped.
+        """
+        transactions = self.transactions
+        drop: set = set()
+        for pos in positions:
+            txn = transactions[pos]
+            if txn is None:
+                continue
+            drop.add(txn.invoke_index)
+            if txn.complete_index is not None:
+                drop.add(txn.complete_index)
+            transactions[pos] = None
+            self._by_id.pop(txn.id, None)
+            self._pos_by_id.pop(txn.id, None)
+            self._retired_txns += 1
+        if not drop:
+            return 0
+        kept = tuple(op for op in self.ops if op.index not in drop)
+        dropped = len(self.ops) - len(kept)
+        self.ops = kept
+        self._retired_ops += dropped
+        return dropped
 
     def index(self, profile=None):
         """The cached single-pass :class:`~repro.history.index.HistoryIndex`.

@@ -51,7 +51,7 @@ import weakref
 from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..errors import WorkloadError
+from ..errors import RetiredKeyError, WorkloadError
 from .ops import OpType, READ, MicroOp, Transaction
 
 try:  # Optional: the whole-index column views are numpy-backed.
@@ -127,6 +127,7 @@ class KeySlice:
         "inter_txn",
         "first_seq",
         "first_read_seq",
+        "retired",
         "_dup",
         "_none_write",
         "_owner_ref",
@@ -151,6 +152,10 @@ class KeySlice:
         self.inter_txn: List[int] = []
         self.first_seq: Optional[Seq] = None
         self.first_read_seq: Optional[Seq] = None
+        #: True once the slice's streams were folded into a frozen summary
+        #: and dropped; only the identity fields (key, pos, orderings) stay
+        #: live, and any further operation on the key is an error.
+        self.retired = False
         #: (seq, key, value, first writer pos, second writer pos)
         self._dup: Optional[Tuple[Seq, Any, Any, int, int]] = None
         #: (seq, key, writer pos)
@@ -357,6 +362,7 @@ class KeySlice:
         }
 
     def __setstate__(self, state: dict) -> None:
+        self.retired = False  # default for checkpoints predating the slot
         for slot, value in state.items():
             setattr(self, slot, value)
         self._owner_ref = _dead_ref  # replaced by the index's setstate
@@ -635,6 +641,8 @@ class HistoryIndex:
             if entry is None:
                 # Provisional position; _regenerate_orders renumbers.
                 entry = slices[key] = KeySlice(self, key, len(slices))
+            elif entry.retired:
+                raise RetiredKeyError(key)
             entry.version = clock
             if entry.first_seq is None:
                 entry.first_seq = (pos, mop_seq)
@@ -798,6 +806,11 @@ class HistoryIndex:
         entry = self.slices.get(key)
         if entry is None:
             entry = self.slices[key] = KeySlice(self, key, len(self.slices))
+        elif entry.retired:
+            # Unreachable when retirement eligibility held (a provisional
+            # transaction on the key blocks retiring it); kept as a loud
+            # guard rather than silently rebuilding from an empty stream.
+            raise RetiredKeyError(key)
         positions = set(entry.op_txn)
         positions.update(extra_positions)
         entry._reset()
@@ -814,7 +827,54 @@ class HistoryIndex:
             del self.slices[key]
 
     # ------------------------------------------------------------------
-    # Uniqueness candidates
+    # Retirement (settled-prefix garbage collection)
+
+    def retire(
+        self, positions: Sequence[int], keys: Iterable[Any]
+    ) -> Tuple[int, int]:
+        """Drop the per-op storage of settled keys and transactions.
+
+        Each key's slice becomes a *stub*: identity fields (``key``,
+        ``pos``, ``first_seq``, ``first_read_seq``) survive so both key
+        orderings — and therefore every live key's merge position — are
+        unchanged, but the streams, write index, and interaction lists are
+        released and the slice is flagged ``retired`` (any later operation
+        on the key raises :class:`~repro.errors.RetiredKeyError`).  The
+        per-position transaction columns are *kept*: process and realtime
+        order edges re-derive from them on every extension, so retired
+        transactions keep contributing exactly the order edges they always
+        did.  Returns ``(slots_dropped, values_dropped)`` for accounting.
+        """
+        slots = values = 0
+        clock = self._clock
+        for key in keys:
+            entry = self.slices.get(key)
+            if entry is None or entry.retired:
+                continue
+            slots += len(entry.op_txn)
+            values += len(entry.w_val) + len(entry.r_val)
+            clock += 1
+            # _reset clears the ordering fields with everything else; the
+            # stub must keep its place in both key orders, so pin them.
+            first_seq = entry.first_seq
+            first_read_seq = entry.first_read_seq
+            entry._reset()
+            entry.first_seq = first_seq
+            entry.first_read_seq = first_read_seq
+            entry.retired = True
+            entry.version = clock
+        self._clock = clock
+        if positions:
+            txns = list(self.transactions)
+            pos_map = self._pos
+            for pos in positions:
+                txn = txns[pos]
+                if txn is None:
+                    continue
+                pos_map.pop(txn.id, None)
+                txns[pos] = None
+            self.transactions = tuple(txns)
+        return slots, values
 
     @property
     def first_duplicate(

@@ -26,6 +26,7 @@ smoke job and ``benchmarks/bench_service.py`` both drive it.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 import uuid
@@ -38,6 +39,20 @@ from ..history.ops import Op
 from .protocol import decode_frame, encode_frame, encode_ops
 
 Address = Union[str, Tuple[str, int]]
+
+
+def retry_delay(
+    rng: random.Random, base: float, previous: float, cap: float
+) -> float:
+    """One decorrelated-jitter backoff step.
+
+    ``uniform(base, previous * 3)`` capped at ``cap`` — the classic
+    decorrelated jitter: the next delay is drawn from a window that grows
+    with the previous one, so a fleet of clients that all lost the same
+    daemon spreads its redials across time instead of thundering back in
+    synchronized exponential waves.
+    """
+    return min(cap, rng.uniform(base, max(base, previous * 3)))
 
 
 def parse_address(text: str) -> Address:
@@ -71,8 +86,13 @@ class ServiceClient:
     many times one request may redial after such a failure — the default
     0 keeps the historical fail-fast behavior; chaos-facing callers pass
     e.g. ``retries=5`` and survive a daemon ``kill -9`` mid-stream.
-    ``backoff`` is the first retry delay, doubling per attempt up to
-    ``max_backoff``.
+    ``backoff`` is the base retry delay; each retry sleeps a
+    decorrelated-jitter draw (see :func:`retry_delay`) capped at
+    ``max_backoff``, so many clients redialing the same daemon spread
+    out instead of thundering.  A structured ``overloaded`` reply (the
+    daemon shed the request under memory pressure) is also retried, and
+    its server-suggested ``retry_after`` takes precedence over the local
+    backoff.  ``rng`` injects the jitter source (tests seed it).
     """
 
     def __init__(
@@ -83,6 +103,7 @@ class ServiceClient:
         retries: int = 0,
         backoff: float = 0.2,
         max_backoff: float = 5.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if isinstance(address, str):
             address = parse_address(address)
@@ -91,6 +112,7 @@ class ServiceClient:
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self._rng = rng if rng is not None else random.Random()
         self._sock: Optional[socket.socket] = None
         self._fh = None
         self._sessions: Dict[str, _SessionState] = {}
@@ -163,6 +185,7 @@ class ServiceClient:
             raise ServiceError(
                 reply.get("error", "unknown service error"),
                 code=reply.get("code"),
+                retry_after=reply.get("retry_after"),
             )
         return reply
 
@@ -186,23 +209,36 @@ class ServiceClient:
         """Send one frame, await its reply; error replies raise.
 
         Retries transport failures (up to ``self.retries`` times, with
-        exponential backoff) by reconnecting, resuming every open
+        decorrelated-jitter backoff) by reconnecting, resuming every open
         session, and re-sending this frame verbatim.  Appends are safe to
         re-send because they carry sequence numbers; the other frames are
-        read-only or idempotent by construction.
+        read-only or idempotent by construction.  Structured
+        ``overloaded`` replies retry too, sleeping the server-suggested
+        ``retry_after`` when one is given.
         """
         attempt = 0
+        delay = self.backoff
         while True:
             try:
                 return self._exchange(frame)
             except ServiceUnavailableError:
                 if attempt >= self.retries:
                     raise
-                delay = min(
-                    self.backoff * (2 ** attempt), self.max_backoff
+                delay = retry_delay(
+                    self._rng, self.backoff, delay, self.max_backoff
                 )
                 attempt += 1
                 time.sleep(delay)
+            except ServiceError as exc:
+                if exc.code != "overloaded" or attempt >= self.retries:
+                    raise
+                delay = retry_delay(
+                    self._rng, self.backoff, delay, self.max_backoff
+                )
+                attempt += 1
+                time.sleep(
+                    exc.retry_after if exc.retry_after is not None else delay
+                )
 
     def open_session(
         self,
@@ -214,6 +250,9 @@ class ServiceClient:
         options: Optional[Dict[str, Any]] = None,
         resume: Optional[bool] = None,
         fresh: bool = False,
+        max_ops: Optional[int] = None,
+        max_analyze_seconds: Optional[float] = None,
+        retire_idle_txns: int = 0,
     ) -> str:
         """Open (or, with ``resume``, re-attach) a checking session.
 
@@ -235,6 +274,12 @@ class ServiceClient:
             frame["chunk"] = chunk_ops
         if options:
             frame["options"] = options
+        if max_ops is not None:
+            frame["max_ops"] = max_ops
+        if max_analyze_seconds is not None:
+            frame["max_analyze_seconds"] = max_analyze_seconds
+        if retire_idle_txns:
+            frame["retire_idle_txns"] = retire_idle_txns
         if resume:
             frame["resume"] = True
         if fresh:
@@ -269,6 +314,10 @@ class ServiceClient:
             "session": session_id,
             "report": bool(report),
         })
+
+    def ping(self) -> Dict[str, Any]:
+        """The ``ping`` health frame: liveness plus load at a glance."""
+        return self.request({"type": "ping"})
 
     def stats(self, session_id: Optional[str] = None) -> Dict[str, Any]:
         frame: Dict[str, Any] = {"type": "stats"}
@@ -310,8 +359,14 @@ def session_workload(
     txns: int = 500,
     concurrency: int = 8,
     active_keys: int = 4,
+    max_writes_per_key: Optional[int] = None,
 ) -> List[Op]:
-    """One session's worth of traffic from the simulator, as operations."""
+    """One session's worth of traffic from the simulator, as operations.
+
+    ``max_writes_per_key`` bounds per-key writes so the keyspace rotates
+    — the traffic shape that makes settled-prefix retirement
+    (``retire_idle_txns``) effective on long-running sessions.
+    """
     fault_factory = None
     if fault is not None:
         injector = INJECTORS[fault]
@@ -319,14 +374,21 @@ def session_workload(
         def fault_factory(rng, _cls=injector):
             return _cls(rng)
 
+    workload_config = (
+        WorkloadConfig(
+            workload=workload,
+            active_keys=active_keys,
+            max_writes_per_key=max_writes_per_key,
+        )
+        if max_writes_per_key is not None
+        else WorkloadConfig(workload=workload, active_keys=active_keys)
+    )
     history = run_workload(
         RunConfig(
             txns=txns,
             concurrency=concurrency,
             isolation=Isolation(isolation),
-            workload=WorkloadConfig(
-                workload=workload, active_keys=active_keys
-            ),
+            workload=workload_config,
             seed=seed,
             faults=fault_factory,
         )

@@ -448,7 +448,7 @@ class DurabilityManager:
 
     def maybe_checkpoint(self, session) -> bool:
         """Checkpoint when enough new ops were analyzed since the last."""
-        analyzed = len(session.checker.history.ops)
+        analyzed = session.checker.history.op_count
         if analyzed - session.checkpointed_ops < self.checkpoint_every:
             return False
         self.checkpoint(session)
@@ -458,7 +458,7 @@ class DurabilityManager:
         """Serialize the session's full checker state now."""
         store = self.store(session.id)
         path = store.write_checkpoint(_session_payload(session))
-        session.checkpointed_ops = len(session.checker.history.ops)
+        session.checkpointed_ops = session.checker.history.op_count
         self.checkpoints_written += 1
         return path
 
@@ -578,7 +578,7 @@ def _session_payload(session) -> Dict[str, Any]:
             # Analyzed ops only, not the ingestion counter: whatever sat
             # in the backlog at checkpoint time is reconstructed from the
             # WAL tail on recovery and re-counted there.
-            "ops_ingested": len(session.checker.history.ops),
+            "ops_ingested": session.checker.history.op_count,
             "chunks_checked": session.chunks_checked,
             "keys_reanalyzed": session.keys_reanalyzed,
             "keys_reused": session.keys_reused,
@@ -599,4 +599,4 @@ def _restore_payload(session, payload: Dict[str, Any]) -> None:
     session.analyze_seconds = counters.get("analyze_seconds", 0.0)
     session.max_chunk_seconds = counters.get("max_chunk_seconds", 0.0)
     session.last_buffered_index = session.checker.history.max_index
-    session.checkpointed_ops = len(session.checker.history.ops)
+    session.checkpointed_ops = session.checker.history.op_count

@@ -48,11 +48,26 @@ Request frames (client to server):
 
 ``stats``
     ``{"type": "stats"}`` or ``{"type": "stats", "session": ...}`` —
-    server-wide or per-session counters.
+    server-wide or per-session counters, including the governance
+    numbers (``resident_ops``, ``retired_ops``, ``est_bytes``,
+    ``shed_opens``, ``quota_trips``, scheduler ``deficit``).
+
+``ping``
+    ``{"type": "ping"}`` — health check.  Reply: ``pong`` with
+    ``draining``, ``sessions``, ``backlog``, ``est_bytes``, and
+    ``overloaded`` — cheap enough for a tight probe loop, and answered
+    even while the server drains (a health checker must distinguish
+    "draining" from "dead").
 
 ``close``
     ``{"type": "close", "session": ...}`` — drain, then discard the
     session; the reply carries its final counters.
+
+``open`` additionally accepts per-session governance fields: ``max_ops``
+(total-ops quota), ``max_analyze_seconds`` (checker-time quota), and
+``retire_idle_txns`` (auto-retire the settled prefix after each slice,
+sparing the newest N transactions — for keyspace-rotating streams; see
+``StreamingChecker.retire``).
 
 Any failure produces ``{"type": "error", "code": "...", "error": "...",
 "session": ...}`` instead of the normal reply; the connection stays
@@ -60,6 +75,11 @@ usable.  ``code`` is stable and machine-readable: ``bad-frame`` (not a
 JSON object, unknown type, malformed fields), ``frame-too-large`` (a line
 over the server's byte limit — rejected and skipped without poisoning the
 session), ``unknown-session``, ``duplicate-session``, ``server-full``,
+``overloaded`` (resident memory over the watermark; the reply carries
+``retry_after`` seconds — new sessions are shed, existing ones keep
+working), ``quota`` (a per-session ops or analyze-time quota refused the
+batch; the session and its verdicts stay intact), ``retired-key`` (an
+operation recurred on a retired key; that session is poisoned),
 ``poisoned``, ``draining``, ``bad-request``, ``internal``; the client
 additionally raises ``unavailable`` locally when the daemon cannot be
 reached at all.
@@ -80,7 +100,9 @@ from ..history.ops import Op
 MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 #: Request frame types the server understands.
-REQUEST_TYPES = frozenset({"open", "append", "verdict", "stats", "close"})
+REQUEST_TYPES = frozenset(
+    {"open", "append", "verdict", "stats", "close", "ping"}
+)
 
 
 def encode_frame(frame: Dict[str, Any]) -> bytes:

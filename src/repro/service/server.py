@@ -234,6 +234,10 @@ class CheckerService:
         while True:
             await asyncio.sleep(interval)
             self.registry.evict_idle()
+            # Same sweep, same clock: when the resident estimate is over
+            # the watermark, climb the degradation ladder (retire settled
+            # prefixes, then checkpoint-and-evict the coldest sessions).
+            self.registry.relieve_pressure()
 
     # ------------------------------------------------------------------
     # Connections
@@ -323,12 +327,16 @@ class CheckerService:
             # Malformed frames, session poisonings, bad configs, unknown
             # sessions: the request fails with a structured, coded error;
             # the connection (and server) live on.
-            return {
+            reply = {
                 "type": "error",
                 "code": getattr(exc, "code", "bad-request"),
                 "error": str(exc),
                 "session": session_id,
             }
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                reply["retry_after"] = retry_after
+            return reply
         except Exception as exc:  # pragma: no cover - defensive
             # A daemon must outlive its bugs; the frame fails loudly
             # instead of tearing the connection (and every session) down.
@@ -345,6 +353,8 @@ class CheckerService:
             raise ServiceError(
                 "server is draining; no new work accepted", code="draining"
             )
+        if kind == "ping":
+            return self._pong()
         if kind == "open":
             return self._open(frame)
         if kind == "stats":
@@ -358,6 +368,24 @@ class CheckerService:
             return await self._verdict(session, frame)
         return await self._close(session)
 
+    def _pong(self) -> Dict[str, Any]:
+        """The ``ping`` health frame: cheap liveness plus load at a glance.
+
+        Answered even while draining — a health checker must be able to
+        distinguish "draining" from "dead".
+        """
+        registry = self.registry
+        return {
+            "type": "pong",
+            "draining": self._draining,
+            "sessions": len(registry.sessions),
+            "backlog": sum(
+                s.backlog for s in registry.sessions.values()
+            ),
+            "est_bytes": registry.estimated_bytes(),
+            "overloaded": registry.overloaded(),
+        }
+
     def _open(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         options = frame.get("options") or {}
         if not isinstance(options, dict):
@@ -368,6 +396,21 @@ class CheckerService:
         # deep inside a later analysis slice.
         if not isinstance(chunk, int) or isinstance(chunk, bool):
             raise ProtocolError(f"open chunk must be an integer, got {chunk!r}")
+        for name in ("max_ops", "retire_idle_txns"):
+            value = frame.get(name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ProtocolError(
+                    f"open {name} must be an integer, got {value!r}"
+                )
+        budget = frame.get("max_analyze_seconds")
+        if budget is not None and (
+            not isinstance(budget, (int, float)) or isinstance(budget, bool)
+        ):
+            raise ProtocolError(
+                f"open max_analyze_seconds must be a number, got {budget!r}"
+            )
         session_id = frame.get("session")
         resume = bool(frame.get("resume"))
         if frame.get("fresh") and self._durable_state(session_id):
@@ -413,6 +456,9 @@ class CheckerService:
             process_edges=frame.get("process_edges", True),
             realtime_edges=frame.get("realtime_edges", True),
             timestamp_edges=frame.get("timestamp_edges", False),
+            max_ops=frame.get("max_ops"),
+            max_analyze_seconds=frame.get("max_analyze_seconds"),
+            retire_idle_txns=frame.get("retire_idle_txns") or 0,
             options=options,
         )
         session = self.registry.open(config, session_id)

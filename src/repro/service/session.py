@@ -26,6 +26,34 @@ Three design points, all in service of "many sessions, one core":
   work pending for ``idle_timeout`` seconds are evicted, so abandoned
   clients cannot pin checker state (and its per-key caches) forever.
 
+On top of round-robin, the registry runs **deficit scheduling** and a
+**memory-watermark degradation ladder** so a hostile mix degrades
+gracefully instead of falling over:
+
+* Each analysis slice is charged at its wall-clock cost against the
+  session's time *deficit*; every scheduling visit refills the deficit by
+  ``quantum_seconds``.  A session whose single chunk costs several quanta
+  (an elephant) then sits out proportionally many rotations while its
+  cheap neighbors (the mice) keep getting verdicts — fairness in seconds,
+  not in slice counts.  The scheduler is work-conserving: when every
+  runnable session is in debt, the least indebted one runs anyway.
+* Per-session quotas (``max_ops``, ``max_analyze_seconds``) bound what
+  one stream may consume; a tripped quota refuses the *batch* with a
+  structured ``quota`` error and leaves the session (and its verdicts)
+  intact.
+* When the estimated resident footprint crosses ``max_resident_bytes``,
+  :meth:`SessionRegistry.relieve_pressure` climbs the ladder — retire
+  settled prefixes of consenting sessions (``retire_idle_txns > 0``),
+  then checkpoint-and-evict the coldest idle sessions (only when an
+  ``on_evict`` checkpoint hook is wired, i.e. on durable daemons), and as
+  the last rung new ``open`` requests are shed with a structured
+  ``overloaded`` error carrying ``retry_after``.
+
+One injectable ``clock`` (``SessionRegistry(clock=...)``) governs *all*
+time the registry observes: idle-eviction ages, analyze-seconds quotas,
+and scheduler deficits — tests drive every policy deterministically by
+faking a single clock.
+
 Error semantics mirror the streaming checker's: a structurally broken
 chunk poisons the session — its backlog is discarded, the original
 exception is replayed to every later ``verdict`` — but never the server.
@@ -46,6 +74,9 @@ from ..history.ops import Op
 #: Default operations per analysis slice (and per incremental re-check).
 DEFAULT_CHUNK_OPS = 1000
 
+#: Default scheduler quantum: seconds of analysis credit per visit.
+DEFAULT_QUANTUM_SECONDS = 0.25
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -57,6 +88,18 @@ class SessionConfig:
     process_edges: bool = True
     realtime_edges: bool = True
     timestamp_edges: bool = False
+    #: Total-ops quota: a batch that would push ``ops_ingested`` past it
+    #: is refused with a structured ``quota`` error (``None`` = no cap).
+    max_ops: Optional[int] = None
+    #: Analyze-time quota in seconds: once the session has consumed this
+    #: much checker time, further appends are refused (``None`` = no cap).
+    max_analyze_seconds: Optional[float] = None
+    #: Auto-retirement: after each analysis slice, retire the settled
+    #: prefix but spare the newest N transactions.  0 disables.  Only
+    #: streams that rotate their keyspace should opt in — a retired key
+    #: that recurs poisons the session (:class:`~repro.errors.
+    #: RetiredKeyError`), never silently corrupts its verdicts.
+    retire_idle_txns: int = 0
     #: Extra analyzer options (e.g. rw-register ``sources``); values must
     #: be JSON-representable since they ride the ``open`` frame.
     options: Mapping[str, Any] = field(default_factory=dict)
@@ -65,6 +108,22 @@ class SessionConfig:
         if self.chunk_ops <= 0:
             raise ServiceError(
                 f"chunk_ops must be positive, got {self.chunk_ops}"
+            )
+        if self.max_ops is not None and self.max_ops <= 0:
+            raise ServiceError(
+                f"max_ops must be positive, got {self.max_ops}"
+            )
+        if (
+            self.max_analyze_seconds is not None
+            and self.max_analyze_seconds <= 0
+        ):
+            raise ServiceError(
+                "max_analyze_seconds must be positive, got "
+                f"{self.max_analyze_seconds}"
+            )
+        if self.retire_idle_txns < 0:
+            raise ServiceError(
+                f"retire_idle_txns must be >= 0, got {self.retire_idle_txns}"
             )
 
 
@@ -101,6 +160,15 @@ class Session:
         self.keys_reused = 0
         self.analyze_seconds = 0.0
         self.max_chunk_seconds = 0.0
+        self.last_slice_seconds = 0.0
+        #: Scheduler state: seconds of analysis credit.  Refilled by
+        #: ``quantum_seconds`` per scheduling visit, charged at each
+        #: slice's wall-clock cost; an expensive slice leaves the session
+        #: in debt and it sits out rotations until the debt is paid.
+        self.deficit = 0.0
+        self.quota_trips = 0
+        self.txns_retired = 0
+        self.retire_calls = 0
         self.last_update: Optional[StreamUpdate] = None
         self.error: Optional[BaseException] = None
         self.closed = False
@@ -134,17 +202,53 @@ class Session:
             return "poisoned"
         return "open"
 
+    @property
+    def resident_ops(self) -> int:
+        """Operations currently held in memory (checker plus backlog)."""
+        return self.checker.resident_ops + len(self.pending)
+
+    @property
+    def retired_ops(self) -> int:
+        """Operations dropped by settled-prefix retirement."""
+        return self.checker.retired_ops
+
+    @property
+    def est_bytes(self) -> int:
+        """Deterministic footprint estimate for watermark accounting."""
+        return self.checker.estimated_bytes() + len(self.pending) * 400
+
     def touch(self) -> None:
         self.last_activity = self._clock()
 
     def buffer(self, ops: Sequence[Op]) -> None:
-        """Accept one ``append`` batch into the backlog."""
+        """Accept one ``append`` batch into the backlog.
+
+        Quota trips are structured errors (``code="quota"``), not
+        poisonings: the batch is refused, but the session — and every
+        verdict over what it already ingested — stays intact.
+        """
         if self.closed:
             raise ServiceError(f"session {self.id!r} is closed")
         if self.error is not None:
             raise ServiceError(
                 f"session {self.id!r} is poisoned: {self.error}",
                 code="poisoned",
+            )
+        quota = self.config.max_ops
+        if quota is not None and self.ops_ingested + len(ops) > quota:
+            self.quota_trips += 1
+            raise ServiceError(
+                f"session {self.id!r} ops quota exceeded: "
+                f"{self.ops_ingested} ingested + {len(ops)} > {quota}",
+                code="quota",
+            )
+        budget = self.config.max_analyze_seconds
+        if budget is not None and self.analyze_seconds >= budget:
+            self.quota_trips += 1
+            raise ServiceError(
+                f"session {self.id!r} analyze-time quota exceeded: "
+                f"{self.analyze_seconds:.3f}s >= {budget}s",
+                code="quota",
             )
         self.pending.extend(ops)
         self.ops_ingested += len(ops)
@@ -182,6 +286,12 @@ class Session:
         begin = self._clock()
         try:
             update = self.checker.extend(chunk)
+            if self.config.retire_idle_txns:
+                # Opt-in auto-retirement rides the analyzer's cadence:
+                # after each slice, fold the settled prefix (sparing the
+                # newest N transactions) so a forever-stream's resident
+                # state tracks its active window, not its age.
+                self.retire(min_idle_txns=self.config.retire_idle_txns)
         except BaseException as exc:
             self.error = exc
             self.pending.clear()
@@ -189,12 +299,22 @@ class Session:
         finally:
             elapsed = self._clock() - begin
             self.analyze_seconds += elapsed
+            self.last_slice_seconds = elapsed
             self.max_chunk_seconds = max(self.max_chunk_seconds, elapsed)
         self.chunks_checked += 1
         self.keys_reanalyzed += update.reanalyzed_keys
         self.keys_reused += update.reused_keys
         self.last_update = update
         return update
+
+    def retire(self, min_idle_txns: int = 0) -> Dict[str, Any]:
+        """Retire the session's settled prefix (memory relief, not
+        semantics: the verdict stream is unchanged — see
+        :meth:`StreamingChecker.retire`)."""
+        summary = self.checker.retire(min_idle_txns=min_idle_txns)
+        self.retire_calls += 1
+        self.txns_retired += summary.get("retired_txns", 0)
+        return summary
 
     def verdict(self) -> StreamUpdate:
         """The verdict for everything ingested (backlog must be drained).
@@ -230,9 +350,21 @@ class Session:
             "keys_reused": self.keys_reused,
             "analyze_seconds": round(self.analyze_seconds, 4),
             "max_chunk_seconds": round(self.max_chunk_seconds, 4),
+            "resident_ops": self.resident_ops,
+            "retired_ops": self.retired_ops,
+            "retired_txns": self.txns_retired,
+            "est_bytes": self.est_bytes,
+            "quota_trips": self.quota_trips,
+            "deficit": round(self.deficit, 4),
             "applied_seq": self.applied_seq,
             "resumed": self.resumed,
         }
+        if self.config.max_ops is not None:
+            record["max_ops"] = self.config.max_ops
+        if self.config.max_analyze_seconds is not None:
+            record["max_analyze_seconds"] = self.config.max_analyze_seconds
+        if self.config.retire_idle_txns:
+            record["retire_idle_txns"] = self.config.retire_idle_txns
         if self.error is not None:
             record["error"] = str(self.error)
         update = self.last_update
@@ -258,29 +390,48 @@ class SessionRegistry:
         idle_timeout: float = 300.0,
         default_chunk_ops: int = DEFAULT_CHUNK_OPS,
         clock: Callable[[], float] = time.monotonic,
+        max_resident_bytes: Optional[int] = None,
+        quantum_seconds: float = DEFAULT_QUANTUM_SECONDS,
+        default_limits: Optional[SessionConfig] = None,
     ) -> None:
         if max_sessions <= 0:
             raise ServiceError("max_sessions must be positive")
         if max_pending_ops <= 0:
             raise ServiceError("max_pending_ops must be positive")
+        if max_resident_bytes is not None and max_resident_bytes <= 0:
+            raise ServiceError("max_resident_bytes must be positive")
+        if quantum_seconds <= 0:
+            raise ServiceError("quantum_seconds must be positive")
         self.max_sessions = max_sessions
         self.max_pending_ops = max_pending_ops
         self.idle_timeout = idle_timeout
         self.default_chunk_ops = default_chunk_ops
         self.clock = clock
+        self.max_resident_bytes = max_resident_bytes
+        self.quantum_seconds = quantum_seconds
+        #: Daemon-wide session defaults: quota and retirement fields that
+        #: an ``open`` frame leaves unset are filled from here (the serve
+        #: CLI's ``--session-max-ops`` etc. land in this config).
+        self.default_limits = default_limits
         self.sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._rotation: deque = deque()  # round-robin order of session ids
         self._auto_id = 0
         #: Called with each session just before idle eviction drops it.
         #: The durability layer hangs its final checkpoint here, so an
         #: evicted session can be restored from disk instead of starting
-        #: empty when a client reopens it.
+        #: empty when a client reopens it.  Memory-pressure eviction (rung
+        #: two of the degradation ladder) only runs when this hook is
+        #: wired, because without a checkpoint eviction would destroy
+        #: state instead of parking it.
         self.on_evict: Optional[Callable[[Session], None]] = None
         self.sessions_opened = 0
         self.sessions_closed = 0
         self.sessions_evicted = 0
         self.ops_total = 0
         self.chunks_total = 0
+        self.shed_opens = 0
+        self.pressure_retired_txns = 0
+        self.pressure_evictions = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -304,13 +455,52 @@ class SessionRegistry:
                 "session or let idle ones evict",
                 code="server-full",
             )
+        if self.overloaded():
+            # Last rung of the degradation ladder: try to relieve memory
+            # pressure first; shed the open only when retirement and
+            # eviction could not bring the footprint under the watermark.
+            self.relieve_pressure()
+            if self.overloaded():
+                self.shed_opens += 1
+                raise ServiceError(
+                    "resident memory over watermark "
+                    f"({self.estimated_bytes()} > "
+                    f"{self.max_resident_bytes} estimated bytes); "
+                    "retry after existing sessions drain",
+                    code="overloaded",
+                    retry_after=self.retry_after_seconds(),
+                )
         session = Session(
-            session_id, config or SessionConfig(), clock=self.clock
+            session_id, self._effective_config(config), clock=self.clock
         )
         self.sessions[session_id] = session
         self._rotation.append(session_id)
         self.sessions_opened += 1
         return session
+
+    def _effective_config(
+        self, config: Optional[SessionConfig]
+    ) -> SessionConfig:
+        """Fill quota/retirement fields left unset from daemon defaults."""
+        config = config or SessionConfig()
+        defaults = self.default_limits
+        if defaults is None:
+            return config
+        updates: Dict[str, Any] = {}
+        if config.max_ops is None and defaults.max_ops is not None:
+            updates["max_ops"] = defaults.max_ops
+        if (
+            config.max_analyze_seconds is None
+            and defaults.max_analyze_seconds is not None
+        ):
+            updates["max_analyze_seconds"] = defaults.max_analyze_seconds
+        if not config.retire_idle_txns and defaults.retire_idle_txns:
+            updates["retire_idle_txns"] = defaults.retire_idle_txns
+        if not updates:
+            return config
+        import dataclasses
+
+        return dataclasses.replace(config, **updates)
 
     def get(self, session_id: Any) -> Session:
         session = self.sessions.get(session_id)
@@ -373,14 +563,33 @@ class SessionRegistry:
         return session
 
     def next_runnable(self) -> Optional[Session]:
-        """The next session owed an analysis slice, round-robin."""
+        """The next session owed an analysis slice: deficit round-robin.
+
+        Visits sessions in rotation order; each visit refills the
+        session's time deficit by one quantum (capped at a quantum, so
+        idle periods don't bank unbounded credit).  The first session
+        with work *and* a positive deficit runs.  When every runnable
+        session is in debt — all elephants — the least indebted one runs
+        anyway (work-conserving: the analyzer never idles while work
+        exists).  With uniformly cheap slices every visit's refill keeps
+        deficits positive and this degenerates to plain round-robin,
+        strict alternation included.
+        """
+        fallback: Optional[Session] = None
         for _ in range(len(self._rotation)):
             session_id = self._rotation[0]
             self._rotation.rotate(-1)
             session = self.sessions.get(session_id)
-            if session is not None and session.has_work:
+            if session is None or not session.has_work:
+                continue
+            session.deficit = min(
+                session.deficit + self.quantum_seconds, self.quantum_seconds
+            )
+            if session.deficit > 0:
                 return session
-        return None
+            if fallback is None or session.deficit > fallback.deficit:
+                fallback = session
+        return fallback
 
     def run_slice(
         self,
@@ -390,6 +599,9 @@ class SessionRegistry:
         Returns ``None`` when no session has work; otherwise the session
         plus either its fresh update or the exception that poisoned it
         (already recorded on the session — the server keeps running).
+        The slice's wall-clock cost is charged against the session's
+        scheduler deficit and counts toward its ``max_analyze_seconds``
+        quota.
         """
         session = self.next_runnable()
         if session is None:
@@ -398,7 +610,9 @@ class SessionRegistry:
         try:
             update = session.analyze_chunk()
         except Exception as exc:
+            session.deficit -= session.last_slice_seconds
             return session, None, exc
+        session.deficit -= session.last_slice_seconds
         return session, update, None
 
     def drain(self, session: Session) -> None:
@@ -412,9 +626,77 @@ class SessionRegistry:
         return any(s.has_work for s in self.sessions.values())
 
     # ------------------------------------------------------------------
+    # Memory governance: watermarks and the degradation ladder
+
+    def estimated_bytes(self) -> int:
+        """Estimated resident footprint across every session."""
+        return sum(s.est_bytes for s in self.sessions.values())
+
+    def overloaded(self) -> bool:
+        """True when the footprint estimate is at/over the watermark."""
+        return (
+            self.max_resident_bytes is not None
+            and self.estimated_bytes() >= self.max_resident_bytes
+        )
+
+    def retry_after_seconds(self) -> float:
+        """Back-off hint attached to shed ``open`` replies."""
+        return min(30.0, max(1.0, self.idle_timeout / 4))
+
+    def relieve_pressure(self) -> Dict[str, Any]:
+        """Climb the degradation ladder until under the watermark.
+
+        Rung one retires settled prefixes of consenting sessions
+        (``retire_idle_txns > 0``), fattest first — retirement never
+        changes verdicts, so it is always the first resort.  Rung two
+        checkpoint-and-evicts the coldest sessions with empty backlogs,
+        but only when the ``on_evict`` checkpoint hook is wired (durable
+        daemons): an eviction without a checkpoint would destroy state.
+        Rung three — shedding new opens — lives in :meth:`open`.  Returns
+        what the climb did (``retired_txns``, ``evicted``).
+        """
+        actions: Dict[str, Any] = {"retired_txns": 0, "evicted": []}
+        if not self.overloaded():
+            return actions
+        by_weight = sorted(
+            self.sessions.values(), key=lambda s: s.est_bytes, reverse=True
+        )
+        for session in by_weight:
+            if session.error is not None or session.closed:
+                continue
+            if not session.config.retire_idle_txns:
+                continue
+            # Under pressure the idle window is ignored: retirement never
+            # changes verdicts, so the most aggressive retire is still
+            # safe — the window is comfort, not correctness.
+            summary = session.retire(min_idle_txns=0)
+            retired = summary.get("retired_txns", 0)
+            actions["retired_txns"] += retired
+            self.pressure_retired_txns += retired
+            if not self.overloaded():
+                return actions
+        if self.on_evict is not None:
+            cold = sorted(
+                (s for s in self.sessions.values() if not s.pending),
+                key=lambda s: s.last_activity,
+            )
+            for session in cold:
+                if not self.overloaded():
+                    break
+                self.on_evict(session)
+                del self.sessions[session.id]
+                session.closed = True
+                self._rotation.remove(session.id)
+                self.sessions_evicted += 1
+                self.pressure_evictions += 1
+                actions["evicted"].append(session.id)
+        return actions
+
+    # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
         """Server-wide counters for the ``stats`` frame."""
+        sessions = self.sessions.values()
         return {
             "sessions_open": len(self.sessions),
             "sessions_opened": self.sessions_opened,
@@ -422,7 +704,17 @@ class SessionRegistry:
             "sessions_evicted": self.sessions_evicted,
             "ops_ingested": self.ops_total,
             "chunks_checked": self.chunks_total,
-            "backlog": sum(s.backlog for s in self.sessions.values()),
+            "backlog": sum(s.backlog for s in sessions),
+            "resident_ops": sum(s.resident_ops for s in sessions),
+            "retired_ops": sum(s.retired_ops for s in sessions),
+            "retired_txns": sum(s.txns_retired for s in sessions),
+            "est_bytes": self.estimated_bytes(),
+            "max_resident_bytes": self.max_resident_bytes,
+            "shed_opens": self.shed_opens,
+            "quota_trips": sum(s.quota_trips for s in sessions),
+            "pressure_retired_txns": self.pressure_retired_txns,
+            "pressure_evictions": self.pressure_evictions,
+            "quantum_seconds": self.quantum_seconds,
             "max_sessions": self.max_sessions,
             "max_pending_ops": self.max_pending_ops,
             "idle_timeout": self.idle_timeout,
