@@ -302,6 +302,57 @@ def build_serve_parser() -> argparse.ArgumentParser:
         f"(default: {_default_max_frame_bytes()})",
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the metrics registry as a Prometheus text-format "
+        "scrape on http://METRICS_HOST:PORT/metrics (0 picks an "
+        "ephemeral port, printed on startup); also enables the "
+        "'metrics' wire frame and per-chunk tracing",
+    )
+    parser.add_argument(
+        "--metrics-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind host for --metrics-port (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="append structured JSON event lines (admission refusals, "
+        "quota trips, ladder rungs, checkpoint/restore, fsync stalls, "
+        "slow chunks) to PATH, or '-' for stdout; also enables metrics "
+        "and tracing",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warn", "error"],
+        default="info",
+        metavar="LEVEL",
+        help="minimum event level for --log-json (default: info)",
+    )
+    parser.add_argument(
+        "--slow-chunk-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="dump the span tree of any chunk whose analysis takes at "
+        "least MS milliseconds to the event log ('slow-chunk', level "
+        "warn); independent of --quantum, which bounds scheduling "
+        "credit, not a single chunk's cost",
+    )
+    parser.add_argument(
+        "--trace-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep the last N per-chunk span trees in memory, browsable "
+        "at /traces on the metrics port (default: 256 when telemetry "
+        "is on)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress startup/drain lines"
     )
     return parser
@@ -487,6 +538,30 @@ def _serve_main(argv: Optional[List[str]]) -> int:
         parser.error("--max-resident-mb must be positive")
     if args.quantum is not None and args.quantum <= 0:
         parser.error("--quantum must be positive")
+    if args.metrics_port is not None and args.metrics_port < 0:
+        parser.error("--metrics-port must be >= 0")
+    if args.slow_chunk_ms is not None and args.slow_chunk_ms <= 0:
+        parser.error("--slow-chunk-ms must be positive")
+    if args.trace_chunks is not None and args.trace_chunks <= 0:
+        parser.error("--trace-chunks must be positive")
+    obs = None
+    telemetry = (
+        args.metrics_port is not None
+        or args.log_json is not None
+        or args.slow_chunk_ms is not None
+        or args.trace_chunks is not None
+    )
+    if telemetry:
+        from .obs import DEFAULT_TRACE_CAPACITY, Observability, open_event_log
+
+        events = None
+        if args.log_json is not None:
+            events = open_event_log(args.log_json, level=args.log_level)
+        obs = Observability.enabled(
+            events=events,
+            slow_chunk_ms=args.slow_chunk_ms,
+            trace_capacity=args.trace_chunks or DEFAULT_TRACE_CAPACITY,
+        )
     default_limits = None
     if (
         args.session_max_ops is not None
@@ -513,6 +588,7 @@ def _serve_main(argv: Optional[List[str]]) -> int:
             else DEFAULT_QUANTUM_SECONDS
         ),
         default_limits=default_limits,
+        obs=obs,
     )
     durability = None
     if args.data_dir is not None:
@@ -522,21 +598,29 @@ def _serve_main(argv: Optional[List[str]]) -> int:
             args.data_dir,
             checkpoint_every=args.checkpoint_every,
             fsync=args.fsync,
+            obs=obs,
         )
-    asyncio.run(
-        serve(
-            host=args.host,
-            port=args.port,
-            unix_path=args.unix,
-            registry=registry,
-            stats_path=args.stats_json,
-            durability=durability,
-            max_frame_bytes=args.max_frame_bytes
-            if args.max_frame_bytes is not None
-            else _default_max_frame_bytes(),
-            quiet=args.quiet,
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                unix_path=args.unix,
+                registry=registry,
+                stats_path=args.stats_json,
+                durability=durability,
+                max_frame_bytes=args.max_frame_bytes
+                if args.max_frame_bytes is not None
+                else _default_max_frame_bytes(),
+                obs=obs,
+                metrics_host=args.metrics_host,
+                metrics_port=args.metrics_port,
+                quiet=args.quiet,
+            )
         )
-    )
+    finally:
+        if obs is not None:
+            obs.close()
     return 0
 
 

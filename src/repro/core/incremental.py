@@ -183,19 +183,30 @@ class StreamingChecker:
 
     # ------------------------------------------------------------------
 
-    def extend(self, ops: Sequence[Op]) -> StreamUpdate:
-        """Ingest one chunk and return the refreshed prefix verdict."""
+    def extend(
+        self, ops: Sequence[Op], profile: Optional[Profile] = None
+    ) -> StreamUpdate:
+        """Ingest one chunk and return the refreshed prefix verdict.
+
+        ``profile`` overrides the checker's long-lived profile for this
+        one chunk — the service's per-chunk tracer threads a fresh
+        :class:`~repro.obs.tracing.SpanProfile` through each slice
+        without touching checker state (checkpoints never carry it).
+        """
         if self._error is not None:
             raise self._error
         try:
             with paused_gc():
-                return self._extend(ops)
+                return self._extend(ops, profile)
         except BaseException as exc:
             self._error = exc
             raise
 
-    def _extend(self, ops: Sequence[Op]) -> StreamUpdate:
-        profile = self._profile
+    def _extend(
+        self, ops: Sequence[Op], profile: Optional[Profile] = None
+    ) -> StreamUpdate:
+        if profile is None:
+            profile = self._profile
         ops_before = len(self.history.ops)
         with stage(profile, "stream/ingest"):
             delta = self.history.extend(ops)

@@ -26,28 +26,45 @@ class Profile:
     Stages nest freely; re-entering a name accumulates.  The object is
     cheap enough to thread through hot paths as an optional argument —
     callers guard with ``if profile is not None``.
+
+    Subclasses can observe stage *structure*, not just totals: ``stage``
+    funnels through the ``_enter``/``_exit`` hooks with the active-stage
+    stack intact, which is how :class:`repro.obs.tracing.SpanProfile`
+    turns the same instrumentation points into per-chunk span trees
+    without the hot paths knowing the difference.
     """
 
-    __slots__ = ("stages", "counters", "_stage_order")
+    __slots__ = ("stages", "counters", "_stage_order", "_active")
 
     def __init__(self) -> None:
         self.stages: Dict[str, float] = {}
         self.counters: Dict[str, int] = {}
         self._stage_order: list = []
+        self._active: list = []  # names of the stages currently open
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a ``with`` block under ``name`` (accumulating on re-entry)."""
+        self._enter(name)
         start = perf_counter()
         try:
             yield
         finally:
             elapsed = perf_counter() - start
-            if name not in self.stages:
-                self._stage_order.append(name)
-                self.stages[name] = elapsed
-            else:
-                self.stages[name] += elapsed
+            self._active.pop()
+            self._exit(name, elapsed)
+
+    def _enter(self, name: str) -> None:
+        """Hook: a stage opened (``self._active`` holds its ancestors)."""
+        self._active.append(name)
+
+    def _exit(self, name: str, elapsed: float) -> None:
+        """Hook: a stage closed; accumulate its duration."""
+        if name not in self.stages:
+            self._stage_order.append(name)
+            self.stages[name] = elapsed
+        else:
+            self.stages[name] += elapsed
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump counter ``name`` by ``n``."""

@@ -29,6 +29,11 @@ or programmatically::
 Every session's verdict is byte-identical to a one-shot batch ``check()``
 of the same operations, however its frames interleaved with other
 sessions' — pinned by ``tests/properties/test_service_equivalence.py``.
+
+The daemon is watchable end to end (:mod:`repro.obs`): ``--metrics-port``
+serves a Prometheus scrape (and the ``metrics`` wire frame), ``--log-json``
+streams structured events, and ``--slow-chunk-ms`` dumps per-chunk span
+trees for tail-latency forensics — all off the hot path when disabled.
 """
 
 from .client import ServiceClient, parse_address, run_load, session_workload

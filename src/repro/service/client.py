@@ -30,13 +30,18 @@ import random
 import socket
 import time
 import uuid
+from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..db import INJECTORS, Isolation
 from ..errors import ServiceError, ServiceUnavailableError
 from ..generator import RunConfig, WorkloadConfig, run_workload
 from ..history.ops import Op
+from ..obs import percentiles
 from .protocol import decode_frame, encode_frame, encode_ops
+
+#: Append round-trip latencies retained for the client metrics snapshot.
+APPEND_LATENCY_WINDOW = 1024
 
 Address = Union[str, Tuple[str, int]]
 
@@ -95,6 +100,17 @@ class ServiceClient:
     backoff.  ``rng`` injects the jitter source (tests seed it).
     """
 
+    # Telemetry counters default at class level so partially constructed
+    # clients (tests build them via ``__new__``) still count correctly;
+    # augmented assignment rebinds them per instance.
+    _connects = 0
+    _requests = 0
+    _retries = 0
+    _sessions_resumed = 0
+    _backoff_seconds = 0.0
+    _appends = 0
+    _append_ms: Optional[deque] = None
+
     def __init__(
         self,
         address: Address,
@@ -116,6 +132,7 @@ class ServiceClient:
         self._sock: Optional[socket.socket] = None
         self._fh = None
         self._sessions: Dict[str, _SessionState] = {}
+        self._append_ms = deque(maxlen=APPEND_LATENCY_WINDOW)
         self._connect()
 
     # ------------------------------------------------------------------
@@ -138,6 +155,7 @@ class ServiceClient:
             ) from None
         self._sock = sock
         self._fh = sock.makefile("rwb")
+        self._connects += 1
 
     def _drop_connection(self) -> None:
         if self._fh is not None:
@@ -202,6 +220,7 @@ class ServiceClient:
             reply = self._exchange(state.open_frame)
             applied = reply.get("applied_seq", 0)
             state.next_seq = max(state.next_seq, applied + 1)
+            self._sessions_resumed += 1
 
     # ------------------------------------------------------------------
 
@@ -218,6 +237,7 @@ class ServiceClient:
         """
         attempt = 0
         delay = self.backoff
+        self._requests += 1
         while True:
             try:
                 return self._exchange(frame)
@@ -228,6 +248,8 @@ class ServiceClient:
                     self._rng, self.backoff, delay, self.max_backoff
                 )
                 attempt += 1
+                self._retries += 1
+                self._backoff_seconds += delay
                 time.sleep(delay)
             except ServiceError as exc:
                 if exc.code != "overloaded" or attempt >= self.retries:
@@ -236,9 +258,12 @@ class ServiceClient:
                     self._rng, self.backoff, delay, self.max_backoff
                 )
                 attempt += 1
-                time.sleep(
+                self._retries += 1
+                sleep_for = (
                     exc.retry_after if exc.retry_after is not None else delay
                 )
+                self._backoff_seconds += sleep_for
+                time.sleep(sleep_for)
 
     def open_session(
         self,
@@ -303,7 +328,12 @@ class ServiceClient:
         state = self._sessions.get(session_id)
         if state is not None:
             frame["seq"] = state.next_seq
+        begin = time.perf_counter()
         reply = self.request(frame)
+        if self._append_ms is None:
+            self._append_ms = deque(maxlen=APPEND_LATENCY_WINDOW)
+        self._append_ms.append((time.perf_counter() - begin) * 1000.0)
+        self._appends += 1
         if state is not None:
             state.next_seq = reply.get("applied_seq", state.next_seq) + 1
         return reply
@@ -335,6 +365,31 @@ class ServiceClient:
                 # the session is gone, which is what we asked for.
                 return {"type": "closed", "session": session_id}
             raise
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """A snapshot of this client's own telemetry.
+
+        ``redials`` counts reconnects after the first dial;
+        ``backoff_seconds`` is cumulative sleep across every retry;
+        ``append_ms`` is the p50/p95/p99 digest of append round-trip
+        latency (request write to reply read — backpressure waits
+        included) over the last ``APPEND_LATENCY_WINDOW`` appends.
+        """
+        return {
+            "requests": self._requests,
+            "retries": self._retries,
+            "redials": max(0, self._connects - 1),
+            "sessions_resumed": self._sessions_resumed,
+            "backoff_seconds": round(self._backoff_seconds, 4),
+            "appends": self._appends,
+            "append_ms": {
+                name: round(value, 3)
+                for name, value in percentiles(
+                    self._append_ms or ()
+                ).items()
+            },
+        }
 
     def close(self) -> None:
         self._sessions.clear()
@@ -464,6 +519,7 @@ def run_load(
         }
         elapsed = time.perf_counter() - begin
         stats = client.stats()
+        client_metrics = client.metrics
         for name in streams:
             client.close_session(name)
     total_ops = sum(len(ops) for ops in streams.values())
@@ -475,4 +531,5 @@ def run_load(
         "ops_per_second": total_ops / elapsed if elapsed else float("inf"),
         "verdicts": verdicts,
         "stats": stats,
+        "client": client_metrics,
     }

@@ -62,14 +62,20 @@ import os
 import pickle
 import re
 import tempfile
+from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ServiceError
 from ..history.io import decode_op, encode_op, iter_json_lines
 from ..history.ops import Op
+from ..obs import Observability
 
 #: Recognized ``--fsync`` policies.
 FSYNC_POLICIES = ("always", "batch", "never")
+
+#: A WAL fsync slower than this is an I/O stall worth an event line —
+#: on healthy local disks a journal fsync is single-digit milliseconds.
+FSYNC_STALL_SECONDS = 0.1
 
 #: Checkpoint file magic: bumped if the payload layout ever changes, so a
 #: daemon never misreads a checkpoint from an incompatible build.
@@ -140,6 +146,7 @@ class SessionStore:
         session_id: str,
         fsync: str = "batch",
         keep_checkpoints: int = 2,
+        obs: Optional[Observability] = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ServiceError(
@@ -148,6 +155,7 @@ class SessionStore:
             )
         self.session_id = session_id
         self.fsync = fsync
+        self.obs = obs
         self.keep_checkpoints = max(1, keep_checkpoints)
         self.path = os.path.join(root, session_dir_name(session_id))
         self.wal_path = os.path.join(self.path, "wal.jsonl")
@@ -198,13 +206,30 @@ class SessionStore:
         self._wal.flush()  # out of the process: survives kill -9
         self._wal_dirty = True
         self.wal_batches += 1
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.wal_appends_total.inc()
         if self.fsync == "always":
             self.sync()
 
     def sync(self) -> None:
         """fsync pending WAL bytes (no-op under ``never`` or when clean)."""
         if self._wal is not None and self._wal_dirty and self.fsync != "never":
+            begin = perf_counter()
             os.fsync(self._wal.fileno())
+            elapsed = perf_counter() - begin
+            obs = self.obs
+            if obs is not None:
+                if obs.metrics is not None:
+                    obs.metrics.wal_fsync_seconds.observe(elapsed)
+                if elapsed >= FSYNC_STALL_SECONDS:
+                    obs.emit(
+                        "wal-fsync-stall",
+                        level="warn",
+                        session=self.session_id,
+                        ms=round(elapsed * 1000.0, 3),
+                        threshold_ms=FSYNC_STALL_SECONDS * 1000.0,
+                    )
         self._wal_dirty = False
 
     def replay_wal(self) -> Tuple[int, List[Tuple[int, List[Op]]]]:
@@ -283,8 +308,22 @@ class SessionStore:
         # cache while the checkpoint itself is still in flight: sync the
         # journal first, then the checkpoint.
         self.sync()
+        begin = perf_counter()
         _atomic_write_bytes(path, blob, fsync=self.fsync != "never")
+        elapsed = perf_counter() - begin
         self.checkpoints_written += 1
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics is not None:
+                obs.metrics.checkpoints_written_total.inc()
+                obs.metrics.checkpoint_seconds.observe(elapsed)
+                obs.metrics.checkpoint_bytes.observe(len(blob))
+            obs.emit(
+                "checkpoint",
+                session=self.session_id,
+                bytes=len(blob),
+                ms=round(elapsed * 1000.0, 3),
+            )
         for stale in self.checkpoint_paths()[self.keep_checkpoints:]:
             try:
                 os.unlink(stale)
@@ -372,6 +411,7 @@ class DurabilityManager:
         checkpoint_every: int = 20_000,
         fsync: str = "batch",
         keep_checkpoints: int = 2,
+        obs: Optional[Observability] = None,
     ) -> None:
         if checkpoint_every <= 0:
             raise ServiceError("checkpoint_every must be positive")
@@ -384,6 +424,7 @@ class DurabilityManager:
         self.checkpoint_every = checkpoint_every
         self.fsync = fsync
         self.keep_checkpoints = keep_checkpoints
+        self.obs = obs
         self.sessions_dir = os.path.join(data_dir, "sessions")
         os.makedirs(self.sessions_dir, exist_ok=True)
         self._stores: Dict[str, SessionStore] = {}
@@ -400,6 +441,7 @@ class DurabilityManager:
                 session_id,
                 fsync=self.fsync,
                 keep_checkpoints=self.keep_checkpoints,
+                obs=self.obs,
             )
             self._stores[session_id] = store
         return store
@@ -500,6 +542,18 @@ class DurabilityManager:
             registry.close(session_id)
             raise
         self.sessions_recovered += 1
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics is not None:
+                obs.metrics.sessions_recovered_total.inc()
+            obs.emit(
+                "session-restore",
+                session=session_id,
+                checkpoint=payload is not None,
+                wal_batches=len(batches),
+                backlog=session.backlog,
+                applied_seq=session.applied_seq,
+            )
         return session
 
     def drop(self, session_id: str, destroy: bool = False) -> None:

@@ -50,7 +50,17 @@ Request frames (client to server):
     ``{"type": "stats"}`` or ``{"type": "stats", "session": ...}`` —
     server-wide or per-session counters, including the governance
     numbers (``resident_ops``, ``retired_ops``, ``est_bytes``,
-    ``shed_opens``, ``quota_trips``, scheduler ``deficit``).
+    ``shed_opens``, ``quota_trips``, scheduler ``deficit``), the
+    daemon's ``uptime_seconds``/``started_at``, and each session's
+    ``last_chunk_ms`` p50/p95/p99 digest.
+
+``metrics``
+    ``{"type": "metrics"}`` — the daemon's whole metrics registry as a
+    JSON snapshot (the wire twin of the ``/metrics`` Prometheus scrape):
+    every family with its type, help text, and labelled samples;
+    histograms carry cumulative buckets keyed by upper bound.  On a
+    daemon running without ``--metrics-port``/``--log-json`` the reply
+    is ``{"type": "metrics", "enabled": false}``.
 
 ``ping``
     ``{"type": "ping"}`` — health check.  Reply: ``pong`` with
@@ -101,7 +111,7 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 #: Request frame types the server understands.
 REQUEST_TYPES = frozenset(
-    {"open", "append", "verdict", "stats", "close", "ping"}
+    {"open", "append", "verdict", "stats", "metrics", "close", "ping"}
 )
 
 

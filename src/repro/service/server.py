@@ -28,9 +28,13 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from ..errors import ProtocolError, ReproError, ServiceError
+from ..obs import Observability
+from ..obs.httpd import MetricsExporter
 from .durability import DurabilityManager
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -59,11 +63,20 @@ class CheckerService:
         stats_path: Optional[str] = None,
         durability: Optional[DurabilityManager] = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        obs: Optional[Observability] = None,
+        metrics_host: str = "127.0.0.1",
+        metrics_port: Optional[int] = None,
     ) -> None:
         if port is None and unix_path is None:
             raise ServiceError("need a TCP port and/or a unix socket path")
         if max_frame_bytes <= 0:
             raise ServiceError("max_frame_bytes must be positive")
+        if metrics_port is not None and (
+            obs is None or obs.registry is None
+        ):
+            raise ServiceError(
+                "metrics_port needs an Observability with a registry"
+            )
         self.registry = registry if registry is not None else SessionRegistry()
         self.host = host
         self.port = port
@@ -71,6 +84,12 @@ class CheckerService:
         self.stats_path = stats_path
         self.durability = durability
         self.max_frame_bytes = max_frame_bytes
+        self.obs = obs
+        self.metrics_host = metrics_host
+        self.metrics_port = metrics_port
+        self.exporter: Optional[MetricsExporter] = None
+        self.started_at: Optional[float] = None
+        self._started_mono: Optional[float] = None
         self.addresses: List[str] = []
         self._servers: List[asyncio.AbstractServer] = []
         self._connections: set = set()
@@ -79,11 +98,64 @@ class CheckerService:
         self._progress = asyncio.Condition()
         self._draining = False
         self._stopped = asyncio.Event()
+        if obs is not None:
+            # One bundle for the whole stack: the registry and durability
+            # layers inherit the server's instruments unless a test wired
+            # their own.
+            if self.registry.obs is None:
+                self.registry.obs = obs
+            if durability is not None and durability.obs is None:
+                durability.obs = obs
+            if obs.registry is not None:
+                self._register_gauges(obs.registry)
         if durability is not None:
             # Idle eviction must leave a restorable session behind: the
             # final checkpoint covers everything analyzed (eviction only
             # fires on empty backlogs), so a later open restores it.
             self.registry.on_evict = self._checkpoint_for_eviction
+
+    def _register_gauges(self, metrics_registry) -> None:
+        """Callback gauges: scrape-time reads of the registry's truth."""
+        registry = self.registry
+        metrics_registry.gauge(
+            "repro_sessions_open",
+            "Sessions currently open.",
+            fn=lambda: len(registry.sessions),
+        )
+        metrics_registry.gauge(
+            "repro_backlog_ops",
+            "Operations buffered but not yet analyzed, all sessions.",
+            fn=lambda: sum(
+                s.backlog for s in registry.sessions.values()
+            ),
+        )
+        metrics_registry.gauge(
+            "repro_resident_ops",
+            "Operations resident in memory (checker state plus backlogs).",
+            fn=lambda: sum(
+                s.resident_ops for s in registry.sessions.values()
+            ),
+        )
+        metrics_registry.gauge(
+            "repro_est_bytes",
+            "Estimated resident footprint in bytes, all sessions.",
+            fn=registry.estimated_bytes,
+        )
+        metrics_registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the daemon's listeners bound.",
+            fn=self.uptime_seconds,
+        )
+        metrics_registry.gauge(
+            "repro_draining",
+            "1 while the daemon is draining, else 0.",
+            fn=lambda: 1 if self._draining else 0,
+        )
+
+    def uptime_seconds(self) -> float:
+        if self._started_mono is None:
+            return 0.0
+        return time.monotonic() - self._started_mono
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -108,6 +180,27 @@ class CheckerService:
             )
             self.addresses.append(f"unix:{self.unix_path}")
             self._servers.append(server)
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
+        if self.metrics_port is not None:
+            self.exporter = MetricsExporter(
+                self.obs.registry,
+                host=self.metrics_host,
+                port=self.metrics_port,
+                tracer=self.obs.tracer,
+                health=self._pong,
+            )
+            self.metrics_port = await self.exporter.start()
+        if self.obs is not None:
+            self.obs.emit(
+                "serve-start",
+                addresses=list(self.addresses),
+                metrics=(
+                    self.exporter.address
+                    if self.exporter is not None
+                    else None
+                ),
+            )
         self._tasks.append(asyncio.create_task(self._analyze_loop()))
         self._tasks.append(asyncio.create_task(self._evict_loop()))
         return self.addresses
@@ -118,6 +211,14 @@ class CheckerService:
             await self._stopped.wait()
             return self.stats_record()
         self._draining = True
+        if self.obs is not None:
+            self.obs.emit(
+                "drain-begin",
+                sessions=len(self.registry.sessions),
+                backlog=sum(
+                    s.backlog for s in self.registry.sessions.values()
+                ),
+            )
         for server in self._servers:
             server.close()
         for server in self._servers:
@@ -164,6 +265,19 @@ class CheckerService:
             with open(self.stats_path, "w", encoding="utf-8") as fh:
                 json.dump(record, fh, indent=2)
                 fh.write("\n")
+        if self.obs is not None:
+            summary = record["server"]
+            self.obs.emit(
+                "drain-complete",
+                sessions_opened=summary["sessions_opened"],
+                ops_ingested=summary["ops_ingested"],
+                chunks_checked=summary["chunks_checked"],
+            )
+        # The exporter outlives the listeners on purpose — a scrape racing
+        # the drain still answers — and stops only once the final stats
+        # snapshot exists.
+        if self.exporter is not None:
+            await self.exporter.stop()
         self._stopped.set()
         return record
 
@@ -173,12 +287,17 @@ class CheckerService:
             "type": "stats",
             "addresses": list(self.addresses),
             "draining": self._draining,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
             "server": self.registry.stats(),
             "sessions": {
                 session_id: session.stats()
                 for session_id, session in self.registry.sessions.items()
             },
         }
+        if self.started_at is not None:
+            record["started_at"] = round(self.started_at, 3)
+        if self.exporter is not None:
+            record["metrics_address"] = self.exporter.address
         if self.durability is not None:
             record["durability"] = self.durability.stats()
         return record
@@ -262,6 +381,11 @@ class CheckerService:
                     dropped = await self._discard_oversized_line(
                         reader, exc
                     )
+                    self._count_error(
+                        "frame-too-large",
+                        None,
+                        f"frame exceeds {self.max_frame_bytes} bytes",
+                    )
                     writer.write(encode_frame({
                         "type": "error",
                         "code": "frame-too-large",
@@ -327,19 +451,22 @@ class CheckerService:
             # Malformed frames, session poisonings, bad configs, unknown
             # sessions: the request fails with a structured, coded error;
             # the connection (and server) live on.
+            code = getattr(exc, "code", "bad-request")
             reply = {
                 "type": "error",
-                "code": getattr(exc, "code", "bad-request"),
+                "code": code,
                 "error": str(exc),
                 "session": session_id,
             }
             retry_after = getattr(exc, "retry_after", None)
             if retry_after is not None:
                 reply["retry_after"] = retry_after
+            self._count_error(code, session_id, str(exc))
             return reply
         except Exception as exc:  # pragma: no cover - defensive
             # A daemon must outlive its bugs; the frame fails loudly
             # instead of tearing the connection (and every session) down.
+            self._count_error("internal", session_id, str(exc))
             return {
                 "type": "error",
                 "code": "internal",
@@ -347,14 +474,35 @@ class CheckerService:
                 "session": session_id,
             }
 
+    def _count_error(
+        self, code: str, session_id: Any, message: str
+    ) -> None:
+        obs = self.obs
+        if obs is None:
+            return
+        if obs.metrics is not None:
+            obs.metrics.frame_errors_total.labels(code).inc()
+        obs.emit(
+            "frame-error",
+            level="warn",
+            code=code,
+            session=session_id,
+            error=message,
+        )
+
     async def _dispatch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         kind = request_type(frame)
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.frames_total.labels(kind).inc()
         if self._draining and kind in ("open", "append"):
             raise ServiceError(
                 "server is draining; no new work accepted", code="draining"
             )
         if kind == "ping":
             return self._pong()
+        if kind == "metrics":
+            return self._metrics()
         if kind == "open":
             return self._open(frame)
         if kind == "stats":
@@ -385,6 +533,33 @@ class CheckerService:
             "est_bytes": registry.estimated_bytes(),
             "overloaded": registry.overloaded(),
         }
+
+    def _metrics(self) -> Dict[str, Any]:
+        """The ``metrics`` frame: the registry snapshot over the wire.
+
+        The JSON twin of the ``/metrics`` scrape, for clients already on
+        the frame socket (no second port needed).  Answered even while
+        draining, like ``ping`` and ``stats``.
+        """
+        obs = self.obs
+        if obs is None or obs.registry is None:
+            return {"type": "metrics", "enabled": False}
+        reply: Dict[str, Any] = {
+            "type": "metrics",
+            "enabled": True,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "families": obs.registry.snapshot(),
+        }
+        if self.exporter is not None:
+            reply["scrape_address"] = self.exporter.address
+        if obs.tracer is not None:
+            reply["traces"] = {
+                "chunks_traced": obs.tracer.chunks_traced,
+                "slow_chunks": obs.tracer.slow_chunks,
+                "capacity": obs.tracer.capacity,
+                "slow_chunk_ms": obs.tracer.slow_chunk_ms,
+            }
+        return reply
 
     def _open(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         options = frame.get("options") or {}
@@ -503,7 +678,16 @@ class CheckerService:
         return self.stats_record()
 
     async def _append(self, session, frame: Dict[str, Any]) -> Dict[str, Any]:
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        decode_begin = perf_counter() if tracer is not None else 0.0
         ops = decode_ops(frame.get("ops", ()))
+        if tracer is not None:
+            # Parked on the session; the next analyzed chunk's trace
+            # carries them as spans preceding ``analyze``.
+            session.trace_spans.append(
+                tracer.span("decode", perf_counter() - decode_begin)
+            )
         seq = frame.get("seq")
         if seq is not None and (
             not isinstance(seq, int) or isinstance(seq, bool) or seq <= 0
@@ -516,13 +700,28 @@ class CheckerService:
         # a poisoning also unblocks (buffer() will then refuse the batch),
         # and so does a drain — whose quiescence check must not be raced
         # by a parked append buffering ops after the analyzer stopped.
+        wait_begin: Optional[float] = None
         async with self._progress:
             while (
                 not self.registry.accepts(session)
                 and session.error is None
                 and not self._draining
             ):
+                if wait_begin is None:
+                    wait_begin = perf_counter()
                 await self._progress.wait()
+        if wait_begin is not None and obs is not None:
+            waited = perf_counter() - wait_begin
+            if obs.metrics is not None:
+                obs.metrics.backpressure_waits_total.inc()
+                obs.metrics.backpressure_wait_seconds.observe(waited)
+            obs.emit(
+                "backpressure",
+                level="debug",
+                session=session.id,
+                waited_ms=round(waited * 1000.0, 3),
+                backlog=session.backlog,
+            )
         if self._draining:
             raise ServiceError(
                 "server is draining; no new work accepted", code="draining"
@@ -553,7 +752,14 @@ class CheckerService:
             # survive a crash, so they hit the journal (flushed, and
             # fsynced per policy) before they are even buffered.
             self.durability.log_append(session, seq, fresh)
-        self.registry.append(session.id, fresh)
+        if tracer is not None:
+            buffer_begin = perf_counter()
+            self.registry.append(session.id, fresh)
+            session.trace_spans.append(
+                tracer.span("buffer", perf_counter() - buffer_begin)
+            )
+        else:
+            self.registry.append(session.id, fresh)
         session.applied_seq = seq
         self._work.set()
         reply = {
@@ -603,6 +809,9 @@ async def serve(
     stats_path: Optional[str] = None,
     durability: Optional[DurabilityManager] = None,
     max_frame_bytes: int = MAX_FRAME_BYTES,
+    obs: Optional[Observability] = None,
+    metrics_host: str = "127.0.0.1",
+    metrics_port: Optional[int] = None,
     quiet: bool = False,
     ready: Optional[Any] = None,
 ) -> Dict[str, Any]:
@@ -611,7 +820,9 @@ async def serve(
     ``ready``, when given, is called with the service once the listeners
     are bound (tests use it to learn ephemeral ports).  ``durability``
     makes every session crash-recoverable (see
-    :mod:`repro.service.durability`).
+    :mod:`repro.service.durability`).  ``obs`` switches on the telemetry
+    stack (:mod:`repro.obs`); ``metrics_port`` additionally serves its
+    registry as a Prometheus scrape on ``metrics_host``.
     """
     service = CheckerService(
         registry,
@@ -621,11 +832,19 @@ async def serve(
         stats_path=stats_path,
         durability=durability,
         max_frame_bytes=max_frame_bytes,
+        obs=obs,
+        metrics_host=metrics_host,
+        metrics_port=metrics_port,
     )
     addresses = await service.start()
     if not quiet:
         for address in addresses:
             print(f"service: listening on {address}", flush=True)
+        if service.exporter is not None:
+            print(
+                f"service: metrics on {service.exporter.address}/metrics",
+                flush=True,
+            )
     if ready is not None:
         ready(service)
     loop = asyncio.get_running_loop()
@@ -702,6 +921,13 @@ class BackgroundService:
     def tcp_address(self) -> str:
         assert self.service is not None
         return f"{self.service.host}:{self.service.port}"
+
+    @property
+    def metrics_address(self) -> str:
+        """The scrape endpoint's base URL (requires ``metrics_port``)."""
+        assert self.service is not None
+        assert self.service.exporter is not None, "metrics_port not set"
+        return self.service.exporter.address
 
     def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
         if self._loop is None or self.service is None:

@@ -70,12 +70,18 @@ from ..core.consistency import SERIALIZABLE
 from ..core.incremental import StreamingChecker, StreamUpdate
 from ..errors import ServiceError
 from ..history.ops import Op
+from ..obs import Observability, percentiles
 
 #: Default operations per analysis slice (and per incremental re-check).
 DEFAULT_CHUNK_OPS = 1000
 
 #: Default scheduler quantum: seconds of analysis credit per visit.
 DEFAULT_QUANTUM_SECONDS = 0.25
+
+#: Per-session chunk-latency sample window (for the ``last_chunk_ms``
+#: percentile digest in ``stats`` frames).  Always on: a deque of a few
+#: hundred floats costs nothing next to a chunk analysis.
+CHUNK_LATENCY_WINDOW = 512
 
 
 @dataclass(frozen=True)
@@ -135,10 +141,12 @@ class Session:
         session_id: str,
         config: SessionConfig,
         clock: Callable[[], float] = time.monotonic,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.id = session_id
         self.config = config
         self._clock = clock
+        self.obs = obs
         # Workload/model validation happens here, so a bad ``open`` frame
         # fails before the registry ever records the session.
         options = dict(config.options)
@@ -161,6 +169,15 @@ class Session:
         self.analyze_seconds = 0.0
         self.max_chunk_seconds = 0.0
         self.last_slice_seconds = 0.0
+        #: Recent per-chunk analysis latencies in ms — the sample window
+        #: behind the ``last_chunk_ms`` p50/p95/p99 digest in ``stats``.
+        self.chunk_ms_window: deque = deque(maxlen=CHUNK_LATENCY_WINDOW)
+        #: Spans recorded for this session's next chunk before analysis
+        #: ran (frame decode, backlog buffering) — the server parks them
+        #: here; the tracer folds them into the next chunk's trace.
+        #: Bounded: a client whose appends keep being refused must not
+        #: grow it between the chunks that would drain it.
+        self.trace_spans: deque = deque(maxlen=32)
         #: Scheduler state: seconds of analysis credit.  Refilled by
         #: ``quantum_seconds`` per scheduling visit, charged at each
         #: slice's wall-clock cost; an expensive slice leaves the session
@@ -236,7 +253,7 @@ class Session:
             )
         quota = self.config.max_ops
         if quota is not None and self.ops_ingested + len(ops) > quota:
-            self.quota_trips += 1
+            self._trip_quota("ops", quota)
             raise ServiceError(
                 f"session {self.id!r} ops quota exceeded: "
                 f"{self.ops_ingested} ingested + {len(ops)} > {quota}",
@@ -244,7 +261,7 @@ class Session:
             )
         budget = self.config.max_analyze_seconds
         if budget is not None and self.analyze_seconds >= budget:
-            self.quota_trips += 1
+            self._trip_quota("analyze_seconds", budget)
             raise ServiceError(
                 f"session {self.id!r} analyze-time quota exceeded: "
                 f"{self.analyze_seconds:.3f}s >= {budget}s",
@@ -252,11 +269,31 @@ class Session:
             )
         self.pending.extend(ops)
         self.ops_ingested += len(ops)
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.ops_ingested_total.labels(self.id).inc(len(ops))
         if ops:
             self.last_buffered_index = max(
                 self.last_buffered_index, ops[-1].index
             )
         self.touch()
+
+    def _trip_quota(self, quota: str, limit: Any) -> None:
+        """Book one quota refusal (counter, metric, event)."""
+        self.quota_trips += 1
+        obs = self.obs
+        if obs is not None:
+            if obs.metrics is not None:
+                obs.metrics.quota_trips_total.labels(quota).inc()
+            obs.emit(
+                "quota-trip",
+                level="warn",
+                session=self.id,
+                quota=quota,
+                limit=limit,
+                ops_ingested=self.ops_ingested,
+                analyze_seconds=round(self.analyze_seconds, 4),
+            )
 
     def dedupe_ops(self, ops: Sequence[Op]) -> List[Op]:
         """Drop operations this session has already accepted.
@@ -283,18 +320,39 @@ class Session:
             raise self.error
         take = min(len(self.pending), self.config.chunk_ops)
         chunk = [self.pending.popleft() for _ in range(take)]
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        chunk_profile = (
+            tracer.chunk_profile() if tracer is not None else None
+        )
+        pre_spans = list(self.trace_spans)
+        self.trace_spans.clear()
         begin = self._clock()
         try:
-            update = self.checker.extend(chunk)
+            update = self.checker.extend(chunk, profile=chunk_profile)
             if self.config.retire_idle_txns:
                 # Opt-in auto-retirement rides the analyzer's cadence:
                 # after each slice, fold the settled prefix (sparing the
                 # newest N transactions) so a forever-stream's resident
                 # state tracks its active window, not its age.
-                self.retire(min_idle_txns=self.config.retire_idle_txns)
+                if chunk_profile is not None:
+                    with chunk_profile.stage("retire"):
+                        self.retire(
+                            min_idle_txns=self.config.retire_idle_txns
+                        )
+                else:
+                    self.retire(min_idle_txns=self.config.retire_idle_txns)
         except BaseException as exc:
             self.error = exc
             self.pending.clear()
+            if obs is not None:
+                obs.emit(
+                    "session-poisoned",
+                    level="error",
+                    session=self.id,
+                    chunk=self.chunks_checked,
+                    error=str(exc),
+                )
             raise
         finally:
             elapsed = self._clock() - begin
@@ -305,6 +363,38 @@ class Session:
         self.keys_reanalyzed += update.reanalyzed_keys
         self.keys_reused += update.reused_keys
         self.last_update = update
+        self.chunk_ms_window.append(elapsed * 1000.0)
+        if obs is not None:
+            if obs.metrics is not None:
+                obs.metrics.chunks_checked_total.labels(self.id).inc()
+                obs.metrics.chunk_analyze_seconds.labels(self.id).observe(
+                    elapsed
+                )
+                if update.new_anomalies:
+                    obs.metrics.anomalies_total.inc(
+                        len(update.new_anomalies)
+                    )
+            if update.new_anomalies:
+                obs.emit(
+                    "anomalies",
+                    level="warn",
+                    session=self.id,
+                    chunk=update.chunk,
+                    new=len(update.new_anomalies),
+                    total=len(update.result.anomalies),
+                )
+            if tracer is not None:
+                trace = tracer.record(
+                    session=self.id,
+                    chunk=update.chunk,
+                    ops=len(chunk),
+                    txns=update.txns,
+                    elapsed_seconds=elapsed,
+                    profile=chunk_profile,
+                    pre_spans=pre_spans,
+                )
+                if trace["slow"] and obs.metrics is not None:
+                    obs.metrics.slow_chunks_total.inc()
         return update
 
     def retire(self, min_idle_txns: int = 0) -> Dict[str, Any]:
@@ -350,6 +440,10 @@ class Session:
             "keys_reused": self.keys_reused,
             "analyze_seconds": round(self.analyze_seconds, 4),
             "max_chunk_seconds": round(self.max_chunk_seconds, 4),
+            "last_chunk_ms": {
+                name: round(value, 3)
+                for name, value in percentiles(self.chunk_ms_window).items()
+            },
             "resident_ops": self.resident_ops,
             "retired_ops": self.retired_ops,
             "retired_txns": self.txns_retired,
@@ -393,6 +487,7 @@ class SessionRegistry:
         max_resident_bytes: Optional[int] = None,
         quantum_seconds: float = DEFAULT_QUANTUM_SECONDS,
         default_limits: Optional[SessionConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_sessions <= 0:
             raise ServiceError("max_sessions must be positive")
@@ -413,6 +508,7 @@ class SessionRegistry:
         #: an ``open`` frame leaves unset are filled from here (the serve
         #: CLI's ``--session-max-ops`` etc. land in this config).
         self.default_limits = default_limits
+        self.obs = obs
         self.sessions: "OrderedDict[str, Session]" = OrderedDict()
         self._rotation: deque = deque()  # round-robin order of session ids
         self._auto_id = 0
@@ -462,6 +558,17 @@ class SessionRegistry:
             self.relieve_pressure()
             if self.overloaded():
                 self.shed_opens += 1
+                if self.obs is not None:
+                    if self.obs.metrics is not None:
+                        self.obs.metrics.shed_opens_total.inc()
+                    self.obs.emit(
+                        "shed-open",
+                        level="warn",
+                        session=session_id,
+                        est_bytes=self.estimated_bytes(),
+                        watermark=self.max_resident_bytes,
+                        retry_after=self.retry_after_seconds(),
+                    )
                 raise ServiceError(
                     "resident memory over watermark "
                     f"({self.estimated_bytes()} > "
@@ -471,11 +578,23 @@ class SessionRegistry:
                     retry_after=self.retry_after_seconds(),
                 )
         session = Session(
-            session_id, self._effective_config(config), clock=self.clock
+            session_id,
+            self._effective_config(config),
+            clock=self.clock,
+            obs=self.obs,
         )
         self.sessions[session_id] = session
         self._rotation.append(session_id)
         self.sessions_opened += 1
+        if self.obs is not None:
+            if self.obs.metrics is not None:
+                self.obs.metrics.sessions_opened_total.inc()
+            self.obs.emit(
+                "session-open",
+                session=session_id,
+                workload=session.config.workload,
+                model=session.config.consistency_model,
+            )
         return session
 
     def _effective_config(
@@ -520,6 +639,15 @@ class SessionRegistry:
         del self.sessions[session_id]
         self._rotation.remove(session_id)
         self.sessions_closed += 1
+        if self.obs is not None:
+            if self.obs.metrics is not None:
+                self.obs.metrics.sessions_closed_total.inc()
+            self.obs.emit(
+                "session-close",
+                session=session_id,
+                ops_ingested=final["ops_ingested"],
+                chunks_checked=final["chunks_checked"],
+            )
         return final
 
     def evict_idle(self, now: Optional[float] = None) -> List[str]:
@@ -540,6 +668,14 @@ class SessionRegistry:
             session.closed = True
             self._rotation.remove(session_id)
             self.sessions_evicted += 1
+            if self.obs is not None:
+                if self.obs.metrics is not None:
+                    self.obs.metrics.sessions_evicted_total.inc()
+                self.obs.emit(
+                    "session-evict",
+                    session=session_id,
+                    idle_seconds=round(now - session.last_activity, 3),
+                )
         return victims
 
     # ------------------------------------------------------------------
@@ -673,6 +809,19 @@ class SessionRegistry:
             retired = summary.get("retired_txns", 0)
             actions["retired_txns"] += retired
             self.pressure_retired_txns += retired
+            if retired and self.obs is not None:
+                if self.obs.metrics is not None:
+                    self.obs.metrics.pressure_actions_total.labels(
+                        "retire"
+                    ).inc()
+                self.obs.emit(
+                    "pressure-retire",
+                    level="warn",
+                    session=session.id,
+                    retired_txns=retired,
+                    est_bytes=self.estimated_bytes(),
+                    watermark=self.max_resident_bytes,
+                )
             if not self.overloaded():
                 return actions
         if self.on_evict is not None:
@@ -690,6 +839,19 @@ class SessionRegistry:
                 self.sessions_evicted += 1
                 self.pressure_evictions += 1
                 actions["evicted"].append(session.id)
+                if self.obs is not None:
+                    if self.obs.metrics is not None:
+                        self.obs.metrics.pressure_actions_total.labels(
+                            "evict"
+                        ).inc()
+                        self.obs.metrics.sessions_evicted_total.inc()
+                    self.obs.emit(
+                        "pressure-evict",
+                        level="warn",
+                        session=session.id,
+                        est_bytes=self.estimated_bytes(),
+                        watermark=self.max_resident_bytes,
+                    )
         return actions
 
     # ------------------------------------------------------------------
